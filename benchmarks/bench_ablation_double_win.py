@@ -1,0 +1,66 @@
+"""Ablation — is the kingdom algorithm's *double win* necessary?
+
+Algorithm 2's 4-stage election lets a candidate survive only if it
+beats its whole 2-neighborhood in the kingdom graph (Lemma 4.8's
+halving engine).  Ablating stages 3–4 (survival by M1 only — direct
+collisions) keeps the algorithm *correct* but breaks halving: on a
+star-shaped kingdom graph every leaf candidate beats its only neighbor
+(the small-ID hub) and survives.
+
+The bench runs both variants on a star (the adversarial shape) and on
+ER graphs, comparing phase counts, rounds and messages.  Expected
+regeneration: single-win needs more phases/messages on the star, while
+double-win obeys the log n phase bound everywhere — the paper's design
+choice earns its 2 extra stages.
+"""
+
+import math
+
+from repro.analysis import run_trials
+from repro.core import KnownDiameterKingdomElection
+from repro.graphs import erdos_renyi, star
+
+from _util import once, record
+
+
+def _max_phases(stats):
+    return max(max(o.get("phases", 1) for o in r.outputs)
+               for r in stats.results)
+
+
+def bench_ablation_double_win(benchmark):
+    families = [star(65), erdos_renyi(64, target_edges=256, seed=107)]
+
+    def experiment():
+        out = []
+        for t in families:
+            with_dw = run_trials(
+                t, lambda: KnownDiameterKingdomElection(double_win=True),
+                trials=5, seed=109, knowledge_keys=("D",), keep_results=True)
+            without = run_trials(
+                t, lambda: KnownDiameterKingdomElection(double_win=False),
+                trials=5, seed=109, knowledge_keys=("D",), keep_results=True)
+            out.append((t, with_dw, without))
+        return out
+
+    results = once(benchmark, experiment)
+    rows = {
+        "family": [t.name for t, _, _ in results],
+        "phases with double-win": [_max_phases(w) for _, w, _ in results],
+        "phases without (single-win)": [_max_phases(wo) for _, _, wo in results],
+        "log2 n bound": [round(math.log2(t.num_nodes), 1)
+                         for t, _, _ in results],
+        "messages with": [round(w.messages.mean) for _, w, _ in results],
+        "messages without": [round(wo.messages.mean) for _, _, wo in results],
+        "both still correct": [
+            w.success_rate == wo.success_rate == 1.0 for _, w, wo in results],
+    }
+    record(benchmark, "ablation_double_win", rows)
+    star_t, star_with, star_without = results[0]
+    # Correctness survives the ablation...
+    assert star_with.success_rate == 1.0
+    assert star_without.success_rate == 1.0
+    # ...but the halving mechanism does not: the star needs strictly
+    # more phases (and messages) without the double win.
+    assert _max_phases(star_without) > _max_phases(star_with)
+    assert star_without.messages.mean > star_with.messages.mean

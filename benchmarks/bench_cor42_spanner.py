@@ -1,0 +1,54 @@
+"""Corollary 4.2 — O(D) time, O(m) expected messages when m > n^(1+ε).
+
+Sweeps n on dense graphs (m ≈ n^1.6) comparing the spanner election
+against the plain least-element algorithm: the spanner variant's
+messages/m must stay in a constant band (O(m)) while the plain
+algorithm pays the log n factor; the crossover in total messages
+appears as n grows.
+"""
+
+from repro.analysis import ratio_band, run_trials
+from repro.core import LeastElementElection, SpannerElection
+from repro.graphs import erdos_renyi
+
+from _util import once, record
+
+SIZES = [48, 96, 192]
+
+
+def bench_corollary_4_2_spanner_election(benchmark):
+    topologies = [erdos_renyi(n, target_edges=int(n ** 1.6), seed=31)
+                  for n in SIZES]
+
+    def experiment():
+        spanner = [run_trials(t, lambda: SpannerElection(k=3), trials=5,
+                              seed=37, knowledge_keys=("n",))
+                   for t in topologies]
+        plain = [run_trials(t, LeastElementElection, trials=5, seed=37,
+                            knowledge_keys=("n",))
+                 for t in topologies]
+        return spanner, plain
+
+    spanner, plain = once(benchmark, experiment)
+    ms = [t.num_edges for t in topologies]
+    band = ratio_band(ms, [s.messages.mean for s in spanner])
+    rows = {
+        "n": SIZES,
+        "m (~n^1.6)": ms,
+        "spanner messages/m (claim: flat)": [
+            round(s.messages.mean / m, 2) for s, m in zip(spanner, ms)],
+        "plain least-el messages/m (log n growth)": [
+            round(p.messages.mean / m, 2) for p, m in zip(plain, ms)],
+        "spanner flatness band": round(band.spread, 2),
+        "spanner rounds/D": [round(s.rounds.mean / t.diameter(), 1)
+                             for s, t in zip(spanner, topologies)],
+        "success rate (whp)": [s.success_rate for s in spanner],
+    }
+    record(benchmark, "cor4.2_spanner", rows)
+    assert all(s.success_rate == 1.0 for s in spanner)
+    assert band.spread < 2.0
+    # The paper's point: the plain algorithm's per-edge cost grows with
+    # n while the spanner's does not.
+    plain_growth = (plain[-1].messages.mean / ms[-1]) / (plain[0].messages.mean / ms[0])
+    spanner_growth = (spanner[-1].messages.mean / ms[-1]) / (spanner[0].messages.mean / ms[0])
+    assert spanner_growth < plain_growth

@@ -1,0 +1,57 @@
+"""Corollary 4.5 — no knowledge: O(D) time, O(m·min(log n, D)) messages,
+success probability 1 (Las Vegas).
+
+Regenerates the row with an n sweep: success rate pinned at 1, the
+size estimate n̂ inside the paper's [Ω(n/log n), O(n²)] window, and
+messages/m growing no faster than log n.
+"""
+
+import math
+
+from repro.analysis import run_trials
+from repro.core import SizeEstimationElection
+from repro.graphs import Network, erdos_renyi
+from repro.sim import Simulator
+
+from _util import once, record
+
+SIZES = [32, 64, 128, 256]
+
+
+def bench_corollary_4_5_no_knowledge(benchmark):
+    topologies = [erdos_renyi(n, target_edges=4 * n, seed=41) for n in SIZES]
+
+    def experiment():
+        stats = [run_trials(t, SizeEstimationElection, trials=10, seed=43)
+                 for t in topologies]
+        estimates = []
+        for t in topologies:
+            net = Network.build(t, seed=47)
+            result = Simulator(net, SizeEstimationElection, seed=47).run()
+            estimates.append(result.outputs[0]["n_estimate"])
+        return stats, estimates
+
+    stats, estimates = once(benchmark, experiment)
+    rows = {
+        "n": SIZES,
+        "success rate (claim: 1)": [s.success_rate for s in stats],
+        "n-hat sample": estimates,
+        "n-hat in [n/4log n, 4n^2]": [
+            n / (4 * math.log2(n)) <= nh <= 4 * n * n
+            for n, nh in zip(SIZES, estimates)],
+        "messages/m": [round(s.messages.mean / t.num_edges, 2)
+                       for s, t in zip(stats, topologies)],
+        "log n reference": [round(math.log2(n), 1) for n in SIZES],
+        "rounds/D": [round(s.rounds.mean / t.diameter(), 2)
+                     for s, t in zip(stats, topologies)],
+    }
+    record(benchmark, "cor4.5_estimation", rows)
+    assert all(s.success_rate == 1.0 for s in stats)
+    # messages/m bounded by c·log n (two wave phases, each with a rank
+    # and a response per least-element entry: c ~ 5).
+    for s, t, n in zip(stats, topologies, SIZES):
+        assert s.messages.mean / t.num_edges <= 6 * math.log2(n)
+    # ... and grows no faster than the log n reference across the sweep.
+    growth = (stats[-1].messages.mean / topologies[-1].num_edges) / (
+        stats[0].messages.mean / topologies[0].num_edges)
+    assert growth <= math.log2(SIZES[-1]) / math.log2(SIZES[0]) + 0.3

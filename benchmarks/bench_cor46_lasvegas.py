@@ -1,0 +1,46 @@
+"""Corollary 4.6 — knows n and D: Las Vegas, expected O(D) time and
+O(m) messages.
+
+Regenerates the row with an n sweep: success always 1, expected
+messages/m in a constant band, expected rounds a constant multiple of
+D, and the restart counter showing the expected-constant attempts.
+"""
+
+from repro.analysis import ratio_band, run_trials
+from repro.core import RestartingElection
+from repro.graphs import erdos_renyi
+
+from _util import once, record
+
+SIZES = [32, 64, 128, 256]
+
+
+def bench_corollary_4_6_las_vegas(benchmark):
+    topologies = [erdos_renyi(n, target_edges=4 * n, seed=53) for n in SIZES]
+
+    def experiment():
+        return [run_trials(t, RestartingElection, trials=15, seed=59,
+                           knowledge_keys=("n", "D"), keep_results=True)
+                for t in topologies]
+
+    stats = once(benchmark, experiment)
+    ms = [t.num_edges for t in topologies]
+    band = ratio_band(ms, [s.messages.mean for s in stats])
+    attempts = [
+        max(max(o.get("attempts", 1) for o in r.outputs)
+            for r in s.results)
+        for s in stats]
+    rows = {
+        "n": SIZES,
+        "success rate (claim: 1)": [s.success_rate for s in stats],
+        "expected messages/m (claim: flat)": [
+            round(s.messages.mean / m, 2) for s, m in zip(stats, ms)],
+        "flatness band max/min": round(band.spread, 2),
+        "expected rounds/D": [round(s.rounds.mean / t.diameter(), 2)
+                              for s, t in zip(stats, topologies)],
+        "max attempts seen": attempts,
+    }
+    record(benchmark, "cor4.6_lasvegas", rows)
+    assert all(s.success_rate == 1.0 for s in stats)
+    assert band.spread < 2.5
+    assert max(attempts) <= 4  # expected-constant restarts

@@ -1,0 +1,36 @@
+"""Corollary 3.12 — Ω(m) messages for (majority) broadcast.
+
+Same dumbbell machinery as Theorem 3.1, with flooding broadcast from a
+left-half source: since a majority of nodes live across the bridges,
+reaching a majority requires a bridge crossing, and the messages sent
+before the first crossing grow as Ω(m).
+"""
+
+from repro.analysis import power_law_fit
+from repro.lower_bounds import broadcast_crossing_experiment
+
+from _util import once, record
+
+SWEEP = [(14, 24), (20, 48), (28, 96), (40, 192)]
+
+
+def bench_corollary_3_12_broadcast_lower_bound(benchmark):
+    def experiment():
+        return [broadcast_crossing_experiment(n, m, trials=12, seed=5)
+                for (n, m) in SWEEP]
+
+    results = once(benchmark, experiment)
+    m1s = [r.m1 for r in results]
+    costs = [r.mean_messages_before_crossing for r in results]
+    fit = power_law_fit(m1s, costs)
+    rows = {
+        "sweep (n, m per half)": SWEEP,
+        "m1 (clique edges)": m1s,
+        "mean messages before crossing": [round(c, 1) for c in costs],
+        "cost / m1": [round(c / m, 2) for c, m in zip(costs, m1s)],
+        "crossing rate": [r.crossing_rate for r in results],
+        "power-law exponent (claim: >= ~1)": round(fit.exponent, 3),
+    }
+    record(benchmark, "cor3.12_broadcast_lb", rows)
+    assert all(r.crossing_rate == 1.0 for r in results)
+    assert fit.exponent > 0.6

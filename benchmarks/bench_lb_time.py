@@ -1,0 +1,54 @@
+"""Theorem 3.13 — the Ω(D) time lower bound (Table 1, row 2).
+
+Two regenerated series on the clique-cycle construction:
+
+* the truncation curve: probability of a unique leader when the run is
+  cut off after T = f·D' rounds (the proof's contrapositive — small
+  T/D' must fail with constant probability);
+* completion times of a correct O(D) algorithm across D', whose
+  rounds/D ratio must stay inside a constant band (Ω(D) and O(D)).
+"""
+
+from repro.core import LeastElementElection
+from repro.lower_bounds import completion_time_experiment, truncation_experiment
+
+from _util import once, record
+
+FRACTIONS = [0.1, 0.25, 0.5, 1.0, 2.0, 4.0, 8.0]
+DIAMETERS = [8, 16, 32]
+
+
+def bench_theorem_3_13_truncation_curve(benchmark):
+    def experiment():
+        return truncation_experiment(48, 16, LeastElementElection,
+                                     fractions=FRACTIONS, trials=15, seed=3)
+
+    exp = once(benchmark, experiment)
+    rows = {
+        "D' (cliques)": exp.num_cliques,
+        "T/D'": [round(p.fraction_of_diameter, 2) for p in exp.points],
+        "unique-leader probability": [p.unique_leader_rate for p in exp.points],
+        "mean leaders at cutoff": [round(p.mean_leaders, 2) for p in exp.points],
+    }
+    record(benchmark, "thm3.13_truncation", rows)
+    assert exp.points[0].unique_leader_rate <= 0.2   # o(D) fails
+    assert exp.points[-1].unique_leader_rate >= 0.9  # Theta(D) suffices
+
+
+def bench_theorem_3_13_completion_scaling(benchmark):
+    def experiment():
+        return [completion_time_experiment(3 * d, d, LeastElementElection,
+                                           trials=8, seed=4)
+                for d in DIAMETERS]
+
+    stats = once(benchmark, experiment)
+    rows = {
+        "requested D": DIAMETERS,
+        "actual diameter": [s.diameter for s in stats],
+        "mean rounds": [round(s.mean_rounds, 1) for s in stats],
+        "rounds / diameter (constant band)": [
+            round(s.rounds_over_diameter, 2) for s in stats],
+    }
+    record(benchmark, "thm3.13_completion", rows)
+    ratios = [s.rounds_over_diameter for s in stats]
+    assert max(ratios) / min(ratios) < 3.0  # Theta(D) band

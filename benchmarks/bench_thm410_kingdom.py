@@ -1,0 +1,59 @@
+"""Theorem 4.10 — Algorithm 2: deterministic O(D log n) time and
+O(m log n) messages.
+
+Regenerates the row for both variants (no knowledge / known D) across
+an n sweep: messages against the m·log n budget and rounds against
+D·log n, plus the phase counter matching Lemma 4.8's halving bound.
+"""
+
+import math
+
+from repro.analysis import run_trials
+from repro.core import KingdomElection, KnownDiameterKingdomElection
+from repro.graphs import erdos_renyi
+
+from _util import once, record
+
+SIZES = [32, 64, 128, 256]
+
+
+def bench_theorem_4_10_kingdom(benchmark):
+    topologies = [erdos_renyi(n, target_edges=4 * n, seed=71) for n in SIZES]
+
+    def experiment():
+        free = [run_trials(t, KingdomElection, trials=5, seed=73,
+                           keep_results=True)
+                for t in topologies]
+        known = [run_trials(t, KnownDiameterKingdomElection, trials=5,
+                            seed=73, knowledge_keys=("D",), keep_results=True)
+                 for t in topologies]
+        return free, known
+
+    free, known = once(benchmark, experiment)
+    msg_budget = [t.num_edges * math.log2(t.num_nodes) for t in topologies]
+    time_budget = [t.diameter() * math.log2(t.num_nodes) for t in topologies]
+    phases = [max(max(o.get("phases", 1) for o in r.outputs)
+                  for r in s.results) for s in known]
+    rows = {
+        "n": SIZES,
+        "m": [t.num_edges for t in topologies],
+        "no-knowledge messages / (m log n)": [
+            round(s.messages.mean / b, 2) for s, b in zip(free, msg_budget)],
+        "no-knowledge rounds / (D log n)": [
+            round(s.rounds.mean / b, 2) for s, b in zip(free, time_budget)],
+        "known-D messages / (m log n)": [
+            round(s.messages.mean / b, 2) for s, b in zip(known, msg_budget)],
+        "known-D rounds / (D log n)": [
+            round(s.rounds.mean / b, 2) for s, b in zip(known, time_budget)],
+        "known-D phases (<= log n + c)": phases,
+        "log2 n": [round(math.log2(n), 1) for n in SIZES],
+        "success (deterministic)": [s.success_rate for s in free],
+    }
+    record(benchmark, "thm4.10_kingdom", rows)
+    assert all(s.success_rate == 1.0 for s in free)
+    assert all(s.success_rate == 1.0 for s in known)
+    for p, n in zip(phases, SIZES):
+        assert p <= math.log2(n) + 3
+    # Message ratio to m·log n stays in a constant band.
+    ratios = [s.messages.mean / b for s, b in zip(free, msg_budget)]
+    assert max(ratios) / min(ratios) < 3.0

@@ -1,0 +1,86 @@
+"""Theorem 4.1 — deterministic O(m) messages, arbitrary time.
+
+Regenerates the row: messages/m flat across an m sweep (the O(m)
+claim, with the paper's constant around 4m plus wakeup/announce), the
+exponential time dependence on the smallest ID (2^i rate limiting,
+executed exactly by the event-driven scheduler), and the adversarial
+wakeup variant (the paper's 2m-message wakeup phase).
+"""
+
+from repro.analysis import ratio_band, run_trials
+from repro.core import DfsAgentElection
+from repro.graphs import erdos_renyi, grid
+from repro.graphs.ids import SequentialIds
+from repro.sim import AdversarialWakeup
+
+from _util import once, record, run_election
+
+SIZES = [24, 48, 96, 192]
+
+
+def bench_theorem_4_1_messages_linear_in_m(benchmark):
+    topologies = [erdos_renyi(n, target_edges=3 * n, seed=79) for n in SIZES]
+
+    def experiment():
+        return [run_trials(t, DfsAgentElection, trials=3, seed=83,
+                           ids=SequentialIds(start=2), max_rounds=10 ** 9)
+                for t in topologies]
+
+    stats = once(benchmark, experiment)
+    ms = [t.num_edges for t in topologies]
+    band = ratio_band(ms, [s.messages.mean for s in stats])
+    rows = {
+        "n": SIZES,
+        "m": ms,
+        "messages/m (claim: constant ~<= 8)": [
+            round(s.messages.mean / m, 2) for s, m in zip(stats, ms)],
+        "flatness band max/min": round(band.spread, 2),
+        "success (deterministic)": [s.success_rate for s in stats],
+    }
+    record(benchmark, "thm4.1_messages", rows)
+    assert all(s.success_rate == 1.0 for s in stats)
+    assert band.spread < 1.6
+
+
+def bench_theorem_4_1_exponential_time(benchmark):
+    topology = grid(4, 4)
+
+    def experiment():
+        rounds = []
+        for start in (2, 4, 6, 8):
+            result = run_election(topology, DfsAgentElection,
+                                  ids=SequentialIds(start=start),
+                                  max_rounds=10 ** 9)
+            assert result.has_unique_leader
+            rounds.append(result.rounds)
+        return rounds
+
+    rounds = once(benchmark, experiment)
+    rows = {
+        "smallest ID": [2, 4, 6, 8],
+        "rounds (claim ~ 2m * 2^id)": rounds,
+        "round ratios per +2 ID (claim ~4x)": [
+            round(rounds[i + 1] / rounds[i], 2) for i in range(3)],
+    }
+    record(benchmark, "thm4.1_time", rows)
+    for i in range(3):
+        assert 2.5 <= rounds[i + 1] / rounds[i] <= 6.0
+
+
+def bench_theorem_4_1_adversarial_wakeup(benchmark):
+    topology = erdos_renyi(40, target_edges=120, seed=89)
+
+    def experiment():
+        return run_election(topology, DfsAgentElection,
+                            ids=SequentialIds(start=2), max_rounds=10 ** 9,
+                            wakeup=AdversarialWakeup(0.2, 4))
+
+    result = once(benchmark, experiment)
+    rows = {
+        "graph": f"n=40 m={topology.num_edges}",
+        "unique leader": result.has_unique_leader,
+        "leader is min ID": result.leader_uid == min(result.network.ids),
+        "messages/m": round(result.messages / topology.num_edges, 2),
+    }
+    record(benchmark, "thm4.1_adversarial_wakeup", rows)
+    assert result.has_unique_leader

@@ -1,0 +1,60 @@
+"""Theorem 4.4(B) — O(D) time, O(m) messages, success >= 1 - ε.
+
+Two regenerated series: (a) messages/m flat across an n sweep at fixed
+ε (the O(m) claim), and (b) measured success rate beating 1 - ε across
+ε at fixed n (the probability claim, f(n) = 4·ln(1/ε)).
+"""
+
+from repro.analysis import ratio_band, run_trials
+from repro.core import CandidateElection, constant_candidates
+from repro.graphs import erdos_renyi
+
+from _util import once, record
+
+SIZES = [32, 64, 128, 256]
+EPSILONS = [0.25, 0.1, 0.05]
+
+
+def bench_theorem_4_4b_flat_messages(benchmark):
+    topologies = [erdos_renyi(n, target_edges=4 * n, seed=17) for n in SIZES]
+
+    def experiment():
+        return [run_trials(t, lambda: CandidateElection(constant_candidates(0.1)),
+                           trials=10, seed=19, knowledge_keys=("n",))
+                for t in topologies]
+
+    sweep = once(benchmark, experiment)
+    ms = [t.num_edges for t in topologies]
+    band = ratio_band(ms, [s.messages.mean for s in sweep])
+    rows = {
+        "n": SIZES,
+        "m": ms,
+        "messages/m (claim: flat)": [round(s.messages.mean / m, 2)
+                                     for s, m in zip(sweep, ms)],
+        "flatness band max/min": round(band.spread, 2),
+        "success rate": [s.success_rate for s in sweep],
+    }
+    record(benchmark, "thm4.4b_flat_messages", rows)
+    assert band.spread < 2.0  # O(m): ratio stays in a constant band
+
+
+def bench_theorem_4_4b_epsilon_sweep(benchmark):
+    topology = erdos_renyi(64, target_edges=4 * 64, seed=23)
+
+    def experiment():
+        return [run_trials(topology,
+                           lambda: CandidateElection(constant_candidates(eps)),
+                           trials=40, seed=29, knowledge_keys=("n",))
+                for eps in EPSILONS]
+
+    sweep = once(benchmark, experiment)
+    rows = {
+        "epsilon": EPSILONS,
+        "claimed success >= ": [round(1 - e, 3) for e in EPSILONS],
+        "measured success": [s.success_rate for s in sweep],
+        "messages/m": [round(s.messages.mean / topology.num_edges, 2)
+                       for s in sweep],
+    }
+    record(benchmark, "thm4.4b_epsilon", rows)
+    for eps, stats in zip(EPSILONS, sweep):
+        assert stats.success_rate >= 1 - eps - 0.05  # sampling slack

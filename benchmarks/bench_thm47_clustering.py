@@ -1,0 +1,58 @@
+"""Theorem 4.7 — Algorithm 1: O(D log n) time, O(m + n log n) messages.
+
+Regenerates the row on dense graphs where the sparsification pays off:
+messages tracked against the m + n·log n budget, rounds against
+D·log n, and the head-to-head against plain least-element election
+(the paper's motivation: better worst-case messages at a small time
+penalty).
+"""
+
+import math
+
+from repro.analysis import run_trials
+from repro.core import ClusteringElection, LeastElementElection
+from repro.graphs import erdos_renyi
+
+from _util import once, record
+
+SIZES = [48, 96, 192]
+
+
+def bench_theorem_4_7_clustering(benchmark):
+    topologies = [erdos_renyi(n, target_edges=int(n ** 1.6), seed=61)
+                  for n in SIZES]
+
+    def experiment():
+        clustered = [run_trials(t, ClusteringElection, trials=6, seed=67,
+                                knowledge_keys=("n",))
+                     for t in topologies]
+        plain = [run_trials(t, LeastElementElection, trials=6, seed=67,
+                            knowledge_keys=("n",))
+                 for t in topologies]
+        return clustered, plain
+
+    clustered, plain = once(benchmark, experiment)
+    budgets = [t.num_edges + t.num_nodes * math.log2(t.num_nodes)
+               for t in topologies]
+    rows = {
+        "n": SIZES,
+        "m (~n^1.6)": [t.num_edges for t in topologies],
+        "clustering messages / (m + n log n)": [
+            round(c.messages.mean / b, 2) for c, b in zip(clustered, budgets)],
+        "plain least-el messages / (m + n log n)": [
+            round(p.messages.mean / b, 2) for p, b in zip(plain, budgets)],
+        "clustering rounds / (D log n)": [
+            round(c.rounds.mean / (t.diameter() * math.log2(t.num_nodes)), 2)
+            for c, t in zip(clustered, topologies)],
+        "plain rounds / D": [
+            round(p.rounds.mean / t.diameter(), 2)
+            for p, t in zip(plain, topologies)],
+        "success rate (whp)": [c.success_rate for c in clustered],
+    }
+    record(benchmark, "thm4.7_clustering", rows)
+    assert all(c.success_rate >= 0.8 for c in clustered)
+    # The trade-off's shape: clustering wins messages on the densest
+    # instance, and pays a bounded time factor for it.
+    assert clustered[-1].messages.mean < plain[-1].messages.mean
+    ratios = [c.messages.mean / b for c, b in zip(clustered, budgets)]
+    assert max(ratios) / min(ratios) < 3.0  # Theta(m + n log n) band

@@ -1,0 +1,43 @@
+"""Section 1's motivating example — the zero-message 1/n election.
+
+Regenerates the introduction's calculation: electing with probability
+1/n succeeds with probability n·(1/n)(1-1/n)^(n-1) ≈ 1/e ≈ 0.368 while
+sending zero messages in zero rounds — the reason the paper's lower
+bounds must require a *large* constant success probability (> 53/56
+for messages, ~15/16 for time).
+"""
+
+from repro.core import TrivialSelfElection
+from repro.graphs import Network, complete
+from repro.sim import Simulator
+
+from _util import once, record
+
+TRIALS = 2000
+
+
+def bench_intro_trivial_election(benchmark):
+    topology = complete(50)
+
+    def experiment():
+        successes = 0
+        for seed in range(TRIALS):
+            net = Network.build(topology, seed=seed)
+            result = Simulator(net, TrivialSelfElection, seed=seed,
+                               knowledge={"n": 50}).run()
+            assert result.messages == 0 and result.rounds == 0
+            successes += result.num_leaders == 1
+        return successes / TRIALS
+
+    rate = once(benchmark, experiment)
+    rows = {
+        "n": 50,
+        "trials": TRIALS,
+        "messages per run": 0,
+        "rounds per run": 0,
+        "measured success rate": round(rate, 4),
+        "paper's 1/e claim": 0.3679,
+        "lower-bound thresholds it stays below": "53/56 = 0.946, 15/16 = 0.938",
+    }
+    record(benchmark, "intro_trivial", rows)
+    assert 0.32 <= rate <= 0.42

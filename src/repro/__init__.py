@@ -1,0 +1,28 @@
+"""repro — reproduction of "On the Complexity of Universal Leader Election"
+(Kutten, Pandurangan, Peleg, Robinson, Trehan; PODC 2013 / JACM 2015).
+
+Public API tour:
+
+* :mod:`repro.sim` — synchronous CONGEST/LOCAL network simulator.
+* :mod:`repro.graphs` — topologies, concrete networks, and the paper's
+  lower-bound constructions (dumbbells, clique-cycles).
+* :mod:`repro.core` — every algorithm of Section 4 plus baselines.
+* :mod:`repro.lower_bounds` — the Section 3 experiment harnesses.
+* :mod:`repro.analysis` — verification, statistics, scaling fits, and
+  the Table 1 reproduction.
+
+Quickstart::
+
+    from repro import elect_leader
+    from repro.graphs import erdos_renyi
+
+    result = elect_leader(erdos_renyi(100, 0.1), algorithm="least-el")
+    print(result.leader_uid, result.rounds, result.messages)
+"""
+
+from .api import ALGORITHMS, elect_leader, make_network, run_algorithm
+
+__version__ = "1.0.0"
+
+__all__ = ["ALGORITHMS", "elect_leader", "make_network", "run_algorithm",
+           "__version__"]

@@ -1,0 +1,27 @@
+"""Verification, statistics, scaling fits, Table 1 renderer (system S8)."""
+
+from .fitting import PowerLawFit, RatioBand, doubling_ratios, power_law_fit, ratio_band
+from .stats import Summary, TrialStats, run_trials
+from .tables import reproduce_table1
+from .verify import (
+    assert_unique_leader,
+    election_outcome,
+    is_valid_election,
+    leaders_agree,
+)
+
+__all__ = [
+    "PowerLawFit",
+    "RatioBand",
+    "Summary",
+    "TrialStats",
+    "assert_unique_leader",
+    "doubling_ratios",
+    "election_outcome",
+    "is_valid_election",
+    "leaders_agree",
+    "power_law_fit",
+    "ratio_band",
+    "reproduce_table1",
+    "run_trials",
+]

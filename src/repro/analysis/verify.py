@@ -1,0 +1,53 @@
+"""Correctness checks for election outcomes (Section 2's definition)."""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict
+
+from ..sim.errors import ElectionFailure
+from ..sim.scheduler import RunResult
+from ..sim.status import Status
+
+
+def election_outcome(result: RunResult) -> Dict[str, int]:
+    """Status histogram of a finished run."""
+    counts = Counter(s for s in result.statuses)
+    return {
+        "elected": counts.get(Status.ELECTED, 0),
+        "non_elected": counts.get(Status.NON_ELECTED, 0),
+        "undecided": counts.get(Status.UNDECIDED, 0),
+    }
+
+
+def is_valid_election(result: RunResult) -> bool:
+    """Exactly one ELECTED node, everyone else NON_ELECTED (Section 2)."""
+    outcome = election_outcome(result)
+    return outcome["elected"] == 1 and outcome["undecided"] == 0
+
+
+def assert_unique_leader(result: RunResult, context: str = "") -> int:
+    """Raise :class:`ElectionFailure` unless the run elected uniquely.
+
+    Returns the leader's node index on success.
+    """
+    if not is_valid_election(result):
+        outcome = election_outcome(result)
+        raise ElectionFailure(
+            f"{context or 'election'}: expected a unique leader, got "
+            f"{outcome['elected']} elected / {outcome['undecided']} undecided "
+            f"(truncated={result.truncated})")
+    return result.elected_indices[0]
+
+
+def leaders_agree(result: RunResult) -> bool:
+    """Every node that reported a ``leader_uid`` output names the same
+    node, and it is the elected one (the explicit-election property)."""
+    if result.num_leaders != 1:
+        return False
+    leader_uid = result.leader_uid
+    for output in result.outputs:
+        reported = output.get("leader_uid")
+        if reported is not None and reported != leader_uid:
+            return False
+    return True

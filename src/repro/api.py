@@ -1,0 +1,157 @@
+"""High-level convenience API.
+
+The library's primitive workflow is explicit::
+
+    network = Network.build(topology, seed=1)
+    sim = Simulator(network, lambda: LeastElementElection(), seed=2,
+                    knowledge={"n": topology.num_nodes})
+    result = sim.run()
+
+This module wraps that in one call for scripts and examples, with a
+string registry of every algorithm in the suite and automatic knowledge
+wiring per Table 1's "Knowledge" column.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Mapping, Optional, Union
+
+from .graphs.network import Network
+from .graphs.topology import Topology
+from .sim.process import NodeProcess
+from .sim.scheduler import RunResult, Simulator
+from .sim.wakeup import WakeupModel
+
+
+class AlgorithmSpec:
+    """Registry entry: how to build a process and what it must know."""
+
+    def __init__(self, factory: Callable[[], NodeProcess],
+                 needs: tuple = (), description: str = "") -> None:
+        self.factory = factory
+        self.needs = needs
+        self.description = description
+
+
+def _registry() -> Dict[str, AlgorithmSpec]:
+    # Imports are local so that `import repro` stays cheap and so the
+    # registry always reflects the full installed suite.
+    from .core.candidate_le import CandidateElection, log_candidates, constant_candidates
+    from .core.clustering import ClusteringElection
+    from .core.dfs_agent import DfsAgentElection
+    from .core.flood_max import FloodMaxElection
+    from .core.kingdom import KingdomElection, KnownDiameterKingdomElection
+    from .core.las_vegas import RestartingElection
+    from .core.least_el import LeastElementElection
+    from .core.size_estimation import SizeEstimationElection
+    from .core.spanner_le import SpannerElection
+    from .core.trivial import TrivialSelfElection
+
+    return {
+        "flood-max": AlgorithmSpec(
+            FloodMaxElection, needs=("n",),
+            description="O(D)-time baseline (Peleg [20]); floods the max ID."),
+        "dfs-agent": AlgorithmSpec(
+            DfsAgentElection, needs=(),
+            description="Theorem 4.1: deterministic O(m) messages, unbounded time."),
+        "least-el": AlgorithmSpec(
+            LeastElementElection, needs=("n",),
+            description="Least-element lists [11]: O(D) time, O(m log n) messages."),
+        "candidate": AlgorithmSpec(
+            lambda: CandidateElection(log_candidates), needs=("n",),
+            description="Theorem 4.4(A): f=Θ(log n) candidates; O(m log log n) msgs."),
+        "candidate-constant": AlgorithmSpec(
+            lambda: CandidateElection(constant_candidates(0.05)), needs=("n",),
+            description="Theorem 4.4(B): f=Θ(1); O(m) messages, success 1-ε."),
+        "size-estimation": AlgorithmSpec(
+            SizeEstimationElection, needs=(),
+            description="Corollary 4.5: no knowledge; Las Vegas via n-estimation."),
+        "las-vegas": AlgorithmSpec(
+            RestartingElection, needs=("n", "D"),
+            description="Corollary 4.6: knows n and D; expected O(D)/O(m)."),
+        "spanner": AlgorithmSpec(
+            SpannerElection, needs=("n",),
+            description="Corollary 4.2: Baswana-Sen spanner + election; O(m) msgs on dense graphs."),
+        "clustering": AlgorithmSpec(
+            ClusteringElection, needs=("n",),
+            description="Theorem 4.7 / Algorithm 1: O(D log n) time, O(m + n log n) msgs."),
+        "kingdom": AlgorithmSpec(
+            KingdomElection, needs=(),
+            description="Theorem 4.10 / Algorithm 2: deterministic O(D log n)/O(m log n)."),
+        "kingdom-known-d": AlgorithmSpec(
+            KnownDiameterKingdomElection, needs=("D",),
+            description="Section 4.3 simplified kingdom variant with known D."),
+        "trivial": AlgorithmSpec(
+            TrivialSelfElection, needs=("n",),
+            description="Intro example: self-elect w.p. 1/n; 0 messages, succ ≈ 1/e."),
+    }
+
+
+#: Public name → spec mapping (built on first use).
+ALGORITHMS: Dict[str, AlgorithmSpec] = {}
+
+
+def _ensure_registry() -> Dict[str, AlgorithmSpec]:
+    if not ALGORITHMS:
+        ALGORITHMS.update(_registry())
+    return ALGORITHMS
+
+
+def make_network(graph: Union[Topology, Network], *, seed: int = 0) -> Network:
+    """Promote a bare topology into a concrete network (IDs + ports)."""
+    if isinstance(graph, Network):
+        return graph
+    return Network.build(graph, seed=seed)
+
+
+def _auto_knowledge(network: Network, needs: tuple,
+                    given: Optional[Mapping[str, int]]) -> Dict[str, int]:
+    knowledge: Dict[str, int] = dict(given or {})
+    for key in needs:
+        if key in knowledge:
+            continue
+        if key == "n":
+            knowledge["n"] = network.num_nodes
+        elif key == "m":
+            knowledge["m"] = network.num_edges
+        elif key == "D":
+            knowledge["D"] = network.topology.diameter()
+    return knowledge
+
+
+def run_algorithm(graph: Union[Topology, Network], algorithm: str, *,
+                  seed: int = 0,
+                  knowledge: Optional[Mapping[str, int]] = None,
+                  wakeup: Optional[WakeupModel] = None,
+                  max_rounds: Optional[int] = None) -> RunResult:
+    """Run a named algorithm on ``graph`` and return the full result.
+
+    Knowledge required by the algorithm (per Table 1) is computed from
+    the graph automatically unless supplied explicitly.
+    """
+    registry = _ensure_registry()
+    if algorithm not in registry:
+        known = ", ".join(sorted(registry))
+        raise KeyError(f"unknown algorithm {algorithm!r}; choose one of: {known}")
+    spec = registry[algorithm]
+    network = make_network(graph, seed=seed)
+    sim = Simulator(network, spec.factory, seed=seed,
+                    knowledge=_auto_knowledge(network, spec.needs, knowledge),
+                    wakeup=wakeup)
+    return sim.run(max_rounds=max_rounds)
+
+
+def elect_leader(graph: Union[Topology, Network], *,
+                 algorithm: str = "least-el", seed: int = 0,
+                 knowledge: Optional[Mapping[str, int]] = None,
+                 max_rounds: Optional[int] = None) -> RunResult:
+    """One-call leader election; raises if no unique leader emerged."""
+    from .sim.errors import ElectionFailure
+
+    result = run_algorithm(graph, algorithm, seed=seed, knowledge=knowledge,
+                           max_rounds=max_rounds)
+    if not result.has_unique_leader:
+        raise ElectionFailure(
+            f"{algorithm} elected {result.num_leaders} leaders "
+            f"(statuses: {[s.value for s in result.statuses][:10]}...)")
+    return result

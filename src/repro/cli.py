@@ -1,0 +1,198 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``list``
+    Show every algorithm in the registry with its paper result.
+``elect``
+    Run one election (or several trials) on a generated graph.
+``table1``
+    Regenerate the paper's Table 1 at a chosen scale.
+``lower-bound``
+    Run the Theorem 3.1 (messages) or Theorem 3.13 (time) experiment.
+
+Graph specs are compact strings::
+
+    ring:32          path:9        star:10        complete:20
+    grid:5x6         torus:8x8     hypercube:4    regular:12:3
+    er:100:0.08      er:100:m400   lollipop:6:5
+
+Examples::
+
+    python -m repro elect --graph er:100:0.08 --algorithm least-el --trials 5
+    python -m repro table1 --n 64 --trials 5
+    python -m repro lower-bound messages --sweep 14:24 20:48 28:96
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .graphs import (
+    Topology,
+    complete,
+    erdos_renyi,
+    grid,
+    hypercube,
+    lollipop,
+    path,
+    random_regular,
+    ring,
+    star,
+)
+
+
+def parse_graph(spec: str, seed: int = 0) -> Topology:
+    """Parse a compact graph spec (see module docstring)."""
+    parts = spec.split(":")
+    kind = parts[0].lower()
+    try:
+        if kind == "ring":
+            return ring(int(parts[1]))
+        if kind == "path":
+            return path(int(parts[1]))
+        if kind == "star":
+            return star(int(parts[1]))
+        if kind == "complete":
+            return complete(int(parts[1]))
+        if kind in ("grid", "torus"):
+            rows, cols = parts[1].lower().split("x")
+            return grid(int(rows), int(cols), torus=(kind == "torus"))
+        if kind == "hypercube":
+            return hypercube(int(parts[1]))
+        if kind == "regular":
+            return random_regular(int(parts[1]), int(parts[2]), seed=seed)
+        if kind == "lollipop":
+            return lollipop(int(parts[1]), int(parts[2]))
+        if kind == "er":
+            n = int(parts[1])
+            density = parts[2]
+            if density.startswith("m"):
+                return erdos_renyi(n, target_edges=int(density[1:]), seed=seed)
+            return erdos_renyi(n, float(density), seed=seed)
+    except (IndexError, ValueError) as exc:
+        raise SystemExit(f"bad graph spec {spec!r}: {exc}")
+    raise SystemExit(f"unknown graph kind {kind!r} in {spec!r}")
+
+
+# ----------------------------------------------------------------------
+def cmd_list(args: argparse.Namespace) -> int:
+    from .api import _ensure_registry
+
+    registry = _ensure_registry()
+    width = max(len(name) for name in registry)
+    for name in sorted(registry):
+        print(f"{name.ljust(width)}  {registry[name].description}")
+    return 0
+
+
+def cmd_elect(args: argparse.Namespace) -> int:
+    from .analysis import run_trials
+    from .api import _ensure_registry
+
+    topology = parse_graph(args.graph, seed=args.seed)
+    spec = _ensure_registry().get(args.algorithm)
+    if spec is None:
+        raise SystemExit(f"unknown algorithm {args.algorithm!r} "
+                         f"(see `python -m repro list`)")
+    print(f"graph: {topology.name}  n={topology.num_nodes} "
+          f"m={topology.num_edges} D={topology.diameter()}")
+    stats = run_trials(topology, spec.factory, trials=args.trials,
+                       seed=args.seed, knowledge_keys=spec.needs,
+                       max_rounds=args.max_rounds)
+    print(f"algorithm: {args.algorithm}  ({spec.description})")
+    print(f"trials:    {stats.trials}")
+    print(f"success:   {stats.success_rate:.2f}")
+    print(f"messages:  mean={stats.messages.mean:.0f} "
+          f"min={stats.messages.minimum:.0f} max={stats.messages.maximum:.0f}")
+    print(f"rounds:    mean={stats.rounds.mean:.0f} "
+          f"min={stats.rounds.minimum:.0f} max={stats.rounds.maximum:.0f}")
+    return 0 if stats.success_rate > 0 else 1
+
+
+def cmd_table1(args: argparse.Namespace) -> int:
+    from .analysis import reproduce_table1
+
+    table = reproduce_table1(n=args.n, trials=args.trials, seed=args.seed,
+                             progress=lambda msg: print(f"... {msg}",
+                                                        file=sys.stderr))
+    print(table)
+    return 0
+
+
+def cmd_lower_bound(args: argparse.Namespace) -> int:
+    from .core import LeastElementElection
+    from .lower_bounds import crossing_experiment, truncation_experiment
+
+    if args.which == "messages":
+        print("Theorem 3.1: messages before bridge crossing on dumbbells")
+        print(f"{'n':>5} {'m':>6} {'m1':>6} {'mean msgs':>10} {'cost/m1':>8}")
+        for pair in args.sweep:
+            n, m = (int(x) for x in pair.split(":"))
+            exp = crossing_experiment(n, m, LeastElementElection,
+                                      trials=args.trials, seed=args.seed)
+            print(f"{n:>5} {m:>6} {exp.m1:>6} "
+                  f"{exp.mean_messages_before_crossing:>10.1f} "
+                  f"{exp.mean_messages_before_crossing / exp.m1:>8.2f}")
+    else:
+        print("Theorem 3.13: unique-leader probability vs truncation horizon")
+        exp = truncation_experiment(args.n, args.d, LeastElementElection,
+                                    trials=args.trials, seed=args.seed)
+        print(f"clique-cycle: D'={exp.num_cliques}")
+        print(f"{'T':>6} {'T/D_prime':>10} {'P(unique)':>10}")
+        for p in exp.points:
+            print(f"{p.horizon:>6} {p.fraction_of_diameter:>10.2f} "
+                  f"{p.unique_leader_rate:>10.2f}")
+    return 0
+
+
+# ----------------------------------------------------------------------
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Universal leader election (Kutten et al., PODC'13/JACM'15) "
+                    "— reproduction toolkit")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available algorithms")
+
+    elect = sub.add_parser("elect", help="run an election on a graph")
+    elect.add_argument("--graph", required=True,
+                       help="graph spec, e.g. ring:32 or er:100:0.08")
+    elect.add_argument("--algorithm", default="least-el")
+    elect.add_argument("--trials", type=int, default=1)
+    elect.add_argument("--seed", type=int, default=0)
+    elect.add_argument("--max-rounds", type=int, default=10 ** 7)
+
+    table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
+    table1.add_argument("--n", type=int, default=64)
+    table1.add_argument("--trials", type=int, default=5)
+    table1.add_argument("--seed", type=int, default=1)
+
+    lb = sub.add_parser("lower-bound", help="run a Section 3 experiment")
+    lb.add_argument("which", choices=["messages", "time"])
+    lb.add_argument("--sweep", nargs="+", default=["14:24", "20:48", "28:96"],
+                    help="n:m pairs per dumbbell half (messages mode)")
+    lb.add_argument("--n", type=int, default=48)
+    lb.add_argument("--d", type=int, default=16)
+    lb.add_argument("--trials", type=int, default=10)
+    lb.add_argument("--seed", type=int, default=0)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "list": cmd_list,
+        "elect": cmd_elect,
+        "table1": cmd_table1,
+        "lower-bound": cmd_lower_bound,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

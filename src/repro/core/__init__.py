@@ -1,0 +1,67 @@
+"""Leader-election algorithms (system S6 of DESIGN.md).
+
+One module per paper result:
+
+* :mod:`~repro.core.flood_max` — O(D)-time baseline (Peleg [20]).
+* :mod:`~repro.core.dfs_agent` — Theorem 4.1 (deterministic O(m) msgs).
+* :mod:`~repro.core.least_el` — the [11] least-element algorithm.
+* :mod:`~repro.core.candidate_le` — Theorem 4.4 and variants (A)/(B).
+* :mod:`~repro.core.size_estimation` — Corollary 4.5 (no knowledge).
+* :mod:`~repro.core.las_vegas` — Corollary 4.6 (knows n and D).
+* :mod:`~repro.core.spanner_le` — Corollary 4.2 (dense graphs).
+* :mod:`~repro.core.clustering` — Theorem 4.7 / Algorithm 1.
+* :mod:`~repro.core.kingdom` — Theorem 4.10 / Algorithm 2 (+ known-D).
+* :mod:`~repro.core.trivial` — the introduction's 1/n example.
+* :mod:`~repro.core.broadcast` — flooding broadcast (Corollary 3.12).
+* :mod:`~repro.core.waves` — the shared extinction-wave engine.
+"""
+
+from .base import ElectionProcess, optional_knowledge, require_knowledge
+from .broadcast import BroadcastMsg, FloodingBroadcast
+from .candidate_le import (
+    CandidateElection,
+    all_candidates,
+    constant_candidates,
+    log_candidates,
+)
+from .clustering import ClusteringElection, candidate_probability
+from .dfs_agent import DfsAgentElection
+from .flood_max import FloodMaxElection, MaxIdMsg
+from .kingdom import KingdomElection, KnownDiameterKingdomElection
+from .las_vegas import RestartingElection, attempt_period
+from .least_el import LeastElementElection
+from .size_estimation import SizeEstimationElection, sample_geometric
+from .spanner_le import SpannerElection
+from .trivial import TrivialSelfElection
+from .waves import ExtinctionWave, Key, WaveRankMsg, WaveResponseMsg, WaveWinnerMsg
+
+__all__ = [
+    "BroadcastMsg",
+    "CandidateElection",
+    "ClusteringElection",
+    "DfsAgentElection",
+    "ElectionProcess",
+    "ExtinctionWave",
+    "FloodMaxElection",
+    "FloodingBroadcast",
+    "Key",
+    "KingdomElection",
+    "KnownDiameterKingdomElection",
+    "LeastElementElection",
+    "MaxIdMsg",
+    "RestartingElection",
+    "SizeEstimationElection",
+    "SpannerElection",
+    "TrivialSelfElection",
+    "WaveRankMsg",
+    "WaveResponseMsg",
+    "WaveWinnerMsg",
+    "all_candidates",
+    "attempt_period",
+    "candidate_probability",
+    "constant_candidates",
+    "log_candidates",
+    "optional_knowledge",
+    "require_knowledge",
+    "sample_geometric",
+]

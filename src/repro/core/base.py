@@ -1,0 +1,37 @@
+"""Shared bits for the leader-election algorithm suite."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.process import NodeContext, NodeProcess
+
+
+class ElectionProcess(NodeProcess):
+    """Marker base class: a process that solves (implicit) leader election.
+
+    Implicit leader election (Section 1): exactly one node must end with
+    status ELECTED and all others NON_ELECTED; non-leaders need not learn
+    the leader's identity.  Subclasses that also deliver the leader's ID
+    to everyone (the explicit variant) record it in
+    ``ctx.output["leader_uid"]``.
+    """
+
+
+def require_knowledge(ctx: NodeContext, key: str) -> int:
+    """Fetch a required global parameter, with a helpful error if absent.
+
+    Table 1's "Knowledge" column is realized by running the simulator
+    with e.g. ``knowledge={"n": n}``; an algorithm that needs ``n`` calls
+    ``require_knowledge(ctx, "n")``.
+    """
+    value = ctx.knowledge.get(key)
+    if value is None:
+        raise RuntimeError(
+            f"this algorithm requires knowledge of {key!r}; "
+            f"run the Simulator with knowledge={{{key!r}: ...}}")
+    return value
+
+
+def optional_knowledge(ctx: NodeContext, key: str) -> Optional[int]:
+    return ctx.knowledge.get(key)

@@ -1,0 +1,62 @@
+"""Flooding broadcast — the problem of Corollary 3.12.
+
+A single *source* must convey a message to all (or, in the weaker
+majority-broadcast variant, more than half) of the nodes.  Flooding is
+the canonical universal solution: the source sends to all neighbors;
+every node forwards the first copy it receives on all other ports.
+Exactly one message crosses each edge in each direction at most once, so
+the cost is at most 2m messages and the time is the source's
+eccentricity — both optimal for universal algorithms by Corollary 3.12
+and [5].
+
+The lower-bound harness runs this on dumbbell graphs and counts the
+messages sent before the first bridge crossing: since more than half of
+the nodes live across the bridges, majority broadcast *requires* a
+crossing, so the bridge-crossing count lower-bounds the broadcast cost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..sim.message import Payload
+from ..sim.process import Delivery, NodeContext, NodeProcess
+from .base import require_knowledge
+
+
+@dataclass(frozen=True)
+class BroadcastMsg(Payload):
+    """The payload being broadcast (carries the source's ID)."""
+
+    source_uid: int
+
+
+class FloodingBroadcast(NodeProcess):
+    """Broadcast by flooding; the source is selected by knowledge key
+    ``source_uid`` (every node compares its own ID against it).
+
+    Outputs: ``received`` (bool) and ``received_round`` per node.
+    """
+
+    def on_start(self, ctx: NodeContext) -> None:
+        source = require_knowledge(ctx, "source_uid")
+        self._received = False
+        if ctx.uid == source:
+            self._received = True
+            ctx.output["received"] = True
+            ctx.output["received_round"] = ctx.round
+            ctx.broadcast(BroadcastMsg(ctx.uid))
+
+    def on_round(self, ctx: NodeContext, inbox: List[Delivery]) -> None:
+        if self._received or not inbox:
+            return
+        first_port, payload = inbox[0].port, inbox[0].payload
+        assert isinstance(payload, BroadcastMsg)
+        self._received = True
+        ctx.output["received"] = True
+        ctx.output["received_round"] = ctx.round
+        arrived_on = {d.port for d in inbox}
+        for port in ctx.ports:
+            if port not in arrived_on:
+                ctx.send(port, BroadcastMsg(payload.source_uid))

@@ -1,0 +1,118 @@
+"""Theorem 4.4: candidate-based least-element election.
+
+Each node independently becomes a *candidate* with probability
+``f(n)/n`` for a tunable ``f(n) <= n`` with ``f(n) ∈ Ω(1)``; candidates
+draw a random rank from ``[1, n^4]`` and flood it; the smallest rank
+(tie-broken by ID, so the winner is unique whenever at least one
+candidate exists) wins within O(D) rounds.
+
+Expected messages are ``O(m · min(log f(n), D))`` (Lemma 4.3: the
+expected least-element-list length is O(min(log f(n), D))), and the
+algorithm succeeds — i.e., at least one candidate exists — with
+probability ``1 − e^{−Θ(f(n))}``.  The two headline instantiations:
+
+* **Theorem 4.4(A)** — ``f(n) = Θ(log n)``: O(m·min(log log n, D))
+  messages, success with high probability (:func:`log_candidates`).
+* **Theorem 4.4(B)** — ``f(n) = 4·ln(1/ε)``: O(m) messages, success
+  probability at least 1 − ε (:func:`constant_candidates`).
+
+Setting ``f(n) = n`` makes every node a candidate — the plain
+least-element algorithm of [11], packaged separately as
+:class:`repro.core.least_el.LeastElementElection`.
+
+Knowledge: ``n``.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, List, Optional, Tuple
+
+from ..graphs.ids import id_space_size
+from ..sim.process import Delivery, NodeContext
+from .base import ElectionProcess, require_knowledge
+from .waves import ExtinctionWave, Key
+
+#: ``f`` functions map n to the expected number of candidates.
+CandidateCount = Callable[[int], float]
+
+
+def all_candidates(n: int) -> float:
+    """f(n) = n: every node is a candidate (the [11] baseline)."""
+    return float(n)
+
+
+def log_candidates(n: int) -> float:
+    """f(n) = 8·ln n — Theorem 4.4(A) / Algorithm 1's candidate rate."""
+    return 8.0 * math.log(max(2, n))
+
+
+def constant_candidates(epsilon: float) -> CandidateCount:
+    """f(n) = 4·ln(1/ε) — Theorem 4.4(B): O(m) messages, success >= 1-ε."""
+    if not 0.0 < epsilon < 1.0:
+        raise ValueError("epsilon must lie in (0, 1)")
+    value = 4.0 * math.log(1.0 / epsilon)
+
+    def f(n: int) -> float:
+        return value
+
+    return f
+
+
+class CandidateElection(ElectionProcess):
+    """Monte Carlo election with ``f(n)`` expected candidates.
+
+    The election may fail only by having zero candidates, in which case
+    no messages are ever sent and every node stays UNDECIDED — the
+    experiment harness counts such runs as failures, matching the
+    Theorem 4.4 success-probability accounting.
+    """
+
+    #: Message tag for the single wave phase.
+    TAG = "thm44"
+
+    def __init__(self, f: CandidateCount = all_candidates, *,
+                 rank_space: Optional[int] = None) -> None:
+        self._f = f
+        self._rank_space = rank_space
+        self._wave: Optional[ExtinctionWave] = None
+
+    # ------------------------------------------------------------------
+    def choose_candidacy(self, ctx: NodeContext, n: int) -> bool:
+        probability = min(1.0, self._f(n) / n)
+        return ctx.rng.random() < probability
+
+    def draw_key(self, ctx: NodeContext, n: int) -> Key:
+        space = self._rank_space if self._rank_space is not None else id_space_size(n)
+        rank = ctx.rng.randint(1, space)
+        return (rank, ctx.uid)
+
+    # ------------------------------------------------------------------
+    def on_start(self, ctx: NodeContext) -> None:
+        n = require_knowledge(ctx, "n")
+        is_candidate = self.choose_candidacy(ctx, n)
+        ctx.output["candidate"] = is_candidate
+        key = self.draw_key(ctx, n) if is_candidate else None
+        self._wave = ExtinctionWave(
+            self.TAG, list(ctx.ports), key,
+            on_won=self._won, on_finished=self._finished)
+        self._wave.start(ctx)
+
+    def on_round(self, ctx: NodeContext, inbox: List[Delivery]) -> None:
+        assert self._wave is not None
+        leftover = self._wave.handle(ctx, inbox)
+        assert not leftover, f"unexpected messages: {leftover}"
+
+    # ------------------------------------------------------------------
+    def _won(self, ctx: NodeContext) -> Tuple[int, ...]:
+        ctx.elect()
+        return ()
+
+    def _finished(self, ctx: NodeContext, key: Key, data: Tuple[int, ...],
+                  is_winner: bool) -> None:
+        assert self._wave is not None
+        if not is_winner:
+            ctx.set_non_elected()
+        ctx.output["leader_uid"] = key[-1]
+        ctx.output["le_size"] = self._wave.adoptions
+        ctx.halt()

@@ -1,0 +1,225 @@
+"""Theorem 4.1: deterministic O(m)-message election, unbounded time.
+
+The paper generalizes Frederickson–Lynch's ring algorithm [8]: every
+node launches an *annexing agent* carrying its ID that performs a depth-
+first traversal of the whole graph, but an agent with ID ``i`` takes one
+DFS step only every ``2^i`` rounds.  Agents die on contact with the
+territory of a smaller-ID agent:
+
+* every node remembers the smallest agent ID that ever visited it; an
+  agent arriving at a node marked by a smaller ID is destroyed;
+* an agent waiting at a node is destroyed when a smaller-ID agent
+  arrives there.
+
+The agent with the globally smallest ID ``i_min`` is never destroyed; it
+completes its DFS in O(m) steps (each edge is explored at most once per
+direction and retreated over as often), i.e. around ``O(m · 2^{i_min})``
+*rounds*, and its home node elects itself.  Every other agent moves at
+most half as often as the next-smaller one before dying, so the total
+number of agent messages is a geometric series summing to O(m).
+
+To support adversarial wakeup the algorithm is preceded by the paper's
+wakeup phase: spontaneously woken nodes flood a WAKE message (<= 2m
+messages, <= D rounds).  A terminating leader floods FINISH so every
+node decides — another <= 2m messages, keeping the total O(m).
+
+The exponential waiting times are executed *exactly*: the simulator's
+event-driven scheduler jumps between rounds, and Python integers keep
+the round arithmetic precise even at round ``2^{n^4}``.  Be aware that a
+waiting agent with ID ``i`` costs O(i) bits for its alarm entry, so
+experiments use moderate ID magnitudes (the message complexity — the
+quantity Theorem 4.1 bounds — is independent of the ID values).
+
+Knowledge: none.  Deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..sim.message import Payload
+from ..sim.process import Delivery, NodeContext
+from .base import ElectionProcess
+
+
+@dataclass(frozen=True)
+class WakeMsg(Payload):
+    """Wakeup-phase flood (carries nothing)."""
+
+
+@dataclass(frozen=True)
+class AgentMoveMsg(Payload):
+    """The annexing agent traversing one edge.
+
+    ``explore`` distinguishes a forward annexation step from a retreat
+    (bounce off visited territory, or backtrack after finishing a
+    subtree).  ``start_round`` anchors the agent's 2^ID step grid.
+    """
+
+    agent_id: int
+    start_round: int
+    explore: bool
+
+
+@dataclass(frozen=True)
+class FinishMsg(Payload):
+    """Flooded by the elected leader so every node decides and halts."""
+
+    leader_uid: int
+
+
+@dataclass
+class AgentVisit:
+    """Per-agent DFS state kept at a node the agent has visited."""
+
+    parent_port: Optional[int]       # None at the agent's home node
+    start_round: int
+    tried: Set[int] = field(default_factory=set)
+    waiting: bool = False            # the agent currently sits here
+    retreat_port: Optional[int] = None  # pending bounce direction
+
+
+class DfsAgentElection(ElectionProcess):
+    """Deterministic O(m) messages; time exponential in the smallest ID."""
+
+    def __init__(self) -> None:
+        self._visits: Dict[int, AgentVisit] = {}
+        self._min_seen: Optional[int] = None
+        self._woken_neighbors = False
+        self._decided = False
+
+    # ------------------------------------------------------------------
+    # Wakeup phase
+    # ------------------------------------------------------------------
+    def on_start(self, ctx: NodeContext) -> None:
+        # Flood WAKE so sleeping nodes join (paper's wakeup phase); under
+        # simultaneous wakeup this costs 2m messages and changes nothing.
+        ctx.broadcast(WakeMsg())
+        self._woken_neighbors = True
+        # Launch our own agent, waiting at home.
+        self._visits[ctx.uid] = AgentVisit(parent_port=None,
+                                           start_round=ctx.round, waiting=True)
+        self._min_seen = ctx.uid
+        if ctx.degree == 0:
+            ctx.elect()
+            ctx.halt()
+            return
+        self._schedule_step(ctx, ctx.uid)
+
+    # ------------------------------------------------------------------
+    # Stepping discipline: agent `a` moves at rounds start + k·2^a.
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _next_step_round(agent_id: int, start_round: int, now: int) -> int:
+        period = 1 << agent_id
+        elapsed = now - start_round
+        k = elapsed // period + 1
+        return start_round + k * period
+
+    def _schedule_step(self, ctx: NodeContext, agent_id: int) -> None:
+        visit = self._visits[agent_id]
+        ctx.set_alarm_at(self._next_step_round(agent_id, visit.start_round,
+                                               ctx.round))
+
+    # ------------------------------------------------------------------
+    def on_round(self, ctx: NodeContext, inbox: List[Delivery]) -> None:
+        if self._decided:
+            return
+        for port, payload in inbox:
+            if isinstance(payload, WakeMsg):
+                continue  # our own broadcast already went out in on_start
+            if isinstance(payload, FinishMsg):
+                self._finish(ctx, port, payload)
+                return
+            assert isinstance(payload, AgentMoveMsg)
+            self._agent_arrives(ctx, port, payload)
+        if not self._decided:
+            self._fire_due_steps(ctx)
+
+    # ------------------------------------------------------------------
+    def _agent_arrives(self, ctx: NodeContext, port: int,
+                       msg: AgentMoveMsg) -> None:
+        a = msg.agent_id
+        if msg.explore:
+            if self._min_seen is not None and a > self._min_seen:
+                return  # marked by a smaller agent: destroyed on arrival
+            # The smaller arrival destroys any larger agents waiting here.
+            self._destroy_larger_waiting(a)
+            self._min_seen = a if self._min_seen is None else min(self._min_seen, a)
+            visit = self._visits.get(a)
+            if visit is None:
+                # Fresh territory: annex it and continue the DFS here.
+                self._visits[a] = AgentVisit(parent_port=port,
+                                             start_round=msg.start_round,
+                                             waiting=True)
+            else:
+                # Already visited by this very agent: bounce straight
+                # back (as the agent's next rate-limited step).
+                visit.waiting = True
+                visit.retreat_port = port
+            self._schedule_step(ctx, a)
+        else:
+            # The agent retreats to us over the edge it originally left by.
+            visit = self._visits.get(a)
+            if visit is None:
+                return  # its state here was wiped by a smaller agent
+            if self._min_seen is not None and a > self._min_seen:
+                return  # territory fell to a smaller agent meanwhile
+            visit.waiting = True
+            self._schedule_step(ctx, a)
+
+    def _destroy_larger_waiting(self, arriving_id: int) -> None:
+        for other_id, visit in self._visits.items():
+            if other_id > arriving_id and visit.waiting:
+                visit.waiting = False
+
+    # ------------------------------------------------------------------
+    def _fire_due_steps(self, ctx: NodeContext) -> None:
+        for a in sorted(self._visits):
+            visit = self._visits[a]
+            if not visit.waiting:
+                continue
+            if self._min_seen is not None and a > self._min_seen:
+                visit.waiting = False  # overrun while waiting
+                continue
+            due = (ctx.round - visit.start_round) % (1 << a) == 0
+            if not due or ctx.round == visit.start_round:
+                continue
+            self._step_agent(ctx, a, visit)
+            if self._decided:
+                return
+
+    def _step_agent(self, ctx: NodeContext, a: int, visit: AgentVisit) -> None:
+        visit.waiting = False
+        if visit.retreat_port is not None:
+            port, visit.retreat_port = visit.retreat_port, None
+            ctx.send(port, AgentMoveMsg(a, visit.start_round, explore=False))
+            return
+        for port in ctx.ports:
+            if port not in visit.tried and port != visit.parent_port:
+                visit.tried.add(port)
+                ctx.send(port, AgentMoveMsg(a, visit.start_round, explore=True))
+                return
+        # All ports exhausted: backtrack, or finish if we are home.
+        if visit.parent_port is not None:
+            ctx.send(visit.parent_port,
+                     AgentMoveMsg(a, visit.start_round, explore=False))
+            return
+        # The agent is home with a complete DFS: its owner leads.
+        assert a == ctx.uid
+        self._decided = True
+        ctx.elect()
+        ctx.output["leader_uid"] = ctx.uid
+        ctx.broadcast(FinishMsg(ctx.uid))
+        ctx.halt()
+
+    # ------------------------------------------------------------------
+    def _finish(self, ctx: NodeContext, port: int, msg: FinishMsg) -> None:
+        self._decided = True
+        ctx.set_non_elected()
+        ctx.output["leader_uid"] = msg.leader_uid
+        for p in ctx.ports:
+            if p != port:
+                ctx.send(p, FinishMsg(msg.leader_uid))
+        ctx.halt()

@@ -1,0 +1,114 @@
+"""Corollary 4.6: Las Vegas election with knowledge of n and D.
+
+Run the Theorem 4.4 Monte Carlo election with a constant expected
+number of candidates (``f(n) = Θ(1)``), and let every node restart it
+with fresh coins whenever a known-safe deadline of Θ(D) rounds passes
+without a leader announcement (the paper: "restart the algorithm if no
+messages were received during Θ(D) rounds").
+
+Each attempt fails only when zero candidates were sampled — probability
+``e^{-Θ(1)}`` — so the expected number of attempts is constant, giving
+expected O(D) time and expected O(m) messages, with success probability
+1 (the algorithm never terminates wrongly; it only ever retries).
+
+Attempts are cleanly separated: with simultaneous wakeup all nodes share
+the same absolute deadlines, and every wave message carries its attempt
+number in the tag, so a straggler message from a dead attempt is
+recognized and dropped.
+
+Knowledge: ``n`` and ``D``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..graphs.ids import id_space_size
+from ..sim.process import Delivery, NodeContext
+from .base import ElectionProcess, require_knowledge
+from .waves import ExtinctionWave, Key, WaveRankMsg, WaveResponseMsg, WaveWinnerMsg
+
+#: Expected number of candidates per attempt; success probability per
+#: attempt is 1 - e^-f ≈ 0.98.
+DEFAULT_F = 4.0
+
+
+def attempt_period(d: int) -> int:
+    """Rounds per attempt: flood (<= D) + feedback (<= 2D) + winner
+    broadcast (<= D) + slack."""
+    return 4 * max(1, d) + 8
+
+
+class RestartingElection(ElectionProcess):
+    """Expected-O(D)/O(m) Las Vegas election (Corollary 4.6)."""
+
+    TAG_PREFIX = "cor46"
+
+    def __init__(self, f: float = DEFAULT_F) -> None:
+        self._f = f
+        self._wave: Optional[ExtinctionWave] = None
+        self._attempt = -1
+        self._decided = False
+        self._deadline = 0
+
+    # ------------------------------------------------------------------
+    def _tag(self) -> str:
+        return f"{self.TAG_PREFIX}:{self._attempt}"
+
+    def on_start(self, ctx: NodeContext) -> None:
+        self._n = require_knowledge(ctx, "n")
+        self._d = require_knowledge(ctx, "D")
+        self._begin_attempt(ctx)
+
+    def _begin_attempt(self, ctx: NodeContext) -> None:
+        self._attempt += 1
+        ctx.output["attempts"] = self._attempt + 1
+        is_candidate = ctx.rng.random() < min(1.0, self._f / self._n)
+        key: Optional[Key] = None
+        if is_candidate:
+            key = (ctx.rng.randint(1, id_space_size(self._n)), ctx.uid)
+        self._wave = ExtinctionWave(
+            self._tag(), list(ctx.ports), key,
+            on_won=self._won, on_finished=self._finished)
+        self._wave.start(ctx)
+        self._deadline = ctx.round + attempt_period(self._d)
+        ctx.set_alarm_at(self._deadline)
+
+    # ------------------------------------------------------------------
+    def on_round(self, ctx: NodeContext, inbox: List[Delivery]) -> None:
+        if self._decided:
+            return
+        current: List[Delivery] = []
+        for delivery in inbox:
+            payload = delivery.payload
+            if isinstance(payload, (WaveRankMsg, WaveResponseMsg, WaveWinnerMsg)):
+                if payload.tag == self._tag():
+                    current.append(delivery)
+                # else: straggler from an abandoned attempt — drop.
+            else:
+                raise AssertionError(f"unexpected payload {payload!r}")
+        assert self._wave is not None
+        self._wave.handle(ctx, current)
+        if self._decided:
+            return
+        # Deadline check: an alarm fires exactly one period after the
+        # attempt began (other alarms — e.g. deferred-send flushes — can
+        # activate us earlier, so compare rounds explicitly).  If the
+        # wave has not finished by the deadline, the attempt had no
+        # candidates: restart with fresh coins, synchronously at every
+        # node (all deadlines are the same absolute round).
+        if ctx.round >= self._deadline and not self._wave.finished:
+            self._begin_attempt(ctx)
+
+    # ------------------------------------------------------------------
+    def _won(self, ctx: NodeContext) -> Tuple[int, ...]:
+        ctx.elect()
+        return ()
+
+    def _finished(self, ctx: NodeContext, key: Key, data: Tuple[int, ...],
+                  is_winner: bool) -> None:
+        if not is_winner:
+            ctx.set_non_elected()
+        ctx.output["leader_uid"] = key[-1]
+        self._decided = True
+        ctx.halt()

@@ -1,0 +1,28 @@
+"""The least-element-list election of Khan et al. [11] (Section 4.2).
+
+Every node is a candidate: it draws a random rank from ``[1, n^4]`` and
+floods it; a node forwards each strict improvement of its least-element
+list exactly once and echoes everything else.  The unique global-minimum
+(rank, ID) pair wins after O(D) rounds; the expected list length is
+O(log n) per node, giving O(m log n) messages — w.h.p. bounds per the
+paper's discussion preceding Corollary 4.2.
+
+This is :class:`repro.core.candidate_le.CandidateElection` with
+``f(n) = n`` and succeeds with probability 1 (at least one candidate
+always exists, and (rank, ID) ties are impossible).
+
+Knowledge: ``n`` (for the rank domain only — Corollary 4.5 removes it).
+"""
+
+from __future__ import annotations
+
+from .candidate_le import CandidateElection, all_candidates
+
+
+class LeastElementElection(CandidateElection):
+    """O(D)-time, O(m log n)-message election; always succeeds."""
+
+    TAG = "least-el"
+
+    def __init__(self) -> None:
+        super().__init__(all_candidates)

@@ -1,0 +1,104 @@
+"""Corollary 4.5: leader election with **no** global knowledge.
+
+Protocol (Section 4.2):
+
+* **Phase 1 — size estimation.**  Every node flips a fair coin until it
+  shows heads; ``X_u`` is the number of flips.  The network computes
+  ``X̄ = max_u X_u`` by flooding (each node forwards only improvements),
+  with the same echo/feedback termination as the election wave.  W.h.p.
+  ``log2 n − log2 log n <= X̄ <= 2·log2 n``, so ``n̂ = 2^X̄`` satisfies
+  ``n̂ ∈ Ω(n / log n) ∩ O(n²)``, and each node forwards only O(log n)
+  distinct values — O(m log n) messages, O(D) time.
+* **Phase 2 — election.**  Run the least-element algorithm with every
+  node a candidate, ranks drawn from ``[1, n̂^4]``, and the preassigned
+  unique IDs breaking rank ties.  The (rank, ID) pair is always unique,
+  so exactly one leader is elected — a Las Vegas algorithm (succeeds
+  with probability 1) with O(D) time and O(m·min(log n, D)) messages
+  w.h.p.
+
+Both phases are instances of :class:`repro.core.waves.ExtinctionWave`;
+phase 1's winner ships ``X̄`` to everyone in its winner broadcast, and
+each node starts phase 2 the moment the broadcast reaches it (the wave
+protocol is tolerant to the ≤ 1-round start skew between neighbors).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..sim.process import Delivery, NodeContext
+from .base import ElectionProcess
+from .waves import ExtinctionWave, Key
+
+TAG_ESTIMATE = "cor45-estimate"
+TAG_ELECT = "cor45-elect"
+
+
+def sample_geometric(ctx: NodeContext) -> int:
+    """Flips until the first heads (support {1, 2, ...}, mean 2)."""
+    flips = 1
+    while ctx.rng.random() < 0.5:
+        flips += 1
+    return flips
+
+
+class SizeEstimationElection(ElectionProcess):
+    """Las Vegas election without knowledge of n (Corollary 4.5)."""
+
+    def __init__(self) -> None:
+        self._phase1: Optional[ExtinctionWave] = None
+        self._phase2: Optional[ExtinctionWave] = None
+        self._stash: List[Delivery] = []
+        self._x: int = 0
+
+    # ------------------------------------------------------------------
+    def on_start(self, ctx: NodeContext) -> None:
+        self._x = sample_geometric(ctx)
+        ctx.output["x"] = self._x
+        # Maximum wins: negate so the wave's min-key convention applies.
+        key: Key = (-self._x, ctx.uid)
+        self._phase1 = ExtinctionWave(
+            TAG_ESTIMATE, list(ctx.ports), key,
+            on_won=self._phase1_won, on_finished=self._phase1_finished)
+        self._phase1.start(ctx)
+
+    def on_round(self, ctx: NodeContext, inbox: List[Delivery]) -> None:
+        assert self._phase1 is not None
+        leftover = self._phase1.handle(ctx, inbox)
+        if self._phase2 is None:
+            # Phase-2 traffic can arrive in the same round that our own
+            # phase-1 winner broadcast does; in that case handling the
+            # phase-1 messages above has already created phase 2 (via
+            # _phase1_finished), so this stash is normally empty.
+            self._stash.extend(leftover)
+            leftover = []
+        if self._phase2 is not None:
+            pending, self._stash = self._stash + leftover, []
+            rest = self._phase2.handle(ctx, pending)
+            assert not rest, f"unexpected messages: {rest}"
+
+    # ------------------------------------------------------------------
+    def _phase1_won(self, ctx: NodeContext) -> Tuple[int, ...]:
+        return (self._x,)
+
+    def _phase1_finished(self, ctx: NodeContext, key: Key,
+                         data: Tuple[int, ...], is_winner: bool) -> None:
+        x_bar = data[0] if data else self._x
+        n_hat = 2 ** x_bar
+        ctx.output["n_estimate"] = n_hat
+        rank = ctx.rng.randint(1, max(2, n_hat ** 4))
+        self._phase2 = ExtinctionWave(
+            TAG_ELECT, list(ctx.ports), (rank, ctx.uid),
+            on_won=self._phase2_won, on_finished=self._phase2_finished)
+        self._phase2.start(ctx)
+
+    def _phase2_won(self, ctx: NodeContext) -> Tuple[int, ...]:
+        ctx.elect()
+        return ()
+
+    def _phase2_finished(self, ctx: NodeContext, key: Key,
+                         data: Tuple[int, ...], is_winner: bool) -> None:
+        if not is_winner:
+            ctx.set_non_elected()
+        ctx.output["leader_uid"] = key[-1]
+        ctx.halt()

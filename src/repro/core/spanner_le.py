@@ -1,0 +1,305 @@
+"""Corollary 4.2: spanner-based election for dense graphs.
+
+For ``m > n^(1+ε)`` the paper combines the distributed Baswana–Sen
+spanner construction [6] (O(k²) rounds, O(km) messages, expected
+``n^(1+1/k)`` edges for constant ``k ≈ 2/ε``) with the least-element
+election of [11] run **on the spanner**: the spanner has O(m) expected
+edges' worth of election traffic (``n^(1+ε/2)·log n ∈ O(m)``), its
+diameter is at most ``(2k-1)·D = O(D)``, and the spanner construction
+itself costs O(m) messages — so the whole election takes O(D) time and
+O(m) expected messages, w.h.p., matching both lower bounds.
+
+Distributed Baswana–Sen here (unweighted, synchronous, fixed global
+round windows computable from ``k`` alone):
+
+Iteration ``i`` (``i = 1 .. k-1``), window of ``i + 5`` rounds:
+
+1. *Announce*: every clustered node tells its neighbors its cluster
+   center and its own ID.
+2. *Sample*: each cluster center flips a coin (heads w.p. ``n^(-1/k)``)
+   and broadcasts the outcome down its cluster tree (depth ≤ i-1).
+3. *Bit exchange*: every clustered node tells its neighbors whether its
+   cluster was sampled.
+4. *Decide*: a node whose cluster was not sampled either (a) joins the
+   smallest adjacent sampled cluster through one marked edge, keeps one
+   marked edge to every other adjacent non-sampled cluster and drops the
+   rest of its edges into those clusters; or (b) — with no sampled
+   neighbor cluster — marks one edge per adjacent cluster, drops the
+   rest, and retires.
+
+Phase 2 (2 rounds): everyone announces its final cluster; each node
+marks one edge to every adjacent foreign cluster.
+
+Election (starts at a globally known round): an
+:class:`~repro.core.waves.ExtinctionWave` with every node a candidate,
+restricted to the *marked* ports.  The marked subgraph contains every
+cluster tree and one edge per adjacent cluster pair seen along the way,
+so it is connected and has stretch ≤ 2k-1 (verified empirically by the
+test suite against :func:`repro.graphs.spanner.baswana_sen_spanner`).
+
+Knowledge: ``n`` (sampling probability and rank domain).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..graphs.ids import id_space_size
+from ..sim.message import Payload
+from ..sim.process import Delivery, NodeContext
+from .base import ElectionProcess, require_knowledge
+from .waves import ExtinctionWave, Key
+
+TAG_ELECT = "cor42-elect"
+
+
+# ----------------------------------------------------------------------
+# Messages
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class AnnounceMsg(Payload):
+    """'My cluster center is ``center``; I am ``uid``' (one per window)."""
+
+    iteration: int
+    center: int
+    uid: int
+
+
+@dataclass(frozen=True)
+class SampledMsg(Payload):
+    """Cluster-tree broadcast of the center's coin flip."""
+
+    iteration: int
+    sampled: bool
+
+
+@dataclass(frozen=True)
+class BitMsg(Payload):
+    """'My cluster was (not) sampled this iteration.'"""
+
+    iteration: int
+    sampled: bool
+
+
+@dataclass(frozen=True)
+class MarkMsg(Payload):
+    """'The edge between us is in the spanner.'  ``join=True`` also means
+    'I join your cluster through this edge' (you gain a tree child)."""
+
+    iteration: int
+    join: bool
+
+
+@dataclass(frozen=True)
+class DropMsg(Payload):
+    """'The edge between us is permanently discarded.'"""
+
+    iteration: int
+
+
+def iteration_start(i: int) -> int:
+    """First round of iteration ``i`` (1-based): sum of earlier windows."""
+    return sum(j + 5 for j in range(1, i))
+
+
+def schedule(k: int) -> Dict[str, int]:
+    """Global round schedule derived from ``k`` alone."""
+    phase2 = iteration_start(k)
+    return {"phase2_announce": phase2, "phase2_mark": phase2 + 1,
+            "elect": phase2 + 3}
+
+
+class SpannerElection(ElectionProcess):
+    """Corollary 4.2: O(D) time, O(m) expected messages on dense graphs."""
+
+    def __init__(self, k: int = 3) -> None:
+        if k < 2:
+            raise ValueError("k must be >= 2 (k=1 means no sparsification)")
+        self.k = k
+        # Clustering state
+        self._center: Optional[int] = None
+        self._tree_parent: Optional[int] = None
+        self._tree_children: Set[int] = set()
+        self._own_bit: Optional[bool] = None
+        self._live: Set[int] = set()
+        self._marked: Set[int] = set()
+        self._nbr_center: Dict[int, Tuple[int, int]] = {}  # port -> (center, uid)
+        self._nbr_bit: Dict[int, bool] = {}
+        self._pending_join_port: Optional[int] = None
+        self._wave: Optional[ExtinctionWave] = None
+
+    # ------------------------------------------------------------------
+    def on_start(self, ctx: NodeContext) -> None:
+        self._n = require_knowledge(ctx, "n")
+        self._sample_prob = self._n ** (-1.0 / self.k)
+        self._center = ctx.uid          # singleton cluster, depth 0
+        self._live = set(ctx.ports)
+        sched = schedule(self.k)
+        for i in range(1, self.k):
+            start = iteration_start(i)
+            for offset in (0, 1, i + 2, i + 3):
+                ctx.set_alarm_at(max(1, start + offset))
+        ctx.set_alarm_at(sched["phase2_announce"] or 1)
+        ctx.set_alarm_at(sched["phase2_mark"])
+        ctx.set_alarm_at(sched["elect"])
+        # Iteration 1 announce happens in round 0 == on_start.
+        self._announce(ctx, 1)
+
+    # ------------------------------------------------------------------
+    def on_round(self, ctx: NodeContext, inbox: List[Delivery]) -> None:
+        for port, payload in inbox:
+            if isinstance(payload, AnnounceMsg):
+                self._nbr_center[port] = (payload.center, payload.uid)
+            elif isinstance(payload, SampledMsg):
+                self._receive_own_bit(ctx, payload.sampled)
+            elif isinstance(payload, BitMsg):
+                self._nbr_bit[port] = payload.sampled
+            elif isinstance(payload, MarkMsg):
+                self._marked.add(port)
+                self._live.discard(port)
+                if payload.join:
+                    self._tree_children.add(port)
+            elif isinstance(payload, DropMsg):
+                self._live.discard(port)
+            else:
+                assert self._wave is not None, f"unexpected {payload!r}"
+                self._wave.handle(ctx, [Delivery(port, payload)])
+        self._run_schedule(ctx)
+
+    # ------------------------------------------------------------------
+    def _run_schedule(self, ctx: NodeContext) -> None:
+        r = ctx.round
+        sched = schedule(self.k)
+        for i in range(1, self.k):
+            start = iteration_start(i)
+            if r == start and r != 0:
+                self._begin_iteration(ctx, i)
+            elif r == start + 1:
+                self._maybe_flip_and_broadcast(ctx, i)
+            elif r == start + i + 2:
+                self._exchange_bits(ctx, i)
+            elif r == start + i + 3:
+                self._decide(ctx, i)
+        if r == sched["phase2_announce"] and r != 0:
+            self._announce(ctx, self.k)
+        elif r == sched["phase2_mark"]:
+            self._phase2_mark(ctx)
+        elif r == sched["elect"] and self._wave is None:
+            self._start_election(ctx)
+
+    # -- iteration steps -------------------------------------------------
+    def _begin_iteration(self, ctx: NodeContext, i: int) -> None:
+        self._announce(ctx, i)
+
+    def _announce(self, ctx: NodeContext, i: int) -> None:
+        self._nbr_center = {}
+        self._nbr_bit = {}
+        self._own_bit = None
+        if self._center is None:
+            return
+        for port in self._live:
+            ctx.send_soon(port, AnnounceMsg(i, self._center, ctx.uid))
+
+    def _maybe_flip_and_broadcast(self, ctx: NodeContext, i: int) -> None:
+        if self._center != ctx.uid:
+            return  # only centers flip; members hear via the tree
+        sampled = ctx.rng.random() < self._sample_prob
+        self._receive_own_bit(ctx, sampled)
+
+    def _receive_own_bit(self, ctx: NodeContext, sampled: bool) -> None:
+        if self._own_bit is not None or self._center is None:
+            return
+        self._own_bit = sampled
+        for port in self._tree_children:
+            ctx.send_soon(port, SampledMsg(0, sampled))
+
+    def _exchange_bits(self, ctx: NodeContext, i: int) -> None:
+        if self._center is None or self._own_bit is None:
+            return
+        for port in self._live:
+            ctx.send_soon(port, BitMsg(i, self._own_bit))
+
+    def _decide(self, ctx: NodeContext, i: int) -> None:
+        if self._center is None or self._own_bit:
+            return  # retired, or our cluster survived: nothing to do
+        # Group live inter-cluster ports by the neighbor's cluster.
+        by_cluster: Dict[int, List[Tuple[int, int]]] = {}
+        for port in sorted(self._live):
+            info = self._nbr_center.get(port)
+            if info is None or info[0] == self._center:
+                continue
+            by_cluster.setdefault(info[0], []).append((info[1], port))
+        sampled_adjacent = sorted(
+            c for c, members in by_cluster.items()
+            if any(self._nbr_bit.get(port) for _, port in members))
+        # Our unsampled cluster dissolves: every member leaves or retires,
+        # so all of its tree links die with it.
+        self._tree_parent = None
+        self._tree_children = set()
+        joined: Optional[int] = None
+        if sampled_adjacent:
+            # (b) Join the smallest adjacent sampled cluster through one
+            # marked edge; discard our other edges into it; edges to all
+            # other clusters stay live for later iterations / phase 2.
+            joined = sampled_adjacent[0]
+            uid, port = min((u, p) for u, p in by_cluster[joined]
+                            if self._nbr_bit.get(p))
+            self._marked.add(port)
+            self._live.discard(port)
+            self._tree_parent = port
+            self._center = joined
+            ctx.send_soon(port, MarkMsg(i, join=True))
+            for _, other in by_cluster[joined]:
+                if other != port:
+                    self._live.discard(other)
+                    ctx.send_soon(other, DropMsg(i))
+        else:
+            # (a) No sampled neighbor cluster: keep one marked edge per
+            # adjacent cluster, discard the rest, and retire.
+            for cluster, members in sorted(by_cluster.items()):
+                keep_uid, keep_port = min(members)
+                self._marked.add(keep_port)
+                ctx.send_soon(keep_port, MarkMsg(i, join=False))
+                for _, port in members:
+                    self._live.discard(port)
+                    if port != keep_port:
+                        ctx.send_soon(port, DropMsg(i))
+            self._center = None  # retire from clustering
+            self._tree_children = set()
+
+    # -- phase 2 ---------------------------------------------------------
+    def _phase2_mark(self, ctx: NodeContext) -> None:
+        by_cluster: Dict[int, List[Tuple[int, int]]] = {}
+        for port in sorted(self._live):
+            info = self._nbr_center.get(port)
+            if info is None:
+                continue
+            if self._center is not None and info[0] == self._center:
+                continue
+            by_cluster.setdefault(info[0], []).append((info[1], port))
+        for cluster, members in sorted(by_cluster.items()):
+            _, port = min(members)
+            self._marked.add(port)
+            ctx.send_soon(port, MarkMsg(self.k, join=False))
+
+    # -- election ----------------------------------------------------------
+    def _start_election(self, ctx: NodeContext) -> None:
+        ports = sorted(self._marked)
+        ctx.output["spanner_degree"] = len(ports)
+        rank = ctx.rng.randint(1, id_space_size(self._n))
+        self._wave = ExtinctionWave(
+            TAG_ELECT, ports, (rank, ctx.uid),
+            on_won=self._won, on_finished=self._finished)
+        self._wave.start(ctx)
+
+    def _won(self, ctx: NodeContext) -> Tuple[int, ...]:
+        ctx.elect()
+        return ()
+
+    def _finished(self, ctx: NodeContext, key: Key, data: Tuple[int, ...],
+                  is_winner: bool) -> None:
+        if not is_winner:
+            ctx.set_non_elected()
+        ctx.output["leader_uid"] = key[-1]
+        ctx.halt()

@@ -1,0 +1,221 @@
+"""Echo-with-extinction wave: the engine behind the Section 4.2 algorithms.
+
+The least-element-list election of [11] and all its Theorem 4.4 /
+Corollary 4.2 / 4.5 / 4.6 descendants share one communication pattern:
+
+1. Some nodes are *origins* and hold a totally ordered key (their random
+   rank, tie-broken by ID).  Origins flood their key.
+2. Every node forwards only strict improvements — its sequence of
+   adopted keys is exactly its least-element list, so the number of
+   forwards per node matches Lemma 4.3's |le_v| bound.
+3. Non-improving arrivals are answered immediately with an *echo*
+   (paper: "for each ignored distance-r message, node u sends an echo
+   message"); improving arrivals are answered when the receiver's whole
+   subtree has answered — propagation-of-information-with-feedback.
+4. Waves of non-minimal keys are extinguished by better waves and never
+   complete; the unique global-minimum wave is never abandoned anywhere,
+   so its origin's feedback completes, it elects itself, and announces
+   down its (BFS) tree — giving O(D)-round termination detection with
+   one response per rank message, preserving the paper's message bounds.
+
+:class:`ExtinctionWave` implements this once, parameterized by a phase
+``tag``, the set of active ports (so Algorithm 1 Phase 3 can run it on a
+sparsified overlay), the node's key (or ``None`` for non-candidates),
+and completion callbacks — enough to express every wave-based algorithm
+in the suite.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Sequence, Set, Tuple
+
+from ..sim.message import Payload
+from ..sim.process import Delivery, NodeContext
+
+#: Keys are lexicographically compared int tuples; smaller wins.  A rank
+#: key is ``(rank, uid)`` so ties are impossible; "largest ID wins"
+#: protocols negate (``(-uid,)``).
+Key = Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class WaveRankMsg(Payload):
+    """An origin's key being flooded (a least-element list entry)."""
+
+    tag: str
+    key: Key
+
+
+@dataclass(frozen=True)
+class WaveResponseMsg(Payload):
+    """Echo for a rank message.
+
+    ``is_child=True`` means "I adopted you as parent and my entire
+    subtree is accounted for" (the PIF feedback); ``False`` is the
+    immediate echo for a non-improving rank.
+    """
+
+    tag: str
+    key: Key
+    is_child: bool
+
+
+@dataclass(frozen=True)
+class WaveWinnerMsg(Payload):
+    """Broadcast by the completed origin down its tree: election result
+    plus optional algorithm-specific data (e.g. Corollary 4.5 ships the
+    size estimate here)."""
+
+    tag: str
+    key: Key
+    data: Tuple[int, ...]
+
+
+class ExtinctionWave:
+    """Per-node state machine for one wave phase.
+
+    Parameters
+    ----------
+    tag:
+        Phase identifier; messages of other tags are left to the caller.
+    ports:
+        Active ports (all of them for plain election; the overlay subset
+        for Algorithm 1 Phase 3 / spanner election).
+    own_key:
+        This node's key when it is an origin (candidate), else ``None``.
+    on_won:
+        Called at the unique winning origin when its feedback completes;
+        returns the extra data tuple to broadcast (default empty).
+    on_finished:
+        Called at *every* node when the winner broadcast reaches it (and
+        at the winner itself), with ``(ctx, winner_key, data, is_winner)``.
+    """
+
+    def __init__(self, tag: str, ports: Sequence[int], own_key: Optional[Key], *,
+                 on_won: Optional[Callable[[NodeContext], Tuple[int, ...]]] = None,
+                 on_finished: Optional[
+                     Callable[[NodeContext, Key, Tuple[int, ...], bool], None]] = None,
+                 ) -> None:
+        self.tag = tag
+        self.ports: Tuple[int, ...] = tuple(ports)
+        self.own_key = own_key
+        self._on_won = on_won
+        self._on_finished = on_finished
+
+        self.best: Optional[Key] = None
+        self.parent_port: Optional[int] = None
+        self.pending: Set[int] = set()
+        self.children: Set[int] = set()
+        self.completed = False      # our subtree feedback fired
+        self.finished = False       # winner broadcast passed through us
+        self.adoptions = 0          # |le_v|: size of the least-element list
+        self.started = False
+
+    # ------------------------------------------------------------------
+    def start(self, ctx: NodeContext) -> None:
+        """Begin the wave (origins flood; everyone else just listens)."""
+        if self.started:
+            raise RuntimeError(f"wave {self.tag!r} already started")
+        self.started = True
+        if self.own_key is None:
+            return
+        self.best = self.own_key
+        self.adoptions += 1
+        if not self.ports:
+            # Degenerate single-node network: we win immediately.
+            self._complete(ctx)
+            return
+        self.pending = set(self.ports)
+        for port in self.ports:
+            ctx.send_soon(port, WaveRankMsg(self.tag, self.own_key))
+
+    # ------------------------------------------------------------------
+    def handle(self, ctx: NodeContext, inbox: List[Delivery]) -> List[Delivery]:
+        """Process this wave's messages; return the rest untouched."""
+        if not self.started:
+            raise RuntimeError(f"wave {self.tag!r} handled before start()")
+        ranks: List[Tuple[int, WaveRankMsg]] = []
+        responses: List[Tuple[int, WaveResponseMsg]] = []
+        winners: List[Tuple[int, WaveWinnerMsg]] = []
+        leftover: List[Delivery] = []
+        for delivery in inbox:
+            payload = delivery.payload
+            if isinstance(payload, WaveRankMsg) and payload.tag == self.tag:
+                ranks.append((delivery.port, payload))
+            elif isinstance(payload, WaveResponseMsg) and payload.tag == self.tag:
+                responses.append((delivery.port, payload))
+            elif isinstance(payload, WaveWinnerMsg) and payload.tag == self.tag:
+                winners.append((delivery.port, payload))
+            else:
+                leftover.append(delivery)
+
+        if ranks:
+            self._handle_ranks(ctx, ranks)
+        for port, msg in responses:
+            self._handle_response(ctx, port, msg)
+        for port, msg in winners:
+            self._handle_winner(ctx, port, msg)
+        return leftover
+
+    # ------------------------------------------------------------------
+    def _handle_ranks(self, ctx: NodeContext,
+                      ranks: List[Tuple[int, WaveRankMsg]]) -> None:
+        best_port, best_msg = min(ranks, key=lambda pm: (pm[1].key, pm[0]))
+        adopted_from: Optional[int] = None
+        if self.best is None or best_msg.key < self.best:
+            self._adopt(ctx, best_port, best_msg.key)
+            adopted_from = best_port
+        for port, msg in ranks:
+            if port == adopted_from and msg.key == self.best:
+                continue  # our new parent; answered later via feedback
+            # Everything else is a non-improving arrival: echo at once.
+            ctx.send_soon(port, WaveResponseMsg(self.tag, msg.key, is_child=False))
+
+    def _adopt(self, ctx: NodeContext, port: int, key: Key) -> None:
+        self.best = key
+        self.parent_port = port
+        self.children = set()
+        self.completed = False
+        self.adoptions += 1
+        self.pending = set(p for p in self.ports if p != port)
+        for p in self.pending:
+            ctx.send_soon(p, WaveRankMsg(self.tag, key))
+        if not self.pending:
+            self._complete(ctx)
+
+    def _handle_response(self, ctx: NodeContext, port: int,
+                         msg: WaveResponseMsg) -> None:
+        if msg.key != self.best or self.completed:
+            return  # echo of an extinguished wave
+        self.pending.discard(port)
+        if msg.is_child:
+            self.children.add(port)
+        if not self.pending:
+            self._complete(ctx)
+
+    def _complete(self, ctx: NodeContext) -> None:
+        self.completed = True
+        assert self.best is not None
+        if self.parent_port is None:
+            # We are the origin of the globally minimal key: won.
+            data = self._on_won(ctx) if self._on_won else ()
+            for port in self.children:
+                ctx.send_soon(port, WaveWinnerMsg(self.tag, self.best, tuple(data)))
+            self.finished = True
+            if self._on_finished:
+                self._on_finished(ctx, self.best, tuple(data), True)
+        else:
+            ctx.send_soon(self.parent_port,
+                          WaveResponseMsg(self.tag, self.best, is_child=True))
+
+    def _handle_winner(self, ctx: NodeContext, port: int,
+                       msg: WaveWinnerMsg) -> None:
+        if self.finished:
+            return
+        self.finished = True
+        for child in self.children:
+            if child != port:
+                ctx.send_soon(child, WaveWinnerMsg(self.tag, msg.key, msg.data))
+        if self._on_finished:
+            self._on_finished(ctx, msg.key, msg.data, False)

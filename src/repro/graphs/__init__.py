@@ -1,0 +1,72 @@
+"""Graph substrates: topologies, concrete networks, lower-bound families.
+
+Covers systems S2–S5 of DESIGN.md.
+"""
+
+from .clique_cycle import CliqueCycle, CliqueCycleParams, derive_params
+from .dumbbell import (
+    DumbbellInstance,
+    DumbbellSampler,
+    base_graph,
+    choose_kappa,
+    clique_edges,
+)
+from .generators import (
+    barbell,
+    complete,
+    erdos_renyi,
+    grid,
+    hypercube,
+    lollipop,
+    path,
+    random_regular,
+    ring,
+    star,
+)
+from .ids import (
+    DisjointRandomIds,
+    ExplicitIds,
+    IdAssigner,
+    RandomIds,
+    ReversedIds,
+    SequentialIds,
+    id_space_size,
+)
+from .network import Network
+from .spanner import baswana_sen_spanner, verify_spanner_stretch
+from .topology import Edge, Topology, normalize_edge, union_topology
+
+__all__ = [
+    "CliqueCycle",
+    "CliqueCycleParams",
+    "DisjointRandomIds",
+    "DumbbellInstance",
+    "DumbbellSampler",
+    "Edge",
+    "ExplicitIds",
+    "IdAssigner",
+    "Network",
+    "RandomIds",
+    "ReversedIds",
+    "SequentialIds",
+    "Topology",
+    "barbell",
+    "base_graph",
+    "baswana_sen_spanner",
+    "choose_kappa",
+    "clique_edges",
+    "complete",
+    "derive_params",
+    "erdos_renyi",
+    "grid",
+    "hypercube",
+    "id_space_size",
+    "lollipop",
+    "normalize_edge",
+    "path",
+    "random_regular",
+    "ring",
+    "star",
+    "union_topology",
+    "verify_spanner_stretch",
+]

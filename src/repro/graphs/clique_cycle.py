@@ -1,0 +1,119 @@
+"""The clique-cycle construction of Theorem 3.13 (Figure 1).
+
+For a target node count ``n`` and diameter parameter ``D``:
+
+* ``D' = 4 * ceil(D / 4)`` — the number of cliques, a multiple of 4;
+* ``γ`` — the smallest positive integer with ``γ · D' >= n``;
+* the graph consists of ``D'`` cliques of size γ arranged in a cycle and
+  partitioned into four *arcs* ``C0 .. C3`` of ``D'/4`` cliques each.
+
+Within arc *i*, clique ``c_{i,j}`` connects to ``c_{i,j+1}`` through the
+edge ``(v_{i,j,γ-1}, v_{i,j+1,0})``; arcs connect through
+``(v_{i,D'/4-1,γ-1}, v_{(i+1) mod 4,0,0})``.
+
+The proof's engine is the rotation map ``φ(v_{i,j,k}) = v_{(i+1) mod 4,
+j,k}``, a graph automorphism: in an anonymous network, any algorithm
+running for o(D') rounds behaves identically (in distribution) on an arc
+and its rotation, while opposite arcs are causally independent — so two
+leaders appear with constant probability.  :meth:`CliqueCycle.rotation`
+exposes φ so tests can verify the automorphism, and :meth:`arc_of` lets
+the experiment harness attribute leaders to arcs.
+"""
+
+from __future__ import annotations
+
+import itertools
+import math
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .topology import Edge, Topology
+
+
+@dataclass(frozen=True)
+class CliqueCycleParams:
+    """Derived construction parameters for given (n, D)."""
+
+    requested_n: int
+    requested_d: int
+    num_cliques: int      # D'
+    clique_size: int      # γ
+    num_nodes: int        # n' = γ · D'
+
+    @property
+    def cliques_per_arc(self) -> int:
+        return self.num_cliques // 4
+
+
+def derive_params(n: int, d: int) -> CliqueCycleParams:
+    """Apply the paper's parameter derivation: D' = 4⌈D/4⌉, γ·D' >= n."""
+    if not 2 < d < n:
+        raise ValueError("Theorem 3.13 requires 2 < D < n")
+    d_prime = 4 * math.ceil(d / 4)
+    gamma = max(1, math.ceil(n / d_prime))
+    return CliqueCycleParams(
+        requested_n=n, requested_d=d, num_cliques=d_prime,
+        clique_size=gamma, num_nodes=gamma * d_prime)
+
+
+class CliqueCycle:
+    """A concrete clique-cycle topology plus its arc structure."""
+
+    def __init__(self, n: int, d: int) -> None:
+        self.params = derive_params(n, d)
+        p = self.params
+        edges: List[Edge] = []
+        gamma, d_prime = p.clique_size, p.num_cliques
+        per_arc = p.cliques_per_arc
+
+        for clique in range(d_prime):
+            base = clique * gamma
+            edges.extend((base + a, base + b)
+                         for a, b in itertools.combinations(range(gamma), 2))
+        for i in range(4):
+            for j in range(per_arc - 1):
+                edges.append((self.node_index(i, j, gamma - 1),
+                              self.node_index(i, j + 1, 0)))
+            edges.append((self.node_index(i, per_arc - 1, gamma - 1),
+                          self.node_index((i + 1) % 4, 0, 0)))
+
+        self.topology = Topology(p.num_nodes, edges,
+                                 name=f"clique-cycle-D{d_prime}-g{gamma}")
+
+    # ------------------------------------------------------------------
+    def node_index(self, arc: int, clique_in_arc: int, k: int) -> int:
+        """Flat index of node ``v_{arc, clique_in_arc, k}``."""
+        p = self.params
+        if not (0 <= arc < 4 and 0 <= clique_in_arc < p.cliques_per_arc
+                and 0 <= k < p.clique_size):
+            raise ValueError("node coordinates out of range")
+        return (arc * p.cliques_per_arc + clique_in_arc) * p.clique_size + k
+
+    def coordinates(self, index: int) -> Tuple[int, int, int]:
+        """Inverse of :meth:`node_index`."""
+        p = self.params
+        clique, k = divmod(index, p.clique_size)
+        arc, j = divmod(clique, p.cliques_per_arc)
+        return arc, j, k
+
+    def arc_of(self, index: int) -> int:
+        return self.coordinates(index)[0]
+
+    def arc_members(self, arc: int) -> List[int]:
+        p = self.params
+        return [self.node_index(arc, j, k)
+                for j in range(p.cliques_per_arc)
+                for k in range(p.clique_size)]
+
+    def rotation(self, index: int) -> int:
+        """The automorphism φ: v_{i,j,k} → v_{(i+1) mod 4, j, k}."""
+        arc, j, k = self.coordinates(index)
+        return self.node_index((arc + 1) % 4, j, k)
+
+    def is_automorphism(self) -> bool:
+        """Check that φ preserves adjacency (used by tests)."""
+        topo = self.topology
+        for (u, v) in topo.edges:
+            if not topo.has_edge(self.rotation(u), self.rotation(v)):
+                return False
+        return True

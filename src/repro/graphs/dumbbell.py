@@ -1,0 +1,197 @@
+"""The dumbbell lower-bound family of Theorem 3.1.
+
+Construction (Section 3.1, including the "knowledge of D" fix):
+
+* The base graph ``G0`` has ``n`` nodes and Θ(m) edges: a κ-clique
+  ``G0^1`` (κ = largest integer with κ(κ-1)/2 + κ <= m) whose every node
+  is joined to the first node ``b1`` of an (n-κ)-node path ``G0^2``.
+* A *concrete* graph fixes an ID assignment φ (from a universe of size
+  ``n^4``) and a port permutation P.
+* An *open graph* ``G[e']`` removes one clique edge ``e'``, leaving two
+  dangling ports.
+* ``Dumbbell(G'[e'], G''[e''])`` takes two concrete open graphs with
+  disjoint ID sets and joins their dangling ports with two *bridge*
+  edges, wired so that lower-ID endpoints pair up (the paper's
+  convention for picking one of the two possible gluings).
+
+The crucial property for the D-aware lower bound: **every** dumbbell in
+the family has the same diameter, ``2n - 2κ + 1`` (the distance between
+the two path endpoints), so feeding the true diameter to the algorithm
+reveals nothing about which instance it is running on.
+
+The :class:`DumbbellInstance` keeps each half's standalone port
+permutation intact: the bridge occupies exactly the port that the erased
+clique edge used, so no node can locally distinguish the dumbbell from
+the closed graph it was cut from — the indistinguishability at the heart
+of the bridge-crossing argument.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from .generators import lollipop
+from .ids import DisjointRandomIds, id_space_size
+from .network import Network
+from .topology import Edge, Topology, normalize_edge
+
+
+def choose_kappa(m: int) -> int:
+    """Largest κ with κ(κ-1)/2 + κ <= m (paper's choice of clique size)."""
+    if m < 6:
+        raise ValueError("need m >= 6 for a 3-clique plus its b1 edges")
+    kappa = 3
+    while (kappa + 1) * kappa // 2 + (kappa + 1) <= m:
+        kappa += 1
+    return kappa
+
+
+def base_graph(n: int, m: int) -> Topology:
+    """The paper's ``G0``: κ-clique + path tail, n nodes, Θ(m) edges."""
+    kappa = choose_kappa(m)
+    if kappa >= n:
+        raise ValueError(f"m={m} forces clique size {kappa} >= n={n}; "
+                         "pick m <= n(n-1)/2 with some slack for the tail")
+    return lollipop(kappa, n - kappa)
+
+
+def clique_edges(topology: Topology, kappa: int) -> List[Edge]:
+    """The edges of ``G0^1`` — the only edges opened by the construction."""
+    return [e for e in topology.edges if e[0] < kappa and e[1] < kappa]
+
+
+@dataclass
+class DumbbellInstance:
+    """One sampled ``Dumbbell(G'[e'], G''[e''])`` ready for simulation."""
+
+    network: Network
+    bridges: Tuple[Edge, Edge]
+    left_open_edge: Edge
+    right_open_edge: Edge
+    kappa: int
+    half_size: int
+
+    @property
+    def bridge_set(self) -> Set[Edge]:
+        return {normalize_edge(*self.bridges[0]), normalize_edge(*self.bridges[1])}
+
+    @property
+    def left_indices(self) -> range:
+        return range(self.half_size)
+
+    @property
+    def right_indices(self) -> range:
+        return range(self.half_size, 2 * self.half_size)
+
+    @property
+    def diameter(self) -> int:
+        """Closed form from the paper: 2n - 2κ + 1 (n = half size)."""
+        return 2 * self.half_size - 2 * self.kappa + 1
+
+    @property
+    def num_clique_edges(self) -> int:
+        """m1 = κ(κ-1)/2 — the Ω(·) term of the lower bound."""
+        return self.kappa * (self.kappa - 1) // 2
+
+
+class DumbbellSampler:
+    """Samples dumbbell instances from the paper's distribution Ψ.
+
+    Ψ is uniform over (ID assignment, port mapping, opened clique edge)
+    for each half, with ID-disjoint halves.  Each :meth:`sample` draws a
+    fresh instance; all randomness derives from ``seed``.
+    """
+
+    def __init__(self, n: int, m: int, *, seed: int = 0) -> None:
+        self.n = n
+        self.m = m
+        self.topology = base_graph(n, m)
+        self.kappa = choose_kappa(m)
+        self._clique_edges = clique_edges(self.topology, self.kappa)
+        self._rng = random.Random(f"dumbbell:{seed}:{n}:{m}")
+
+    # ------------------------------------------------------------------
+    def sample(self) -> DumbbellInstance:
+        rng = self._rng
+        n = self.topology.num_nodes
+        e_left = self._clique_edges[rng.randrange(len(self._clique_edges))]
+        e_right = self._clique_edges[rng.randrange(len(self._clique_edges))]
+
+        ids_left = DisjointRandomIds(0, 2).assign(n, rng)
+        ids_right = DisjointRandomIds(1, 2).assign(n, rng)
+
+        ports_left = self._sample_ports(rng)
+        ports_right = self._sample_ports(rng)
+
+        return self._assemble(e_left, e_right, ids_left, ids_right,
+                              ports_left, ports_right)
+
+    def _sample_ports(self, rng: random.Random) -> List[List[int]]:
+        ports: List[List[int]] = []
+        for u in range(self.topology.num_nodes):
+            perm = list(self.topology.neighbors(u))
+            rng.shuffle(perm)
+            ports.append(perm)
+        return ports
+
+    # ------------------------------------------------------------------
+    def _assemble(self, e_left: Edge, e_right: Edge,
+                  ids_left: Sequence[int], ids_right: Sequence[int],
+                  ports_left: List[List[int]],
+                  ports_right: List[List[int]]) -> DumbbellInstance:
+        n = self.topology.num_nodes
+
+        # Order each opened edge so the lower-ID endpoint comes first;
+        # bridges then connect low-low and high-high (paper's gluing).
+        def order(e: Edge, ids: Sequence[int]) -> Tuple[int, int]:
+            a, b = e
+            return (a, b) if ids[a] < ids[b] else (b, a)
+
+        vl, wl = order(e_left, ids_left)
+        vr, wr = order(e_right, ids_right)
+        bridge_low = normalize_edge(vl, vr + n)
+        bridge_high = normalize_edge(wl, wr + n)
+
+        edges: List[Edge] = []
+        open_left = normalize_edge(*e_left)
+        open_right = normalize_edge(*e_right)
+        for e in self.topology.edges:
+            if e != open_left:
+                edges.append(e)
+        for (u, v) in self.topology.edges:
+            if normalize_edge(u, v) != open_right:
+                edges.append((u + n, v + n))
+        edges.append(bridge_low)
+        edges.append(bridge_high)
+        combined = Topology(2 * n, edges, name=f"dumbbell-{n}x2-k{self.kappa}")
+
+        # Port maps: keep each half's standalone permutation; splice the
+        # bridge partner into the exact slot the erased edge occupied.
+        replace_left = {vl: (wl, vr + n), wl: (vl, wr + n)}
+        replace_right = {vr: (wr, vl), wr: (vr, wl)}
+        ports: List[List[int]] = []
+        for u in range(n):
+            perm = list(ports_left[u])
+            if u in replace_left:
+                gone, new = replace_left[u]
+                perm[perm.index(gone)] = new
+            ports.append(perm)
+        for u in range(n):
+            perm = [v + n for v in ports_right[u]]
+            if u in replace_right:
+                gone, new = replace_right[u]
+                perm[perm.index(gone + n)] = new
+            ports.append(perm)
+
+        ids = list(ids_left) + list(ids_right)
+        network = Network(combined, ids, ports)
+        return DumbbellInstance(
+            network=network,
+            bridges=(bridge_low, bridge_high),
+            left_open_edge=open_left,
+            right_open_edge=open_right,
+            kappa=self.kappa,
+            half_size=n,
+        )

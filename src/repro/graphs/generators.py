@@ -1,0 +1,193 @@
+"""Topology generators for the experiment workloads.
+
+These cover every graph family the paper mentions: rings (the classic
+Ω(n log n) deterministic lower-bound family), complete graphs (where [14]
+beats Ω(n) messages), stars (the paper's example of a graph needing few
+messages), paths, grids/tori (moderate diameter), hypercubes and random
+regular expanders (small mixing time), Erdős–Rényi graphs (density
+sweeps for Corollary 4.2), and lollipop/barbell shapes (extreme D vs m
+trade-offs).
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import List, Optional, Tuple
+
+from .topology import Edge, Topology
+
+
+def ring(n: int) -> Topology:
+    """Cycle C_n: m = n, D = floor(n/2)."""
+    if n < 3:
+        raise ValueError("a ring needs at least 3 nodes")
+    return Topology(n, [(i, (i + 1) % n) for i in range(n)], name=f"ring-{n}")
+
+
+def path(n: int) -> Topology:
+    """Path P_n: m = n - 1, D = n - 1."""
+    if n < 2:
+        raise ValueError("a path needs at least 2 nodes")
+    return Topology(n, [(i, i + 1) for i in range(n - 1)], name=f"path-{n}")
+
+
+def star(n: int) -> Topology:
+    """Star K_{1,n-1} with center 0: m = n - 1, D = 2."""
+    if n < 2:
+        raise ValueError("a star needs at least 2 nodes")
+    return Topology(n, [(0, i) for i in range(1, n)], name=f"star-{n}")
+
+
+def complete(n: int) -> Topology:
+    """Complete graph K_n: m = n(n-1)/2, D = 1."""
+    if n < 2:
+        raise ValueError("a complete graph needs at least 2 nodes")
+    return Topology(n, itertools.combinations(range(n), 2), name=f"complete-{n}")
+
+
+def grid(rows: int, cols: int, torus: bool = False) -> Topology:
+    """2D grid (or torus): n = rows*cols, D = Θ(rows + cols)."""
+    if rows < 1 or cols < 1 or rows * cols < 2:
+        raise ValueError("grid needs at least 2 nodes")
+    edges: List[Edge] = []
+
+    def node(r: int, c: int) -> int:
+        return r * cols + c
+
+    for r in range(rows):
+        for c in range(cols):
+            if c + 1 < cols:
+                edges.append((node(r, c), node(r, c + 1)))
+            elif torus and cols > 2:
+                edges.append((node(r, c), node(r, 0)))
+            if r + 1 < rows:
+                edges.append((node(r, c), node(r + 1, c)))
+            elif torus and rows > 2:
+                edges.append((node(r, c), node(0, c)))
+    kind = "torus" if torus else "grid"
+    return Topology(rows * cols, edges, name=f"{kind}-{rows}x{cols}")
+
+
+def hypercube(dim: int) -> Topology:
+    """d-dimensional hypercube: n = 2^d, m = d·2^(d-1), D = d."""
+    if dim < 1:
+        raise ValueError("hypercube dimension must be >= 1")
+    n = 1 << dim
+    edges = [(u, u ^ (1 << b)) for u in range(n) for b in range(dim) if u < (u ^ (1 << b))]
+    return Topology(n, edges, name=f"hypercube-{dim}")
+
+
+def erdos_renyi(n: int, p: Optional[float] = None, *,
+                target_edges: Optional[int] = None,
+                seed: int = 0) -> Topology:
+    """Connected G(n, p) sample (resamples / patches until connected).
+
+    Either ``p`` or ``target_edges`` must be given; ``target_edges``
+    picks ``p = 2·target/(n(n-1))``.  To guarantee connectivity without
+    distorting density, a uniform spanning-path patch links any stray
+    components (adds < n edges).
+    """
+    if (p is None) == (target_edges is None):
+        raise ValueError("give exactly one of p / target_edges")
+    if target_edges is not None:
+        p = min(1.0, 2.0 * target_edges / (n * (n - 1)))
+    assert p is not None
+    rng = random.Random(f"er:{seed}:{n}:{p}")
+    edges: List[Edge] = [(u, v) for u in range(n) for v in range(u + 1, n)
+                         if rng.random() < p]
+    topo = Topology(n, edges, name=f"er-{n}")
+    if topo.is_connected():
+        return topo
+    # Patch: chain one representative of each component together.
+    comp = _components(topo)
+    reps = [c[0] for c in comp]
+    rng.shuffle(reps)
+    extra = list(zip(reps, reps[1:]))
+    return Topology(n, list(topo.edges) + extra, name=f"er-{n}")
+
+
+def random_regular(n: int, d: int, seed: int = 0, max_tries: int = 200) -> Topology:
+    """Connected random d-regular graph via the pairing model.
+
+    Random regular graphs with d >= 3 are expanders w.h.p. — the family
+    on which [14] (cited in the introduction) achieves sublinear message
+    complexity, and a good "small mixing time" workload here.
+    """
+    if n * d % 2 != 0:
+        raise ValueError("n*d must be even")
+    if d >= n:
+        raise ValueError("degree must be < n")
+    rng = random.Random(f"reg:{seed}:{n}:{d}")
+    for _ in range(max_tries):
+        stubs = [v for v in range(n) for _ in range(d)]
+        rng.shuffle(stubs)
+        pairs = [(stubs[2 * i], stubs[2 * i + 1]) for i in range(len(stubs) // 2)]
+        if any(u == v for u, v in pairs):
+            continue
+        if len({(min(u, v), max(u, v)) for u, v in pairs}) != len(pairs):
+            continue
+        topo = Topology(n, pairs, name=f"regular-{n}-d{d}")
+        if topo.is_connected():
+            return topo
+    raise RuntimeError(f"failed to sample a connected {d}-regular graph on {n} nodes")
+
+
+def lollipop(clique_size: int, tail_length: int) -> Topology:
+    """A κ-clique with a path tail — the *shape of Theorem 3.1's G0*.
+
+    Node layout: clique nodes are ``0 .. κ-1``; tail nodes are
+    ``κ .. κ+tail-1``; every clique node connects to the first tail node
+    (matching the paper: "adding κ edges connecting b_1 to every node in
+    G_0^1").
+    """
+    if clique_size < 3:
+        raise ValueError("clique must have at least 3 nodes")
+    if tail_length < 1:
+        raise ValueError("tail must have at least 1 node")
+    kappa = clique_size
+    edges: List[Edge] = list(itertools.combinations(range(kappa), 2))
+    b1 = kappa
+    edges.extend((c, b1) for c in range(kappa))
+    edges.extend((kappa + i, kappa + i + 1) for i in range(tail_length - 1))
+    return Topology(kappa + tail_length, edges,
+                    name=f"lollipop-{kappa}+{tail_length}")
+
+
+def barbell(clique_size: int, bridge_length: int = 1) -> Topology:
+    """Two cliques joined by a path — a stress shape for BFS-growing
+    algorithms (kingdoms collide exactly in the middle)."""
+    if clique_size < 3:
+        raise ValueError("cliques must have at least 3 nodes")
+    k = clique_size
+    edges: List[Edge] = list(itertools.combinations(range(k), 2))
+    edges += [(u + k, v + k) for u, v in itertools.combinations(range(k), 2)]
+    if bridge_length <= 1:
+        edges.append((0, k))
+    else:
+        chain = list(range(2 * k, 2 * k + bridge_length - 1))
+        hops = [0] + chain + [k]
+        edges += list(zip(hops, hops[1:]))
+        return Topology(2 * k + bridge_length - 1, edges,
+                        name=f"barbell-{k}x2-b{bridge_length}")
+    return Topology(2 * k, edges, name=f"barbell-{k}x2")
+
+
+def _components(topo: Topology) -> List[List[int]]:
+    seen = [False] * topo.num_nodes
+    out: List[List[int]] = []
+    for start in range(topo.num_nodes):
+        if seen[start]:
+            continue
+        stack = [start]
+        seen[start] = True
+        comp = []
+        while stack:
+            u = stack.pop()
+            comp.append(u)
+            for v in topo.neighbors(u):
+                if not seen[v]:
+                    seen[v] = True
+                    stack.append(v)
+        out.append(comp)
+    return out

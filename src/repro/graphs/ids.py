@@ -1,0 +1,103 @@
+"""Identifier-assignment strategies.
+
+The paper's adversary picks unique IDs from an arbitrary integer set
+``Z`` with ``|Z| = n^4`` (Section 2).  Lower bounds must hold under *any*
+assignment, so experiments exercise several strategies; upper-bound
+algorithms must work under all of them.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import List, Sequence
+
+
+def id_space_size(n: int) -> int:
+    """Size of the paper's ID universe ``Z`` for an ``n``-node network."""
+    return max(n ** 4, n + 1)
+
+
+class IdAssigner(ABC):
+    """Strategy object producing a unique-ID vector for ``n`` nodes."""
+
+    @abstractmethod
+    def assign(self, n: int, rng: random.Random) -> List[int]:
+        """Return ``n`` distinct positive identifiers."""
+
+
+class RandomIds(IdAssigner):
+    """Uniform sampling without replacement from ``[1, n^4]`` (default)."""
+
+    def assign(self, n: int, rng: random.Random) -> List[int]:
+        return rng.sample(range(1, id_space_size(n) + 1), n)
+
+
+class SequentialIds(IdAssigner):
+    """IDs ``start, start+1, ...`` in node-index order.
+
+    An adversarial pattern for ID-comparison algorithms: the smallest ID
+    sits at index 0.  ``start`` lets Theorem 4.1 experiments control the
+    2^ID rate-limit scale directly.
+    """
+
+    def __init__(self, start: int = 1) -> None:
+        if start < 1:
+            raise ValueError("IDs must be positive")
+        self.start = start
+
+    def assign(self, n: int, rng: random.Random) -> List[int]:
+        return list(range(self.start, self.start + n))
+
+
+class ReversedIds(IdAssigner):
+    """Decreasing IDs — the classic worst case for max-flooding on rings."""
+
+    def __init__(self, start: int = 1) -> None:
+        if start < 1:
+            raise ValueError("IDs must be positive")
+        self.start = start
+
+    def assign(self, n: int, rng: random.Random) -> List[int]:
+        return list(range(self.start + n - 1, self.start - 1, -1))
+
+
+class ExplicitIds(IdAssigner):
+    """A fixed vector supplied by the caller (used to make ID-disjoint
+    dumbbell halves, cf. Section 3.1)."""
+
+    def __init__(self, ids: Sequence[int]) -> None:
+        if len(set(ids)) != len(ids):
+            raise ValueError("explicit IDs must be unique")
+        if any(i < 1 for i in ids):
+            raise ValueError("IDs must be positive")
+        self._ids = list(ids)
+
+    def assign(self, n: int, rng: random.Random) -> List[int]:
+        if len(self._ids) != n:
+            raise ValueError(f"have {len(self._ids)} explicit IDs, need {n}")
+        return list(self._ids)
+
+
+class DisjointRandomIds(IdAssigner):
+    """Uniform IDs restricted to a half-open slice of the universe.
+
+    ``DisjointRandomIds(0, 2)`` and ``DisjointRandomIds(1, 2)`` always
+    produce disjoint ID sets — exactly what the dumbbell construction
+    needs for its two open graphs (``ID(G'[e']) ∩ ID(G''[e'']) = ∅``).
+    """
+
+    def __init__(self, slice_index: int, num_slices: int) -> None:
+        if not 0 <= slice_index < num_slices:
+            raise ValueError("slice_index out of range")
+        self.slice_index = slice_index
+        self.num_slices = num_slices
+
+    def assign(self, n: int, rng: random.Random) -> List[int]:
+        universe = id_space_size(n * self.num_slices)
+        width = universe // self.num_slices
+        lo = 1 + self.slice_index * width
+        hi = lo + width - 1
+        if hi - lo + 1 < n:
+            raise ValueError("slice too small for n unique IDs")
+        return rng.sample(range(lo, hi + 1), n)

@@ -1,0 +1,121 @@
+"""Concrete network instances: topology + ID assignment + port mappings.
+
+The paper distinguishes the abstract graph ``G0`` from its *concrete
+instantiations* ``G_{phi,P}`` obtained by fixing an ID assignment ``phi``
+and a port mapping ``P`` (Section 3.1).  This module implements exactly
+that: a :class:`Network` wraps a :class:`~repro.graphs.topology.Topology`
+with
+
+* a unique identifier per node, drawn from an adversarially chosen set
+  ``Z`` of size ``n^4`` (the paper's assumption, Section 2), and
+* a per-node permutation mapping local *port numbers* to incident edges
+  (nodes never see who is on the other side of a port).
+
+Algorithms run by :class:`repro.sim.scheduler.Simulator` interact with the
+network exclusively through ports and their own ID.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .topology import Topology
+from .ids import IdAssigner, RandomIds
+
+
+class Network:
+    """A concrete network instance ready to be simulated.
+
+    Construction normally goes through :meth:`Network.build`, which
+    draws IDs and port permutations from a seeded RNG so that every
+    experiment is reproducible.
+    """
+
+    def __init__(self, topology: Topology, ids: Sequence[int],
+                 ports: Sequence[Sequence[int]]) -> None:
+        n = topology.num_nodes
+        if len(ids) != n:
+            raise ValueError(f"need {n} IDs, got {len(ids)}")
+        if len(set(ids)) != n:
+            raise ValueError("node IDs must be unique")
+        if len(ports) != n:
+            raise ValueError(f"need {n} port maps, got {len(ports)}")
+        for u in range(n):
+            if sorted(ports[u]) != list(topology.neighbors(u)):
+                raise ValueError(
+                    f"port map of node {u} is not a permutation of its neighbors")
+        self._topology = topology
+        self._ids: Tuple[int, ...] = tuple(ids)
+        self._ports: Tuple[Tuple[int, ...], ...] = tuple(tuple(p) for p in ports)
+        # Reverse maps -------------------------------------------------
+        self._id_to_index: Dict[int, int] = {uid: i for i, uid in enumerate(self._ids)}
+        self._port_of_neighbor: Tuple[Dict[int, int], ...] = tuple(
+            {nbr: port for port, nbr in enumerate(self._ports[u])} for u in range(n))
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(cls, topology: Topology, *, seed: int = 0,
+              ids: Optional[IdAssigner] = None,
+              shuffle_ports: bool = True) -> "Network":
+        """Instantiate ``topology`` with IDs and port permutations.
+
+        Parameters
+        ----------
+        seed:
+            Master seed; IDs and ports are derived deterministically.
+        ids:
+            ID-assignment strategy (defaults to uniform sampling without
+            replacement from ``[1, n^4]``, the paper's model).
+        shuffle_ports:
+            When False, port *i* of node *u* leads to its *i*-th smallest
+            neighbor — useful in unit tests that need predictable wiring.
+        """
+        rng = random.Random(f"network:{seed}:{topology.name}")
+        assigner = ids if ids is not None else RandomIds()
+        id_list = assigner.assign(topology.num_nodes, rng)
+        ports: List[List[int]] = []
+        for u in range(topology.num_nodes):
+            mapping = list(topology.neighbors(u))
+            if shuffle_ports:
+                rng.shuffle(mapping)
+            ports.append(mapping)
+        return cls(topology, id_list, ports)
+
+    # ------------------------------------------------------------------
+    @property
+    def topology(self) -> Topology:
+        return self._topology
+
+    @property
+    def num_nodes(self) -> int:
+        return self._topology.num_nodes
+
+    @property
+    def num_edges(self) -> int:
+        return self._topology.num_edges
+
+    @property
+    def ids(self) -> Tuple[int, ...]:
+        return self._ids
+
+    def id_of(self, index: int) -> int:
+        return self._ids[index]
+
+    def index_of_id(self, uid: int) -> int:
+        return self._id_to_index[uid]
+
+    def degree(self, index: int) -> int:
+        return self._topology.degree(index)
+
+    def neighbor_via_port(self, index: int, port: int) -> int:
+        """Node index reached by sending through ``port`` from ``index``."""
+        return self._ports[index][port]
+
+    def port_to_neighbor(self, index: int, neighbor: int) -> int:
+        """Local port of ``index`` whose edge leads to ``neighbor``."""
+        return self._port_of_neighbor[index][neighbor]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Network({self._topology.name!r}, n={self.num_nodes}, "
+                f"m={self.num_edges})")

@@ -1,0 +1,197 @@
+"""Baswana–Sen randomized (2k-1)-spanner (used by Corollary 4.2).
+
+Baswana & Sen (Random Structures & Algorithms 2007) give a linear-time
+randomized algorithm computing a (2k-1)-spanner with expected
+O(k · n^(1+1/k)) edges.  The paper invokes its *distributed* version
+("O(k^2) rounds, O(km) messages"); the message-passing realization lives
+in :mod:`repro.core.spanner_le`.  This module provides the reference
+(centralized) algorithm, used both to cross-check the distributed run
+and wherever an experiment only needs the sparsified graph.
+
+Algorithm sketch (unweighted case):
+
+Phase 1 — k-1 clustering iterations.  Clusters start as singletons.
+Each iteration, every cluster survives independently with probability
+``n^(-1/k)``.  A vertex v not in a surviving cluster looks at its
+neighboring clusters: if none survived, it adds **one** edge to each
+neighboring (old) cluster and retires; if some survived, it joins one
+surviving cluster through a single edge, adds one edge to each
+neighboring old cluster "closer" than the joined one (for unweighted
+graphs: an arbitrary subset ordering), and discards the rest.
+
+Phase 2 — every remaining vertex adds one edge to each adjacent
+surviving cluster.
+
+The result is connected, has stretch <= 2k-1, and expected size
+O(k · n^(1+1/k)).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Set, Tuple
+
+from .topology import Edge, Topology, normalize_edge
+
+
+def baswana_sen_spanner(topology: Topology, k: int, *, seed: int = 0) -> Topology:
+    """Return a (2k-1)-spanner subgraph of ``topology``.
+
+    Parameters
+    ----------
+    k:
+        Stretch parameter; k=1 returns the graph itself.
+    seed:
+        Sampling seed for cluster survival.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    if k == 1:
+        return Topology(topology.num_nodes, topology.edges,
+                        name=f"{topology.name}-spanner-k1")
+
+    n = topology.num_nodes
+    rng = random.Random(f"spanner:{seed}:{topology.name}:{k}")
+    sample_prob = n ** (-1.0 / k)
+
+    spanner: Set[Edge] = set()
+    # cluster[v]: the cluster center v currently belongs to, or None once
+    # v has retired from the clustering process.
+    cluster: List[Optional[int]] = list(range(n))
+    # Live edges: adjacency filtered down as vertices discard edges.
+    live: List[Set[int]] = [set(topology.neighbors(v)) for v in range(n)]
+
+    def neighbor_clusters(v: int) -> Dict[int, List[int]]:
+        """Map cluster-center -> list of v's live neighbors in it."""
+        out: Dict[int, List[int]] = {}
+        for u in list(live[v]):
+            c = cluster[u]
+            if c is not None:
+                out.setdefault(c, []).append(u)
+        return out
+
+    for _ in range(k - 1):
+        centers = {c for c in cluster if c is not None}
+        sampled = {c for c in centers if rng.random() < sample_prob}
+        new_cluster: List[Optional[int]] = list(cluster)
+        for v in range(n):
+            c_v = cluster[v]
+            if c_v is None:
+                continue
+            if c_v in sampled:
+                continue  # v's own cluster survived; v stays put.
+            nbr_clusters = neighbor_clusters(v)
+            sampled_adjacent = [c for c in nbr_clusters if c in sampled]
+            if not sampled_adjacent:
+                # No surviving neighbor cluster: keep one edge per
+                # adjacent cluster, then retire v from clustering.
+                for c, members in nbr_clusters.items():
+                    u = min(members)
+                    spanner.add(normalize_edge(v, u))
+                    _drop_cluster_edges(v, members, live)
+                new_cluster[v] = None
+            else:
+                # Join one surviving cluster through one edge and discard
+                # the other edges into it; edges to all other clusters
+                # stay live for later iterations / Phase 2 (unweighted
+                # Baswana-Sen: no cluster has strictly closer edges).
+                joined = min(sampled_adjacent)
+                u_join = min(nbr_clusters[joined])
+                spanner.add(normalize_edge(v, u_join))
+                new_cluster[v] = joined
+                others = [u for u in nbr_clusters[joined] if u != u_join]
+                _drop_cluster_edges(v, others, live)
+        cluster = new_cluster
+
+    # Phase 2: one edge from every vertex to each adjacent final cluster.
+    for v in range(n):
+        nbr_clusters: Dict[int, List[int]] = {}
+        for u in live[v]:
+            c = cluster[u]
+            if c is not None:
+                nbr_clusters.setdefault(c, []).append(u)
+        for c, members in nbr_clusters.items():
+            if cluster[v] == c:
+                # Intra-cluster edges to the center's tree were added when
+                # joining; add one edge to keep intra-cluster connectivity.
+                spanner.add(normalize_edge(v, min(members)))
+            else:
+                spanner.add(normalize_edge(v, min(members)))
+
+    result = Topology(n, spanner, name=f"{topology.name}-spanner-k{k}")
+    # Safety net: Baswana-Sen guarantees connectivity; if sampling
+    # produced an unlucky isolated vertex (possible only through our
+    # unweighted tie-breaking), patch with original edges.
+    if not result.is_connected():
+        extra = _connect_with_original(result, topology)
+        result = Topology(n, list(result.edges) + extra,
+                          name=f"{topology.name}-spanner-k{k}")
+    return result
+
+
+def _drop_cluster_edges(v: int, members: List[int], live: List[Set[int]]) -> None:
+    for u in members:
+        live[v].discard(u)
+        live[u].discard(v)
+
+
+def _connect_with_original(sub: Topology, full: Topology) -> List[Edge]:
+    """Minimal patch set: BFS over `full`, adding any tree edge whose
+    endpoints lie in different components of `sub`."""
+    comp = _component_labels(sub)
+    extra: List[Edge] = []
+    merged: Dict[int, int] = {}
+
+    def find(c: int) -> int:
+        while merged.get(c, c) != c:
+            c = merged[c]
+        return c
+
+    for (u, v) in full.edges:
+        cu, cv = find(comp[u]), find(comp[v])
+        if cu != cv:
+            extra.append((u, v))
+            merged[cu] = cv
+    return extra
+
+
+def _component_labels(topo: Topology) -> List[int]:
+    label = [-1] * topo.num_nodes
+    current = 0
+    for start in range(topo.num_nodes):
+        if label[start] != -1:
+            continue
+        stack = [start]
+        label[start] = current
+        while stack:
+            u = stack.pop()
+            for v in topo.neighbors(u):
+                if label[v] == -1:
+                    label[v] = current
+                    stack.append(v)
+        current += 1
+    return label
+
+
+def verify_spanner_stretch(original: Topology, spanner: Topology,
+                           max_stretch: int, *,
+                           sample_sources: Optional[int] = None,
+                           seed: int = 0) -> bool:
+    """Check dist_spanner(u, v) <= max_stretch · dist_G(u, v) for edges.
+
+    For spanners it suffices to check endpoints of original edges (any
+    path's stretch is bounded by its worst edge detour).  With
+    ``sample_sources`` set, only BFS trees from that many random sources
+    are checked — used at bench scale.
+    """
+    sources = range(original.num_nodes)
+    if sample_sources is not None and sample_sources < original.num_nodes:
+        rng = random.Random(f"verify:{seed}")
+        sources = rng.sample(range(original.num_nodes), sample_sources)
+    for s in sources:
+        d_sub = spanner.bfs_distances(s)
+        for v in original.neighbors(s):
+            d = d_sub[v]
+            if d is None or d > max_stretch:
+                return False
+    return True

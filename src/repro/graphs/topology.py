@@ -1,0 +1,227 @@
+"""Static undirected-graph structure used by every other subsystem.
+
+A :class:`Topology` is a plain adjacency structure over node indices
+``0 .. n-1``.  It knows nothing about identifiers, port numbers, or the
+simulation runtime; those concerns live in :mod:`repro.graphs.network`.
+
+The paper's model (Section 2) assumes an undirected connected graph
+``G = (V, E)``.  All generators in :mod:`repro.graphs.generators` return
+instances of this class.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+Edge = Tuple[int, int]
+
+
+def normalize_edge(u: int, v: int) -> Edge:
+    """Return the canonical (min, max) form of an undirected edge."""
+    if u == v:
+        raise ValueError(f"self-loop on node {u} is not allowed")
+    return (u, v) if u < v else (v, u)
+
+
+class Topology:
+    """An immutable simple undirected graph over indices ``0 .. n-1``.
+
+    Parameters
+    ----------
+    num_nodes:
+        Number of nodes; indices run from 0 to ``num_nodes - 1``.
+    edges:
+        Iterable of ``(u, v)`` pairs.  Duplicates and orientation are
+        normalized away; self-loops raise ``ValueError``.
+    name:
+        Optional human-readable label used in reports and benchmarks.
+    """
+
+    def __init__(self, num_nodes: int, edges: Iterable[Edge], name: str = "graph") -> None:
+        if num_nodes <= 0:
+            raise ValueError("a topology needs at least one node")
+        self._n = num_nodes
+        self._name = name
+        adjacency: List[List[int]] = [[] for _ in range(num_nodes)]
+        edge_set: Set[Edge] = set()
+        for u, v in edges:
+            if not (0 <= u < num_nodes and 0 <= v < num_nodes):
+                raise ValueError(f"edge ({u}, {v}) out of range for n={num_nodes}")
+            e = normalize_edge(u, v)
+            if e in edge_set:
+                continue
+            edge_set.add(e)
+            adjacency[e[0]].append(e[1])
+            adjacency[e[1]].append(e[0])
+        for nbrs in adjacency:
+            nbrs.sort()
+        self._adjacency: Tuple[Tuple[int, ...], ...] = tuple(tuple(a) for a in adjacency)
+        self._edges: Tuple[Edge, ...] = tuple(sorted(edge_set))
+        self._edge_set: FrozenSet[Edge] = frozenset(edge_set)
+
+    # ------------------------------------------------------------------
+    # Basic accessors
+    # ------------------------------------------------------------------
+    @property
+    def name(self) -> str:
+        return self._name
+
+    @property
+    def num_nodes(self) -> int:
+        return self._n
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    @property
+    def edges(self) -> Tuple[Edge, ...]:
+        """All edges in canonical sorted order."""
+        return self._edges
+
+    def neighbors(self, u: int) -> Tuple[int, ...]:
+        """Sorted neighbor indices of node ``u``."""
+        return self._adjacency[u]
+
+    def degree(self, u: int) -> int:
+        return len(self._adjacency[u])
+
+    def has_edge(self, u: int, v: int) -> bool:
+        if u == v:
+            return False
+        return normalize_edge(u, v) in self._edge_set
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(range(self._n))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Topology(name={self._name!r}, n={self._n}, m={self.num_edges})"
+
+    # ------------------------------------------------------------------
+    # Graph algorithms used throughout the reproduction
+    # ------------------------------------------------------------------
+    def bfs_distances(self, source: int) -> List[Optional[int]]:
+        """Distances from ``source``; ``None`` marks unreachable nodes."""
+        dist: List[Optional[int]] = [None] * self._n
+        dist[source] = 0
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            base = dist[u]
+            assert base is not None
+            for v in self._adjacency[u]:
+                if dist[v] is None:
+                    dist[v] = base + 1
+                    queue.append(v)
+        return dist
+
+    def is_connected(self) -> bool:
+        if self._n == 1:
+            return True
+        return all(d is not None for d in self.bfs_distances(0))
+
+    def eccentricity(self, source: int) -> int:
+        """Maximum finite BFS distance from ``source``.
+
+        Raises ``ValueError`` on disconnected graphs.
+        """
+        dist = self.bfs_distances(source)
+        if any(d is None for d in dist):
+            raise ValueError("eccentricity undefined on a disconnected graph")
+        return max(d for d in dist if d is not None)
+
+    def diameter(self) -> int:
+        """Exact diameter via all-sources BFS (O(n·m)); fine at bench scale."""
+        if not self.is_connected():
+            raise ValueError("diameter undefined on a disconnected graph")
+        return max(self.eccentricity(u) for u in range(self._n))
+
+    def diameter_estimate(self) -> int:
+        """Cheap 2-approximation: double-sweep BFS lower bound.
+
+        Used where exact diameters would dominate bench runtime.  The
+        double sweep returns the true diameter on trees and is a lower
+        bound in general.
+        """
+        if not self.is_connected():
+            raise ValueError("diameter undefined on a disconnected graph")
+        dist0 = self.bfs_distances(0)
+        far = max(range(self._n), key=lambda u: dist0[u] or 0)
+        return self.eccentricity(far)
+
+    def is_two_edge_connected(self) -> bool:
+        """True when the graph has no bridge edges.
+
+        Theorem 3.1's base graph ``G0`` must stay connected after any
+        single clique edge is removed; this check validates instances.
+        """
+        return not self.bridges()
+
+    def bridges(self) -> List[Edge]:
+        """All bridge edges (iterative Tarjan lowpoint algorithm)."""
+        disc: List[int] = [-1] * self._n
+        low: List[int] = [0] * self._n
+        parent: List[int] = [-1] * self._n
+        out: List[Edge] = []
+        timer = 0
+        for root in range(self._n):
+            if disc[root] != -1:
+                continue
+            stack: List[Tuple[int, int]] = [(root, 0)]
+            disc[root] = low[root] = timer
+            timer += 1
+            while stack:
+                u, i = stack[-1]
+                if i < len(self._adjacency[u]):
+                    stack[-1] = (u, i + 1)
+                    v = self._adjacency[u][i]
+                    if disc[v] == -1:
+                        parent[v] = u
+                        disc[v] = low[v] = timer
+                        timer += 1
+                        stack.append((v, 0))
+                    elif v != parent[u]:
+                        low[u] = min(low[u], disc[v])
+                else:
+                    stack.pop()
+                    if stack:
+                        p = stack[-1][0]
+                        low[p] = min(low[p], low[u])
+                        if low[u] > disc[p]:
+                            out.append(normalize_edge(p, u))
+        return out
+
+    def subgraph_without_edge(self, u: int, v: int, name: Optional[str] = None) -> "Topology":
+        """Copy of this topology with edge ``(u, v)`` removed."""
+        e = normalize_edge(u, v)
+        if e not in self._edge_set:
+            raise ValueError(f"edge {e} not present")
+        remaining = [edge for edge in self._edges if edge != e]
+        return Topology(self._n, remaining, name=name or f"{self._name}-minus-{e}")
+
+    def relabeled(self, offset: int) -> List[Edge]:
+        """Edge list with every index shifted by ``offset``.
+
+        Helper for compositions such as the dumbbell construction, which
+        places two copies of an open graph side by side.
+        """
+        return [(u + offset, v + offset) for (u, v) in self._edges]
+
+
+def union_topology(parts: Sequence[Topology],
+                   extra_edges: Iterable[Edge] = (),
+                   name: str = "union") -> Topology:
+    """Disjoint union of ``parts`` plus ``extra_edges`` between them.
+
+    Node indices of part *i* are shifted by the total size of parts
+    ``0 .. i-1``.  ``extra_edges`` are given in the shifted index space.
+    """
+    total = sum(p.num_nodes for p in parts)
+    edges: List[Edge] = []
+    offset = 0
+    for part in parts:
+        edges.extend(part.relabeled(offset))
+        offset += part.num_nodes
+    edges.extend(extra_edges)
+    return Topology(total, edges, name=name)

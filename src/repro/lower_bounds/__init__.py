@@ -1,0 +1,29 @@
+"""Experiment harnesses for the Section 3 lower bounds (system S7)."""
+
+from .bridge_crossing import (
+    CrossingExperiment,
+    CrossingTrial,
+    broadcast_crossing_experiment,
+    crossing_experiment,
+    run_crossing_trial,
+)
+from .time_bound import (
+    CompletionStats,
+    TruncationExperiment,
+    TruncationPoint,
+    completion_time_experiment,
+    truncation_experiment,
+)
+
+__all__ = [
+    "CompletionStats",
+    "CrossingExperiment",
+    "CrossingTrial",
+    "TruncationExperiment",
+    "TruncationPoint",
+    "broadcast_crossing_experiment",
+    "completion_time_experiment",
+    "crossing_experiment",
+    "run_crossing_trial",
+    "truncation_experiment",
+]

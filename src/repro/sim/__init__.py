@@ -1,0 +1,47 @@
+"""Synchronous message-passing network simulator (CONGEST / LOCAL).
+
+This package is substrate S1 of DESIGN.md: the round-based distributed
+computing model of the paper's Section 2, with event-driven round
+skipping, per-node private coins, message/bit metrics, edge watches for
+the bridge-crossing lower-bound experiments, and pluggable wakeup models.
+"""
+
+from .errors import (
+    CongestViolation,
+    ElectionFailure,
+    InvalidPort,
+    ModelViolation,
+    RoundLimitExceeded,
+    SimulationError,
+)
+from .message import Envelope, Payload, WORD_BITS
+from .metrics import EdgeWatch, Metrics
+from .process import Delivery, NodeContext, NodeProcess
+from .scheduler import DEFAULT_MAX_ROUNDS, RunResult, Simulator
+from .status import Status
+from .wakeup import AdversarialWakeup, ExplicitWakeup, Simultaneous, WakeupModel
+
+__all__ = [
+    "AdversarialWakeup",
+    "CongestViolation",
+    "DEFAULT_MAX_ROUNDS",
+    "Delivery",
+    "EdgeWatch",
+    "ElectionFailure",
+    "Envelope",
+    "ExplicitWakeup",
+    "InvalidPort",
+    "Metrics",
+    "ModelViolation",
+    "NodeContext",
+    "NodeProcess",
+    "Payload",
+    "RoundLimitExceeded",
+    "RunResult",
+    "SimulationError",
+    "Simulator",
+    "Simultaneous",
+    "Status",
+    "WakeupModel",
+    "WORD_BITS",
+]

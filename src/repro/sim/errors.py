@@ -1,0 +1,33 @@
+"""Exception hierarchy for the synchronous network simulator."""
+
+from __future__ import annotations
+
+
+class SimulationError(Exception):
+    """Base class for all simulator errors."""
+
+
+class ModelViolation(SimulationError):
+    """An algorithm broke a rule of the synchronous message-passing model
+    (e.g., two sends on one port in one round in CONGEST)."""
+
+
+class CongestViolation(ModelViolation):
+    """A message exceeded the CONGEST bandwidth bound of O(log n) bits."""
+
+
+class InvalidPort(ModelViolation):
+    """A send targeted a port outside ``[0, degree)``."""
+
+
+class RoundLimitExceeded(SimulationError):
+    """The run hit ``max_rounds`` before reaching quiescence."""
+
+    def __init__(self, max_rounds: int) -> None:
+        super().__init__(f"simulation exceeded max_rounds={max_rounds}")
+        self.max_rounds = max_rounds
+
+
+class ElectionFailure(SimulationError):
+    """Raised by helpers that demand exactly one leader when the run
+    produced zero or more than one."""

@@ -1,0 +1,70 @@
+"""Message payloads and in-flight envelopes.
+
+The CONGEST model allows one message of ``O(log n)`` bits per edge per
+round; the LOCAL model drops the size restriction (Section 2).  Payload
+classes report their size so :class:`repro.sim.metrics.Metrics` can track
+bit complexity and the scheduler can optionally enforce CONGEST.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field, fields
+from typing import Any, Tuple
+
+#: Default size charged for a scalar field (an ID, a rank, a counter):
+#: all of these are O(log n)-bit quantities in the paper's model.
+WORD_BITS = 64
+
+
+def _value_bits(value: Any) -> int:
+    """Recursive size estimate for a payload field value."""
+    if value is None or isinstance(value, bool):
+        return 1
+    if isinstance(value, int):
+        return max(1, value.bit_length()) if value >= 0 else WORD_BITS
+    if isinstance(value, str):
+        return 8 * len(value)
+    if isinstance(value, (tuple, list, frozenset, set)):
+        return sum(_value_bits(v) for v in value) + len(value)
+    if isinstance(value, Payload):
+        return value.size_bits()
+    return WORD_BITS
+
+
+@dataclass(frozen=True)
+class Payload:
+    """Base class for algorithm messages.
+
+    Subclasses are frozen dataclasses; their size defaults to the sum of
+    their fields' estimated sizes plus a constant header.  Algorithms
+    shipping structures larger than O(log n) bits (e.g. Algorithm 1's
+    inter-cluster graph) override :meth:`size_bits` or fragment the
+    structure explicitly.
+    """
+
+    def size_bits(self) -> int:
+        total = 8  # message-type header
+        for f in fields(self):
+            total += _value_bits(getattr(self, f.name))
+        return total
+
+    def kind(self) -> str:
+        """Short tag used in metrics breakdowns."""
+        return type(self).__name__
+
+
+@dataclass(frozen=True)
+class Envelope:
+    """A message in flight: fixed at send time, delivered next round."""
+
+    src: int            # sender node index
+    dst: int            # receiver node index
+    dst_port: int       # receiver's local port for the shared edge
+    payload: Payload
+    sent_round: int
+
+    @property
+    def edge(self) -> Tuple[int, int]:
+        u, v = self.src, self.dst
+        return (u, v) if u < v else (v, u)

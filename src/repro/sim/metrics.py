@@ -1,0 +1,101 @@
+"""Complexity accounting: message counts, bit counts, edge watches.
+
+Message complexity is counted at *send* time (the standard convention —
+every transmitted message costs one unit, whether or not the protocol
+later ignores it).  Time complexity is the index of the last round in
+which any message was delivered or any node changed state.
+
+Edge watches support the bridge-crossing experiments of Section 3.1: the
+harness registers the two bridge edges of a dumbbell graph and reads off
+how many messages the whole network sent before the first crossing.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+
+from .message import Envelope
+
+Edge = Tuple[int, int]
+
+
+@dataclass
+class EdgeWatch:
+    """First-crossing record for one watched edge."""
+
+    edge: Edge
+    first_crossing_round: Optional[int] = None
+    messages_before_crossing: Optional[int] = None
+
+    @property
+    def crossed(self) -> bool:
+        return self.first_crossing_round is not None
+
+
+class Metrics:
+    """Mutable counters updated by the scheduler during a run."""
+
+    def __init__(self, watch_edges: Optional[Set[Edge]] = None,
+                 record_sends: bool = False) -> None:
+        self.messages = 0
+        self.bits = 0
+        self.per_node_sent: Counter = Counter()
+        self.per_kind: Counter = Counter()
+        self.max_payload_bits = 0
+        self.last_activity_round = 0
+        self.rounds_executed = 0
+        self._watches: Dict[Edge, EdgeWatch] = {}
+        if watch_edges:
+            for (u, v) in watch_edges:
+                e = (u, v) if u < v else (v, u)
+                self._watches[e] = EdgeWatch(edge=e)
+        self.record_sends = record_sends
+        self.send_log: List[Envelope] = []
+
+    # ------------------------------------------------------------------
+    def on_send(self, env: Envelope) -> None:
+        self.messages += 1
+        size = env.payload.size_bits()
+        self.bits += size
+        self.max_payload_bits = max(self.max_payload_bits, size)
+        self.per_node_sent[env.src] += 1
+        self.per_kind[env.payload.kind()] += 1
+        watch = self._watches.get(env.edge)
+        if watch is not None and watch.first_crossing_round is None:
+            watch.first_crossing_round = env.sent_round
+            # The crossing message itself is included in the count, so
+            # "messages strictly before" is self.messages - 1.
+            watch.messages_before_crossing = self.messages - 1
+        if self.record_sends:
+            self.send_log.append(env)
+
+    def on_activity(self, round_index: int) -> None:
+        self.last_activity_round = max(self.last_activity_round, round_index)
+
+    # ------------------------------------------------------------------
+    @property
+    def watches(self) -> Dict[Edge, EdgeWatch]:
+        return self._watches
+
+    def first_watched_crossing(self) -> Optional[EdgeWatch]:
+        """The earliest crossing among all watched edges, if any."""
+        crossed = [w for w in self._watches.values() if w.crossed]
+        if not crossed:
+            return None
+        return min(crossed, key=lambda w: (w.first_crossing_round, w.edge))
+
+    def messages_before_any_crossing(self) -> Optional[int]:
+        """Messages the network sent strictly before the first bridge
+        crossing; ``None`` when no watched edge was ever crossed."""
+        w = self.first_watched_crossing()
+        return None if w is None else w.messages_before_crossing
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "messages": self.messages,
+            "bits": self.bits,
+            "rounds": self.last_activity_round,
+            "max_payload_bits": self.max_payload_bits,
+        }

@@ -1,0 +1,196 @@
+"""Per-node algorithm API: :class:`NodeProcess` and :class:`NodeContext`.
+
+An algorithm is a :class:`NodeProcess` subclass instantiated once per
+node.  The scheduler activates a process only when something happens for
+it — it wakes up, messages arrive, or one of its alarms fires — which is
+what lets the simulator skip empty rounds (essential for Theorem 4.1's
+exponentially rate-limited agents).  A process that wants a tick every
+round simply re-arms an alarm one round ahead.
+
+Everything a process may legally observe or do goes through its
+:class:`NodeContext`: its own ID, its degree, local port numbers, private
+coins, optional global knowledge (``n``, ``m``, ``D`` — cf. Table 1's
+"Knowledge" column), and the send/alarm/status primitives.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Any, Dict, Iterable, List, Mapping, NamedTuple, Optional, TYPE_CHECKING
+
+from .errors import InvalidPort, ModelViolation
+from .message import Payload
+from .status import Status
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .scheduler import Simulator
+
+
+class Delivery(NamedTuple):
+    """One received message: the local port it arrived on + its payload."""
+
+    port: int
+    payload: Payload
+
+
+class NodeContext:
+    """The node-local view handed to every :class:`NodeProcess` callback."""
+
+    def __init__(self, sim: "Simulator", index: int) -> None:
+        self._sim = sim
+        self._index = index
+        self._uid = sim.network.id_of(index)
+        self._degree = sim.network.degree(index)
+        self._status = Status.UNDECIDED
+        self._halted = False
+        self._rng = random.Random(f"node:{sim.seed}:{index}")
+        self._round = 0
+        self._ports_sent_this_round: set = set()
+        self._outbox: list = []
+        #: Free-form per-node outputs collected into the RunResult
+        #: (estimates, received-broadcast flags, phase counts, ...).
+        self.output: Dict[str, Any] = {}
+
+    # -- identity & local structure ------------------------------------
+    @property
+    def uid(self) -> int:
+        """This node's unique identifier (adversarially assigned)."""
+        return self._uid
+
+    @property
+    def degree(self) -> int:
+        return self._degree
+
+    @property
+    def ports(self) -> range:
+        """Local port numbers ``0 .. degree-1``."""
+        return range(self._degree)
+
+    @property
+    def round(self) -> int:
+        """The current round number."""
+        return self._round
+
+    @property
+    def rng(self) -> random.Random:
+        """Private unbiased coins (no shared randomness, Section 2)."""
+        return self._rng
+
+    @property
+    def knowledge(self) -> Mapping[str, int]:
+        """Global parameters the adversary granted (``n``/``m``/``D``)."""
+        return self._sim.knowledge
+
+    # -- communication ---------------------------------------------------
+    def send(self, port: int, payload: Payload) -> None:
+        """Send one message through ``port``; delivered next round.
+
+        At most one message per port per round (the CONGEST/LOCAL edge
+        discipline); violations raise :class:`ModelViolation`.
+        """
+        if self._halted:
+            raise ModelViolation(f"halted node {self._index} tried to send")
+        if not 0 <= port < self._degree:
+            raise InvalidPort(f"node {self._index}: port {port} out of range "
+                              f"[0, {self._degree})")
+        key = (self._round, port)
+        if key in self._ports_sent_this_round:
+            raise ModelViolation(
+                f"node {self._index} sent twice on port {port} in round {self._round}")
+        self._ports_sent_this_round.add(key)
+        self._sim._submit_send(self._index, port, payload)
+
+    def send_soon(self, port: int, payload: Payload) -> None:
+        """Send through ``port`` now if it is free this round, otherwise
+        in the earliest following round with a free slot.
+
+        This is how protocols share an edge between logically concurrent
+        messages (e.g. an echo and a forward of a better rank in the
+        same round) without violating the one-message-per-edge-per-round
+        discipline.  Deferred messages are flushed automatically at the
+        node's next activation (an alarm is set to guarantee one).
+        """
+        if not 0 <= port < self._degree:
+            raise InvalidPort(f"node {self._index}: port {port} out of range "
+                              f"[0, {self._degree})")
+        if (self._round, port) in self._ports_sent_this_round:
+            self._outbox.append((port, payload))
+            self._sim._submit_alarm(self._index, self._round + 1)
+        else:
+            self.send(port, payload)
+
+    def _flush_outbox(self) -> None:
+        """Called by the scheduler at the start of each activation."""
+        if not self._outbox:
+            return
+        backlog, self._outbox = self._outbox, []
+        for port, payload in backlog:
+            self.send_soon(port, payload)
+
+    def broadcast(self, payload: Payload, exclude: Iterable[int] = ()) -> None:
+        """Send ``payload`` on every port except those in ``exclude``."""
+        skip = set(exclude)
+        for port in self.ports:
+            if port not in skip:
+                self.send(port, payload)
+
+    # -- timers ------------------------------------------------------------
+    def set_alarm_in(self, delta: int) -> None:
+        """Request activation ``delta`` >= 1 rounds from now."""
+        if delta < 1:
+            raise ValueError("alarms must be at least one round ahead")
+        self._sim._submit_alarm(self._index, self._round + delta)
+
+    def set_alarm_at(self, round_index: int) -> None:
+        """Request activation at an absolute future round."""
+        if round_index <= self._round:
+            raise ValueError("alarms must be strictly in the future")
+        self._sim._submit_alarm(self._index, round_index)
+
+    # -- leader-election status ---------------------------------------------
+    @property
+    def status(self) -> Status:
+        return self._status
+
+    def elect(self) -> None:
+        """Set status to ELECTED (the node claims leadership)."""
+        self._set_status(Status.ELECTED)
+
+    def set_non_elected(self) -> None:
+        self._set_status(Status.NON_ELECTED)
+
+    def set_undecided(self) -> None:
+        """Revert to UNDECIDED (used by restarting Las Vegas wrappers)."""
+        self._set_status(Status.UNDECIDED)
+
+    def _set_status(self, status: Status) -> None:
+        if status is not self._status:
+            self._status = status
+            self._sim._note_activity(self._round)
+
+    def halt(self) -> None:
+        """Stop participating: no further activations, inbound dropped."""
+        self._halted = True
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"NodeContext(index={self._index}, uid={self._uid}, "
+                f"status={self._status}, round={self._round})")
+
+
+class NodeProcess:
+    """Base class for all distributed algorithms in this repository.
+
+    Subclasses override :meth:`on_start` (called once, at wakeup) and
+    :meth:`on_round` (called whenever messages arrive or an alarm fires;
+    ``inbox`` may be empty in the alarm-only case).
+    """
+
+    def on_start(self, ctx: NodeContext) -> None:  # pragma: no cover - default
+        """Called exactly once when the node wakes up."""
+
+    def on_round(self, ctx: NodeContext, inbox: List[Delivery]) -> None:
+        """Called on every activation after wakeup."""

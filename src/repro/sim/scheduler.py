@@ -1,0 +1,277 @@
+"""The synchronous round scheduler.
+
+Implements the model of Section 2: computation proceeds in synchronous
+rounds; in every round each awake node may send at most one message per
+incident edge, receives the messages its neighbors sent in the previous
+round, and performs local computation.
+
+The scheduler is *event-driven over rounds*: it maintains the set of
+future event rounds (message deliveries, alarms, spontaneous wakeups) and
+jumps directly from one event round to the next.  Semantically this is
+identical to executing every intermediate round — nothing can happen in a
+round with no deliveries, no alarms, and no wakeups — but it makes runs
+whose span is exponential (Theorem 4.1: the agent with smallest ID ``i``
+finishes around round ``2m · 2^i``) run in time proportional to the
+number of *events*, not rounds.
+"""
+
+from __future__ import annotations
+
+import heapq
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+
+from ..graphs.network import Network
+from .errors import CongestViolation, RoundLimitExceeded
+from .message import Envelope, Payload
+from .metrics import Metrics
+from .process import Delivery, NodeContext, NodeProcess
+from .status import Status
+from .wakeup import Simultaneous, WakeupModel
+
+ProcessFactory = Callable[[], NodeProcess]
+
+#: Default ceiling protecting against accidental non-termination.  Event
+#: rounds beyond this are treated as a truncated run, never silently
+#: executed forever.
+DEFAULT_MAX_ROUNDS = 10 ** 9
+
+
+@dataclass
+class RunResult:
+    """Everything an experiment needs to know about one simulation run."""
+
+    network: Network
+    statuses: List[Status]
+    outputs: List[Dict[str, Any]]
+    metrics: Metrics
+    truncated: bool
+    wake_schedule: List[Optional[int]]
+
+    # -- complexity ------------------------------------------------------
+    @property
+    def rounds(self) -> int:
+        """Time complexity: index of the last round with any activity."""
+        return self.metrics.last_activity_round
+
+    @property
+    def messages(self) -> int:
+        return self.metrics.messages
+
+    @property
+    def bits(self) -> int:
+        return self.metrics.bits
+
+    # -- election outcome --------------------------------------------------
+    @property
+    def elected_indices(self) -> List[int]:
+        return [i for i, s in enumerate(self.statuses) if s is Status.ELECTED]
+
+    @property
+    def num_leaders(self) -> int:
+        return len(self.elected_indices)
+
+    @property
+    def has_unique_leader(self) -> bool:
+        """Exactly one ELECTED node and nobody left UNDECIDED."""
+        return (self.num_leaders == 1 and
+                all(s is not Status.UNDECIDED for s in self.statuses))
+
+    @property
+    def leader_uid(self) -> Optional[int]:
+        leaders = self.elected_indices
+        if len(leaders) != 1:
+            return None
+        return self.network.id_of(leaders[0])
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"RunResult(rounds={self.rounds}, messages={self.messages}, "
+                f"leaders={self.num_leaders}, truncated={self.truncated})")
+
+
+class Simulator:
+    """Runs one algorithm instance per node of a :class:`Network`.
+
+    Parameters
+    ----------
+    network:
+        The concrete network (topology + IDs + ports).
+    process_factory:
+        Zero-argument callable returning a fresh :class:`NodeProcess`
+        per node (e.g. ``lambda: LeastElementElection()``).
+    seed:
+        Master seed deriving all per-node private coins and the wakeup
+        schedule; identical seeds reproduce runs exactly.
+    knowledge:
+        Mapping of global parameters granted to every node, e.g.
+        ``{"n": 100}`` or ``{"n": 100, "D": 12}`` (Table 1's
+        "Knowledge" column).  Algorithms read it via ``ctx.knowledge``.
+    wakeup:
+        Wakeup model; defaults to simultaneous wakeup.
+    watch_edges:
+        Edges whose first crossing should be recorded (bridge-crossing
+        experiments, Section 3.1).
+    congest_bits:
+        When set, any payload larger than this many bits raises
+        :class:`CongestViolation` — used to certify that the CONGEST
+        algorithms really ship O(log n)-bit messages.
+    """
+
+    def __init__(self, network: Network, process_factory: ProcessFactory, *,
+                 seed: int = 0,
+                 knowledge: Optional[Mapping[str, int]] = None,
+                 wakeup: Optional[WakeupModel] = None,
+                 watch_edges: Optional[Set[Tuple[int, int]]] = None,
+                 record_sends: bool = False,
+                 congest_bits: Optional[int] = None) -> None:
+        self.network = network
+        self.seed = seed
+        self.knowledge: Mapping[str, int] = dict(knowledge or {})
+        self._congest_bits = congest_bits
+        self.metrics = Metrics(watch_edges=watch_edges, record_sends=record_sends)
+        n = network.num_nodes
+        self._processes: List[NodeProcess] = [process_factory() for _ in range(n)]
+        self._contexts: List[NodeContext] = [NodeContext(self, i) for i in range(n)]
+        self._started: List[bool] = [False] * n
+
+        wake_model = wakeup if wakeup is not None else Simultaneous()
+        wake_rng = random.Random(f"wakeup:{seed}")
+        self._wake_schedule = wake_model.schedule(n, wake_rng)
+        self._pending_wakeups: Dict[int, List[int]] = {}
+        for i, r in enumerate(self._wake_schedule):
+            if r is not None:
+                self._pending_wakeups.setdefault(r, []).append(i)
+
+        self._deliveries: Dict[int, Dict[int, List[Delivery]]] = {}
+        self._alarm_heap: List[Tuple[int, int]] = []
+        self._alarm_set: Set[Tuple[int, int]] = set()
+        self._current_round = 0
+        self._ran = False
+
+    # ------------------------------------------------------------------
+    # Hooks used by NodeContext
+    # ------------------------------------------------------------------
+    def _submit_send(self, src: int, port: int, payload: Payload) -> None:
+        if self._congest_bits is not None:
+            size = payload.size_bits()
+            if size > self._congest_bits:
+                raise CongestViolation(
+                    f"payload {payload.kind()} is {size} bits "
+                    f"(> CONGEST limit of {self._congest_bits})")
+        dst = self.network.neighbor_via_port(src, port)
+        dst_port = self.network.port_to_neighbor(dst, src)
+        env = Envelope(src=src, dst=dst, dst_port=dst_port, payload=payload,
+                       sent_round=self._current_round)
+        self.metrics.on_send(env)
+        deliver_round = self._current_round + 1
+        bucket = self._deliveries.setdefault(deliver_round, {})
+        bucket.setdefault(dst, []).append(Delivery(dst_port, payload))
+
+    def _submit_alarm(self, node: int, round_index: int) -> None:
+        key = (round_index, node)
+        if key not in self._alarm_set:
+            self._alarm_set.add(key)
+            heapq.heappush(self._alarm_heap, key)
+
+    def _note_activity(self, round_index: int) -> None:
+        self.metrics.on_activity(round_index)
+
+    # ------------------------------------------------------------------
+    def _next_event_round(self) -> Optional[int]:
+        # Alarms belonging to halted nodes can never cause activity;
+        # discard them so they don't keep an otherwise-finished run
+        # alive (e.g. the never-taken 2^ID steps of destroyed Theorem
+        # 4.1 agents).
+        while self._alarm_heap and self._contexts[self._alarm_heap[0][1]].halted:
+            key = heapq.heappop(self._alarm_heap)
+            self._alarm_set.discard(key)
+        candidates: List[int] = []
+        if self._deliveries:
+            candidates.append(min(self._deliveries))
+        if self._alarm_heap:
+            candidates.append(self._alarm_heap[0][0])
+        if self._pending_wakeups:
+            candidates.append(min(self._pending_wakeups))
+        return min(candidates) if candidates else None
+
+    def run(self, max_rounds: Optional[int] = None, *,
+            raise_on_limit: bool = False) -> RunResult:
+        """Execute until quiescence (or ``max_rounds``) and return the result.
+
+        Quiescence means: no messages in flight, no pending alarms, no
+        future spontaneous wakeups — by induction nothing can ever happen
+        again, so the run's outcome is final.
+        """
+        if self._ran:
+            raise RuntimeError("Simulator instances are single-use")
+        self._ran = True
+        limit = max_rounds if max_rounds is not None else DEFAULT_MAX_ROUNDS
+        truncated = False
+
+        while True:
+            next_round = self._next_event_round()
+            if next_round is None:
+                break
+            if next_round > limit:
+                truncated = True
+                if raise_on_limit:
+                    raise RoundLimitExceeded(limit)
+                break
+            self._current_round = next_round
+            self._execute_round(next_round)
+            self.metrics.rounds_executed += 1
+
+        return RunResult(
+            network=self.network,
+            statuses=[ctx.status for ctx in self._contexts],
+            outputs=[ctx.output for ctx in self._contexts],
+            metrics=self.metrics,
+            truncated=truncated,
+            wake_schedule=list(self._wake_schedule),
+        )
+
+    # ------------------------------------------------------------------
+    def _execute_round(self, r: int) -> None:
+        inboxes = self._deliveries.pop(r, {})
+        woken = self._pending_wakeups.pop(r, [])
+
+        fired: Set[int] = set()
+        while self._alarm_heap and self._alarm_heap[0][0] <= r:
+            key = heapq.heappop(self._alarm_heap)
+            self._alarm_set.discard(key)
+            fired.add(key[1])
+
+        active = sorted(set(woken) | set(inboxes) | fired)
+        if inboxes:
+            # Message deliveries mark activity even if receivers are halted.
+            self.metrics.on_activity(r)
+
+        for idx in active:
+            ctx = self._contexts[idx]
+            if ctx.halted:
+                continue
+            ctx._round = r
+            ctx._flush_outbox()
+            inbox = inboxes.get(idx, [])
+            first_activation = not self._started[idx]
+            if first_activation:
+                # A sleeping node woken by a message runs its wakeup code
+                # before processing the inbox (Theorem 4.1's wakeup phase
+                # relies on this ordering).
+                self._started[idx] = True
+                self.metrics.on_activity(r)
+                self._processes[idx].on_start(ctx)
+            if inbox or idx in fired:
+                self._processes[idx].on_round(ctx, inbox)
+
+    # ------------------------------------------------------------------
+    # Introspection helpers (tests / experiments)
+    # ------------------------------------------------------------------
+    @property
+    def processes(self) -> Sequence[NodeProcess]:
+        return self._processes
+
+    @property
+    def contexts(self) -> Sequence[NodeContext]:
+        return self._contexts

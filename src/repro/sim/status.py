@@ -1,0 +1,20 @@
+"""Node status values for the leader-election problem (Section 2).
+
+Every node owns a ``status`` variable over ``{UNDECIDED, ELECTED,
+NON_ELECTED}`` (the paper's ``{⊥, elected, non-elected}``).  An algorithm
+*solves leader election in T rounds* if from round T on exactly one node
+is ELECTED and all others are NON_ELECTED.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Status(enum.Enum):
+    UNDECIDED = "undecided"
+    ELECTED = "elected"
+    NON_ELECTED = "non-elected"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value

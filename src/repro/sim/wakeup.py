@@ -1,0 +1,77 @@
+"""Wakeup models (Section 2).
+
+The classical literature distinguishes *simultaneous wakeup* (all nodes
+start in round 0 — the setting in which the paper's lower bounds hold)
+from *adversarial wakeup* (nodes wake at adversary-chosen times, or upon
+receiving a message, with at least one node initially awake — the setting
+Theorem 4.1's wakeup phase is designed for).
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Dict, List, Optional, Sequence
+
+
+class WakeupModel(ABC):
+    """Maps each node index to its spontaneous wakeup round (or None for
+    nodes that only wake upon receiving a message)."""
+
+    @abstractmethod
+    def schedule(self, n: int, rng: random.Random) -> List[Optional[int]]:
+        """Return, per node, a spontaneous wakeup round or ``None``."""
+
+
+class Simultaneous(WakeupModel):
+    """Every node wakes spontaneously in round 0 (the default)."""
+
+    def schedule(self, n: int, rng: random.Random) -> List[Optional[int]]:
+        return [0] * n
+
+
+class AdversarialWakeup(WakeupModel):
+    """A random subset wakes spontaneously at staggered rounds; everyone
+    else sleeps until a message arrives.
+
+    Parameters
+    ----------
+    fraction_awake:
+        Expected fraction of spontaneously waking nodes (at least one is
+        always forced awake, as the model requires).
+    max_delay:
+        Spontaneous wakeups are drawn uniformly from ``[0, max_delay]``.
+    """
+
+    def __init__(self, fraction_awake: float = 0.25, max_delay: int = 0) -> None:
+        if not 0.0 <= fraction_awake <= 1.0:
+            raise ValueError("fraction_awake must lie in [0, 1]")
+        if max_delay < 0:
+            raise ValueError("max_delay must be non-negative")
+        self.fraction_awake = fraction_awake
+        self.max_delay = max_delay
+
+    def schedule(self, n: int, rng: random.Random) -> List[Optional[int]]:
+        rounds: List[Optional[int]] = [
+            rng.randint(0, self.max_delay) if rng.random() < self.fraction_awake else None
+            for _ in range(n)
+        ]
+        if all(r is None for r in rounds):
+            rounds[rng.randrange(n)] = 0
+        # Normalize so that the earliest spontaneous wakeup is round 0.
+        earliest = min(r for r in rounds if r is not None)
+        return [None if r is None else r - earliest for r in rounds]
+
+
+class ExplicitWakeup(WakeupModel):
+    """A caller-specified schedule (used in deterministic tests)."""
+
+    def __init__(self, rounds: Sequence[Optional[int]]) -> None:
+        if all(r is None for r in rounds):
+            raise ValueError("at least one node must wake spontaneously")
+        self._rounds = list(rounds)
+
+    def schedule(self, n: int, rng: random.Random) -> List[Optional[int]]:
+        if len(self._rounds) != n:
+            raise ValueError(f"schedule covers {len(self._rounds)} nodes, need {n}")
+        return list(self._rounds)

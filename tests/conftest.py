@@ -1,0 +1,64 @@
+"""Shared fixtures: a topology zoo and a one-line election runner."""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import pytest
+
+from repro.graphs import (
+    Network,
+    Topology,
+    complete,
+    erdos_renyi,
+    grid,
+    hypercube,
+    lollipop,
+    path,
+    random_regular,
+    ring,
+    star,
+)
+from repro.sim import Simulator
+
+
+def topology_zoo():
+    """Small instances of every family the paper's discussion touches."""
+    return [
+        ring(9),
+        path(8),
+        star(10),
+        complete(7),
+        grid(4, 5),
+        grid(4, 4, torus=True),
+        hypercube(4),
+        random_regular(12, 3, seed=5),
+        erdos_renyi(30, 0.15, seed=3),
+        lollipop(6, 5),
+    ]
+
+
+ZOO_IDS = [t.name for t in topology_zoo()]
+
+
+@pytest.fixture(params=topology_zoo(), ids=ZOO_IDS)
+def zoo_topology(request) -> Topology:
+    return request.param
+
+
+def run_election(topology: Topology, factory, *, seed: int = 0,
+                 knowledge: Optional[Dict[str, int]] = None,
+                 knowledge_keys=(), max_rounds: Optional[int] = 10 ** 7,
+                 ids=None, wakeup=None):
+    """Build a network, run one election, return the RunResult."""
+    auto: Dict[str, int] = {}
+    if "n" in knowledge_keys:
+        auto["n"] = topology.num_nodes
+    if "m" in knowledge_keys:
+        auto["m"] = topology.num_edges
+    if "D" in knowledge_keys:
+        auto["D"] = topology.diameter()
+    auto.update(knowledge or {})
+    network = Network.build(topology, seed=seed, ids=ids)
+    sim = Simulator(network, factory, seed=seed, knowledge=auto, wakeup=wakeup)
+    return sim.run(max_rounds=max_rounds)

@@ -1,0 +1,112 @@
+"""Analysis toolkit: verification, statistics, fitting, Table 1."""
+
+import math
+
+import pytest
+
+from repro.analysis import (
+    Summary,
+    assert_unique_leader,
+    doubling_ratios,
+    election_outcome,
+    is_valid_election,
+    leaders_agree,
+    power_law_fit,
+    ratio_band,
+    run_trials,
+)
+from repro.core import LeastElementElection
+from repro.graphs import ring
+from repro.sim import ElectionFailure
+from tests.conftest import run_election
+
+
+class TestVerify:
+    def test_valid_election(self):
+        result = run_election(ring(8), LeastElementElection,
+                              knowledge_keys=("n",))
+        assert is_valid_election(result)
+        assert assert_unique_leader(result) == result.elected_indices[0]
+        assert leaders_agree(result)
+        outcome = election_outcome(result)
+        assert outcome == {"elected": 1, "non_elected": 7, "undecided": 0}
+
+    def test_invalid_raises(self):
+        from repro.sim import NodeProcess
+
+        class Nothing(NodeProcess):
+            pass
+
+        result = run_election(ring(5), Nothing)
+        assert not is_valid_election(result)
+        with pytest.raises(ElectionFailure):
+            assert_unique_leader(result, "nothing")
+
+
+class TestStats:
+    def test_summary(self):
+        s = Summary.of([1, 2, 3, 4])
+        assert s.mean == 2.5 and s.median == 2.5
+        assert s.minimum == 1 and s.maximum == 4
+
+    def test_run_trials(self):
+        stats = run_trials(ring(10), LeastElementElection, trials=5,
+                           knowledge_keys=("n",))
+        assert stats.trials == 5
+        assert stats.success_rate == 1.0
+        assert stats.messages.mean > 0
+        assert stats.rounds.maximum <= 3 * 5 + 8
+
+    def test_keep_results(self):
+        stats = run_trials(ring(6), LeastElementElection, trials=2,
+                           knowledge_keys=("n",), keep_results=True)
+        assert len(stats.results) == 2
+
+
+class TestFitting:
+    def test_power_law_recovers_exponent(self):
+        xs = [10, 20, 40, 80, 160]
+        ys = [3 * x ** 1.5 for x in xs]
+        fit = power_law_fit(xs, ys)
+        assert fit.exponent == pytest.approx(1.5, abs=0.01)
+        assert fit.coefficient == pytest.approx(3, rel=0.05)
+        assert fit.r_squared > 0.999
+        assert fit.predict(100) == pytest.approx(3 * 100 ** 1.5, rel=0.05)
+
+    def test_power_law_with_noise(self):
+        import random
+
+        rng = random.Random(1)
+        xs = [2 ** i for i in range(4, 12)]
+        ys = [x * rng.uniform(0.8, 1.2) for x in xs]
+        fit = power_law_fit(xs, ys)
+        assert 0.9 < fit.exponent < 1.1
+
+    def test_power_law_validation(self):
+        with pytest.raises(ValueError):
+            power_law_fit([1], [1])
+        with pytest.raises(ValueError):
+            power_law_fit([1, 2], [0, 1])
+        with pytest.raises(ValueError):
+            power_law_fit([2, 2], [1, 2])
+
+    def test_ratio_band(self):
+        band = ratio_band([10, 20, 40], [21, 40, 84])
+        assert band.min_ratio == pytest.approx(2.0)
+        assert band.max_ratio == pytest.approx(2.1)
+        assert band.spread < 1.1
+
+    def test_doubling_ratios(self):
+        assert doubling_ratios([1, 2, 4]) == [2.0, 2.0]
+
+
+class TestTable1:
+    def test_reproduces_all_rows(self):
+        from repro.analysis import reproduce_table1
+
+        text = reproduce_table1(n=32, trials=2, seed=2)
+        for token in ["Thm 3.1", "Thm 3.13", "Thm 4.4", "Thm 4.4(A)",
+                      "Thm 4.4(B)", "Cor 4.2", "Cor 4.5", "Cor 4.6",
+                      "Thm 4.7", "Thm 4.10", "Thm 4.1"]:
+            assert token in text
+        assert "Measured" in text

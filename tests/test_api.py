@@ -1,0 +1,77 @@
+"""High-level API: registry, knowledge auto-wiring, elect_leader."""
+
+import pytest
+
+from repro import elect_leader, run_algorithm
+from repro.api import _ensure_registry, make_network
+from repro.graphs import Network, erdos_renyi, ring
+from repro.sim import ElectionFailure
+
+
+class TestRegistry:
+    def test_all_expected_algorithms_present(self):
+        names = set(_ensure_registry())
+        assert names >= {
+            "flood-max", "dfs-agent", "least-el", "candidate",
+            "candidate-constant", "size-estimation", "las-vegas",
+            "spanner", "clustering", "kingdom", "kingdom-known-d",
+            "trivial",
+        }
+
+    def test_descriptions_non_empty(self):
+        for spec in _ensure_registry().values():
+            assert spec.description
+
+    def test_unknown_algorithm_raises(self):
+        with pytest.raises(KeyError):
+            run_algorithm(ring(5), "nope")
+
+
+class TestRunAlgorithm:
+    def test_knowledge_auto_wired(self):
+        result = run_algorithm(ring(9), "las-vegas", seed=1)
+        assert result.has_unique_leader  # needed n and D, got them
+
+    def test_explicit_knowledge_wins(self):
+        # Supplying n explicitly must be honored (even if wrong-ish).
+        result = run_algorithm(ring(9), "least-el", seed=1,
+                               knowledge={"n": 9})
+        assert result.has_unique_leader
+
+    def test_accepts_prebuilt_network(self):
+        net = Network.build(ring(9), seed=4)
+        result = run_algorithm(net, "least-el", seed=1)
+        assert result.has_unique_leader
+        assert result.network is net
+
+    def test_max_rounds_truncates(self):
+        result = run_algorithm(ring(30), "least-el", seed=1, max_rounds=2)
+        assert result.truncated
+
+
+class TestElectLeader:
+    def test_returns_result_on_success(self):
+        result = elect_leader(erdos_renyi(25, 0.2, seed=2), seed=3)
+        assert result.has_unique_leader
+        assert result.leader_uid in result.network.ids
+
+    def test_raises_on_failure(self):
+        # Trivial election usually fails: catch a failing seed.
+        t = ring(20)
+        for seed in range(30):
+            try:
+                elect_leader(t, algorithm="trivial", seed=seed)
+            except ElectionFailure:
+                break
+        else:
+            pytest.fail("expected at least one trivial-election failure")
+
+
+class TestMakeNetwork:
+    def test_idempotent_on_network(self):
+        net = Network.build(ring(5), seed=1)
+        assert make_network(net) is net
+
+    def test_builds_from_topology(self):
+        net = make_network(ring(5), seed=1)
+        assert net.num_nodes == 5

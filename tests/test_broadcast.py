@@ -1,0 +1,44 @@
+"""Flooding broadcast (the Corollary 3.12 problem)."""
+
+import pytest
+
+from repro.core import FloodingBroadcast
+from repro.graphs import Network, erdos_renyi, path, ring
+from repro.sim import Simulator
+
+
+def run_broadcast(topology, source_index=0, seed=0):
+    net = Network.build(topology, seed=seed)
+    sim = Simulator(net, FloodingBroadcast, seed=seed,
+                    knowledge={"source_uid": net.id_of(source_index)})
+    return net, sim.run()
+
+
+class TestFlooding:
+    def test_everyone_receives(self, zoo_topology):
+        _, result = run_broadcast(zoo_topology)
+        assert all(o.get("received") for o in result.outputs)
+
+    def test_message_bound_2m(self, zoo_topology):
+        _, result = run_broadcast(zoo_topology)
+        assert result.messages <= 2 * zoo_topology.num_edges
+
+    def test_time_equals_eccentricity(self):
+        t = path(10)
+        _, result = run_broadcast(t, source_index=0)
+        assert result.rounds == 9
+        _, result = run_broadcast(t, source_index=5)
+        assert result.rounds == 5
+
+    def test_arrival_rounds_are_bfs_distances(self):
+        t = erdos_renyi(30, 0.15, seed=2)
+        net, result = run_broadcast(t, source_index=3)
+        dist = t.bfs_distances(3)
+        for i, o in enumerate(result.outputs):
+            assert o["received_round"] == dist[i]
+
+    def test_requires_source_knowledge(self):
+        net = Network.build(ring(5), seed=0)
+        sim = Simulator(net, FloodingBroadcast, seed=0)
+        with pytest.raises(RuntimeError):
+            sim.run()

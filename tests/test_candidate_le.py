@@ -1,0 +1,156 @@
+"""Theorem 4.4 (candidate election) and the [11] least-element algorithm."""
+
+import math
+import statistics
+
+import pytest
+
+from repro.core import (
+    CandidateElection,
+    LeastElementElection,
+    all_candidates,
+    constant_candidates,
+    log_candidates,
+)
+from repro.graphs import Network, erdos_renyi, grid, ring
+from repro.sim import Simulator, Status
+from tests.conftest import run_election
+
+
+class TestLeastElement:
+    def test_always_succeeds_on_zoo(self, zoo_topology):
+        result = run_election(zoo_topology, LeastElementElection,
+                              knowledge_keys=("n",))
+        assert result.has_unique_leader
+
+    def test_time_linear_in_diameter(self):
+        for n in (8, 16, 32, 64):
+            t = ring(n)
+            result = run_election(t, LeastElementElection, knowledge_keys=("n",))
+            assert result.rounds <= 3 * t.diameter() + 8
+
+    def test_message_bound_m_log_n(self):
+        t = erdos_renyi(60, 0.15, seed=4)
+        result = run_election(t, LeastElementElection, knowledge_keys=("n",))
+        bound = 4 * t.num_edges * math.log2(t.num_nodes)
+        assert result.messages <= bound
+
+    def test_le_list_sizes_logarithmic(self):
+        # Lemma 4.3 with f(n) = n: E|le_v| = O(log n).
+        t = erdos_renyi(80, 0.1, seed=2)
+        sizes = []
+        for seed in range(5):
+            result = run_election(t, LeastElementElection, seed=seed,
+                                  knowledge_keys=("n",))
+            sizes.extend(o["le_size"] for o in result.outputs)
+        assert statistics.fmean(sizes) <= 2 * math.log(t.num_nodes)
+
+    def test_everyone_learns_leader(self):
+        result = run_election(grid(5, 5), LeastElementElection,
+                              knowledge_keys=("n",))
+        leader = result.leader_uid
+        assert all(o["leader_uid"] == leader for o in result.outputs)
+
+    def test_requires_n(self):
+        with pytest.raises(RuntimeError):
+            run_election(ring(5), LeastElementElection)
+
+
+class TestCandidateCounts:
+    def test_all_candidates_probability_one(self):
+        result = run_election(ring(12), LeastElementElection,
+                              knowledge_keys=("n",))
+        assert all(o["candidate"] for o in result.outputs)
+
+    def test_constant_candidates_validation(self):
+        with pytest.raises(ValueError):
+            constant_candidates(0.0)
+        with pytest.raises(ValueError):
+            constant_candidates(1.5)
+
+    def test_f_values(self):
+        assert all_candidates(100) == 100
+        assert log_candidates(100) == pytest.approx(8 * math.log(100))
+        assert constant_candidates(0.1)(100) == pytest.approx(4 * math.log(10))
+
+
+class TestTheorem44A:
+    """f(n) = Theta(log n): success w.h.p., O(m log log n) messages."""
+
+    def test_success_rate_high(self):
+        t = erdos_renyi(50, 0.15, seed=1)
+        ok = 0
+        for seed in range(30):
+            result = run_election(t, lambda: CandidateElection(log_candidates),
+                                  seed=seed, knowledge_keys=("n",))
+            ok += result.has_unique_leader
+        assert ok >= 29  # failure prob ~ n^-8
+
+    def test_fewer_messages_than_all_candidates(self):
+        t = erdos_renyi(80, 0.12, seed=3)
+        msgs_all, msgs_log = [], []
+        for seed in range(5):
+            msgs_all.append(run_election(
+                t, LeastElementElection, seed=seed,
+                knowledge_keys=("n",)).messages)
+            msgs_log.append(run_election(
+                t, lambda: CandidateElection(log_candidates), seed=seed,
+                knowledge_keys=("n",)).messages)
+        assert statistics.fmean(msgs_log) < statistics.fmean(msgs_all)
+
+
+class TestTheorem44B:
+    """f(n) = 4 ln(1/eps): O(m) messages, success >= 1 - eps."""
+
+    def test_success_rate_beats_epsilon(self):
+        t = erdos_renyi(40, 0.2, seed=2)
+        eps = 0.2
+        ok = 0
+        trials = 50
+        for seed in range(trials):
+            result = run_election(
+                t, lambda: CandidateElection(constant_candidates(eps)),
+                seed=seed, knowledge_keys=("n",))
+            ok += result.has_unique_leader
+        assert ok / trials >= 1 - eps
+
+    def test_failure_mode_is_all_undecided_and_silent(self):
+        # With zero candidates nothing is ever sent.
+        t = ring(10)
+        for seed in range(200):
+            result = run_election(
+                t, lambda: CandidateElection(lambda n: 0.3), seed=seed,
+                knowledge_keys=("n",))
+            if result.num_leaders == 0:
+                assert result.messages == 0
+                assert all(s is Status.UNDECIDED for s in result.statuses)
+                break
+        else:
+            pytest.fail("expected at least one zero-candidate run")
+
+    def test_message_ratio_flat_in_n(self):
+        # O(m) messages: messages/m should not grow with n.
+        ratios = []
+        for n in (30, 60, 120):
+            t = erdos_renyi(n, target_edges=4 * n, seed=1)
+            msgs = [run_election(
+                t, lambda: CandidateElection(constant_candidates(0.1)),
+                seed=s, knowledge_keys=("n",)).messages for s in range(4)]
+            ratios.append(statistics.fmean(msgs) / t.num_edges)
+        assert max(ratios) <= 2.5 * min(r for r in ratios if r > 0)
+
+
+class TestLemma43:
+    def test_le_size_grows_with_f(self):
+        # Larger candidate pools mean longer least-element lists.
+        t = erdos_renyi(100, 0.1, seed=6)
+
+        def mean_le(f):
+            sizes = []
+            for seed in range(4):
+                result = run_election(t, lambda: CandidateElection(f),
+                                      seed=seed, knowledge_keys=("n",))
+                sizes.extend(o["le_size"] for o in result.outputs)
+            return statistics.fmean(sizes)
+
+        assert mean_le(lambda n: 4.0) < mean_le(all_candidates)

@@ -1,0 +1,70 @@
+"""The ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.cli import main, parse_graph
+
+
+class TestGraphSpecs:
+    @pytest.mark.parametrize("spec,n,kind", [
+        ("ring:8", 8, "ring"),
+        ("path:5", 5, "path"),
+        ("star:7", 7, "star"),
+        ("complete:6", 6, "complete"),
+        ("grid:3x4", 12, "grid"),
+        ("torus:4x4", 16, "torus"),
+        ("hypercube:3", 8, "hypercube"),
+        ("regular:10:3", 10, "regular"),
+        ("lollipop:5:3", 8, "lollipop"),
+        ("er:20:0.3", 20, "er"),
+        ("er:20:m50", 20, "er"),
+    ])
+    def test_parse(self, spec, n, kind):
+        t = parse_graph(spec, seed=1)
+        assert t.num_nodes == n
+        assert kind in t.name
+
+    @pytest.mark.parametrize("bad", ["nope:5", "ring", "grid:3", "er:20"])
+    def test_bad_specs_exit(self, bad):
+        with pytest.raises(SystemExit):
+            parse_graph(bad)
+
+
+class TestCommands:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "least-el" in out and "kingdom" in out
+
+    def test_elect(self, capsys):
+        code = main(["elect", "--graph", "ring:12", "--algorithm", "least-el",
+                     "--trials", "2", "--seed", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "success:   1.00" in out
+        assert "messages:" in out
+
+    def test_elect_unknown_algorithm(self):
+        with pytest.raises(SystemExit):
+            main(["elect", "--graph", "ring:5", "--algorithm", "nope"])
+
+    def test_lower_bound_messages(self, capsys):
+        code = main(["lower-bound", "messages", "--sweep", "14:24",
+                     "--trials", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Theorem 3.1" in out
+        assert "cost/m1" in out
+
+    def test_lower_bound_time(self, capsys):
+        code = main(["lower-bound", "time", "--n", "24", "--d", "8",
+                     "--trials", "3"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Theorem 3.13" in out
+
+    def test_table1_small(self, capsys):
+        code = main(["table1", "--n", "32", "--trials", "1"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Thm 4.10" in out

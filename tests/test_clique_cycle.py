@@ -1,0 +1,78 @@
+"""The Theorem 3.13 / Figure 1 clique-cycle construction."""
+
+import pytest
+
+from repro.graphs import CliqueCycle, derive_params
+
+
+class TestParams:
+    def test_paper_derivation(self):
+        p = derive_params(24, 8)
+        assert p.num_cliques == 8          # already a multiple of 4
+        assert p.clique_size == 3
+        assert p.num_nodes == 24
+
+    def test_rounding_up_to_multiple_of_four(self):
+        p = derive_params(30, 10)
+        assert p.num_cliques == 12
+        assert p.num_cliques % 4 == 0
+        assert p.num_nodes >= 30
+
+    def test_bounds_check(self):
+        with pytest.raises(ValueError):
+            derive_params(10, 2)   # requires D > 2
+        with pytest.raises(ValueError):
+            derive_params(10, 10)  # requires D < n
+
+
+class TestStructure:
+    @pytest.fixture
+    def cc(self):
+        return CliqueCycle(24, 8)
+
+    def test_figure1_example(self):
+        # Figure 1 shows D' = 8, n' = 24: gamma = 3.
+        cc = CliqueCycle(24, 8)
+        assert cc.params.clique_size == 3
+        assert cc.topology.num_nodes == 24
+
+    def test_connected_and_diameter_theta_d(self, cc):
+        assert cc.topology.is_connected()
+        d = cc.topology.diameter()
+        assert cc.params.num_cliques // 2 <= d <= 2 * cc.params.num_cliques
+
+    def test_coordinates_roundtrip(self, cc):
+        for v in cc.topology:
+            arc, j, k = cc.coordinates(v)
+            assert cc.node_index(arc, j, k) == v
+
+    def test_arcs_partition_nodes(self, cc):
+        members = [set(cc.arc_members(i)) for i in range(4)]
+        assert set().union(*members) == set(range(cc.topology.num_nodes))
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert not (members[i] & members[j])
+
+    def test_rotation_is_automorphism(self, cc):
+        assert cc.is_automorphism()
+
+    def test_rotation_shifts_arcs(self, cc):
+        for v in cc.topology:
+            assert cc.arc_of(cc.rotation(v)) == (cc.arc_of(v) + 1) % 4
+
+    def test_rotation_order_four(self, cc):
+        for v in cc.topology:
+            w = v
+            for _ in range(4):
+                w = cc.rotation(w)
+            assert w == v
+
+    def test_gamma_one_degenerates_to_cycle(self):
+        cc = CliqueCycle(8, 7)
+        assert cc.params.clique_size == 1
+        assert all(cc.topology.degree(v) == 2 for v in cc.topology)
+
+    def test_large_instance_scales(self):
+        cc = CliqueCycle(120, 40)
+        assert cc.topology.num_nodes >= 120
+        assert cc.is_automorphism()

@@ -1,0 +1,104 @@
+"""The Theorem 3.1 dumbbell family: construction invariants."""
+
+import pytest
+
+from repro.graphs import DumbbellSampler, base_graph, choose_kappa, clique_edges
+
+
+class TestKappa:
+    def test_paper_rule(self):
+        # kappa = largest integer with kappa(kappa-1)/2 + kappa <= m
+        assert choose_kappa(6) == 3       # 3 + 3 = 6
+        assert choose_kappa(9) == 3       # 4 would need 10
+        assert choose_kappa(10) == 4
+        assert choose_kappa(100) == 13    # 78 + 13 = 91 <= 100 < 14*13/2+14
+
+    def test_too_small_m(self):
+        with pytest.raises(ValueError):
+            choose_kappa(5)
+
+
+class TestBaseGraph:
+    def test_shape(self):
+        g0 = base_graph(20, 40)
+        kappa = choose_kappa(40)
+        assert g0.num_nodes == 20
+        assert g0.is_connected()
+        assert len(clique_edges(g0, kappa)) == kappa * (kappa - 1) // 2
+
+    def test_m_too_large_for_n(self):
+        with pytest.raises(ValueError):
+            base_graph(5, 40)
+
+    def test_clique_edges_are_2_connected(self):
+        # Removing any clique edge must keep the half connected (the
+        # construction only opens clique edges).
+        g0 = base_graph(16, 30)
+        for e in clique_edges(g0, choose_kappa(30)):
+            assert g0.subgraph_without_edge(*e).is_connected()
+
+
+class TestDumbbellInstance:
+    @pytest.fixture
+    def sampler(self):
+        return DumbbellSampler(18, 36, seed=4)
+
+    def test_sizes(self, sampler):
+        inst = sampler.sample()
+        assert inst.network.num_nodes == 36
+        # two halves each missing one edge, plus two bridges
+        assert inst.network.num_edges == 2 * (sampler.topology.num_edges - 1) + 2
+
+    def test_constant_diameter_across_samples(self, sampler):
+        # The heart of the D-aware lower bound: every dumbbell has the
+        # same diameter 2n - 2kappa + 1 regardless of which edges opened.
+        expected = 2 * 18 - 2 * sampler.kappa + 1
+        for _ in range(6):
+            inst = sampler.sample()
+            assert inst.diameter == expected
+            assert inst.network.topology.diameter() == expected
+
+    def test_id_disjoint_halves(self, sampler):
+        inst = sampler.sample()
+        left = {inst.network.id_of(i) for i in inst.left_indices}
+        right = {inst.network.id_of(i) for i in inst.right_indices}
+        assert not (left & right)
+
+    def test_bridges_connect_halves(self, sampler):
+        inst = sampler.sample()
+        for (u, v) in inst.bridges:
+            sides = {u < inst.half_size, v < inst.half_size}
+            assert sides == {True, False}
+
+    def test_bridges_pair_by_id_order(self, sampler):
+        # Lower-ID endpoints of the opened edges are joined together.
+        inst = sampler.sample()
+        net = inst.network
+        n = inst.half_size
+        (b1, b2) = inst.bridges
+        left_ends = sorted((e for e in (b1 + b2) if e < n),
+                           key=lambda i: net.id_of(i))
+        right_ends = sorted((e for e in (b1 + b2) if e >= n),
+                            key=lambda i: net.id_of(i))
+        low_bridge = {left_ends[0], right_ends[0]}
+        assert low_bridge in (set(b1), set(b2))
+
+    def test_bridge_occupies_opened_port(self, sampler):
+        # Indistinguishability: the bridge sits exactly where the erased
+        # clique edge sat, so local port structure matches the closed half.
+        inst = sampler.sample()
+        net = inst.network
+        for (u, v) in inst.bridges:
+            assert net.port_to_neighbor(u, v) is not None  # no KeyError
+        # The opened edge is gone.
+        a, b = inst.left_open_edge
+        assert not net.topology.has_edge(a, b)
+
+    def test_samples_differ(self, sampler):
+        a, b = sampler.sample(), sampler.sample()
+        assert (a.network.ids != b.network.ids
+                or a.left_open_edge != b.left_open_edge)
+
+    def test_m1_matches_kappa(self, sampler):
+        inst = sampler.sample()
+        assert inst.num_clique_edges == sampler.kappa * (sampler.kappa - 1) // 2

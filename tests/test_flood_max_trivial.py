@@ -1,0 +1,72 @@
+"""Baselines: flood-max (O(D) time) and the intro's 1/n self-election."""
+
+import pytest
+
+from repro.core import FloodMaxElection, TrivialSelfElection
+from repro.graphs import Network, complete, erdos_renyi, ring
+from repro.sim import Simulator
+from tests.conftest import run_election
+
+
+class TestFloodMax:
+    def test_elects_max_id_on_zoo(self, zoo_topology):
+        result = run_election(zoo_topology, FloodMaxElection,
+                              knowledge_keys=("n", "D"))
+        assert result.has_unique_leader
+        assert result.leader_uid == max(result.network.ids)
+
+    def test_time_is_diameter_plus_constant(self):
+        for n in (8, 16, 32):
+            t = ring(n)
+            result = run_election(t, FloodMaxElection, knowledge_keys=("n", "D"))
+            assert result.rounds <= t.diameter() + 2
+
+    def test_works_with_n_only(self):
+        t = ring(9)
+        result = run_election(t, FloodMaxElection, knowledge_keys=("n",))
+        assert result.has_unique_leader
+        # Horizon n-1 >= D, so still correct, just slower.
+        assert result.rounds <= t.num_nodes + 2
+
+    def test_requires_some_knowledge(self):
+        with pytest.raises(RuntimeError):
+            run_election(ring(5), FloodMaxElection)
+
+    def test_all_nodes_learn_leader(self):
+        result = run_election(erdos_renyi(25, 0.2, seed=1), FloodMaxElection,
+                              knowledge_keys=("n", "D"))
+        leader = result.leader_uid
+        assert all(o["leader_uid"] == leader for o in result.outputs)
+
+    def test_worst_case_messages_on_decreasing_ring(self):
+        # Reversed IDs around a ring force many re-broadcasts — the
+        # classic O(m·n)-ish behavior motivating the paper's algorithms.
+        from repro.graphs.ids import ReversedIds
+
+        t = ring(16)
+        result = run_election(t, FloodMaxElection, knowledge_keys=("n", "D"),
+                              ids=ReversedIds())
+        assert result.has_unique_leader
+        assert result.messages > 3 * t.num_edges  # far above one pass
+
+
+class TestTrivial:
+    def test_success_rate_near_1_over_e(self):
+        t = complete(30)
+        successes = 0
+        trials = 400
+        for s in range(trials):
+            net = Network.build(t, seed=s)
+            result = Simulator(net, TrivialSelfElection, seed=s,
+                               knowledge={"n": 30}).run()
+            assert result.messages == 0
+            assert result.rounds == 0
+            successes += result.num_leaders == 1
+        rate = successes / trials
+        assert 0.28 <= rate <= 0.45  # 1/e ± sampling noise
+
+    def test_everyone_decides(self):
+        result = run_election(ring(10), TrivialSelfElection,
+                              knowledge_keys=("n",))
+        from repro.sim import Status
+        assert Status.UNDECIDED not in result.statuses

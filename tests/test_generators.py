@@ -1,0 +1,138 @@
+"""Generator invariants: node/edge counts, degrees, diameters."""
+
+import pytest
+
+from repro.graphs import (
+    barbell,
+    complete,
+    erdos_renyi,
+    grid,
+    hypercube,
+    lollipop,
+    path,
+    random_regular,
+    ring,
+    star,
+)
+
+
+class TestRing:
+    def test_counts(self):
+        t = ring(7)
+        assert t.num_nodes == 7 and t.num_edges == 7
+        assert all(t.degree(v) == 2 for v in t)
+
+    def test_minimum_size(self):
+        with pytest.raises(ValueError):
+            ring(2)
+
+
+class TestPathStar:
+    def test_path(self):
+        t = path(6)
+        assert t.num_edges == 5 and t.diameter() == 5
+
+    def test_star(self):
+        t = star(9)
+        assert t.degree(0) == 8
+        assert t.diameter() == 2
+        assert all(t.degree(v) == 1 for v in range(1, 9))
+
+
+class TestComplete:
+    def test_counts(self):
+        t = complete(6)
+        assert t.num_edges == 15 and t.diameter() == 1
+
+
+class TestGrid:
+    def test_grid_counts(self):
+        t = grid(3, 4)
+        assert t.num_nodes == 12
+        assert t.num_edges == 3 * 3 + 2 * 4  # horizontal + vertical
+        assert t.diameter() == (3 - 1) + (4 - 1)
+
+    def test_torus_is_regular(self):
+        t = grid(4, 4, torus=True)
+        assert all(t.degree(v) == 4 for v in t)
+        assert t.diameter() == 4
+
+    def test_torus_small_dims_no_doubled_edges(self):
+        # rows=2 wraparound would duplicate edges; generator must not.
+        t = grid(2, 4, torus=True)
+        assert t.is_connected()
+
+
+class TestHypercube:
+    def test_counts(self):
+        t = hypercube(4)
+        assert t.num_nodes == 16
+        assert t.num_edges == 4 * 8
+        assert t.diameter() == 4
+
+
+class TestErdosRenyi:
+    def test_connected_and_sized(self):
+        t = erdos_renyi(40, 0.1, seed=1)
+        assert t.num_nodes == 40
+        assert t.is_connected()
+
+    def test_target_edges(self):
+        t = erdos_renyi(50, target_edges=200, seed=2)
+        assert abs(t.num_edges - 200) < 80  # binomial spread + patching
+
+    def test_deterministic_in_seed(self):
+        a = erdos_renyi(30, 0.2, seed=9)
+        b = erdos_renyi(30, 0.2, seed=9)
+        assert a.edges == b.edges
+
+    def test_requires_exactly_one_density_arg(self):
+        with pytest.raises(ValueError):
+            erdos_renyi(10)
+        with pytest.raises(ValueError):
+            erdos_renyi(10, 0.5, target_edges=10)
+
+
+class TestRandomRegular:
+    def test_regularity(self):
+        t = random_regular(14, 3, seed=1)
+        assert all(t.degree(v) == 3 for v in t)
+        assert t.is_connected()
+
+    def test_odd_product_rejected(self):
+        with pytest.raises(ValueError):
+            random_regular(7, 3)
+
+
+class TestLollipop:
+    """The Theorem 3.1 base-graph shape: kappa-clique + path tail."""
+
+    def test_structure(self):
+        t = lollipop(5, 4)
+        assert t.num_nodes == 9
+        # C(5,2) clique + 5 edges to b1 + 3 tail edges
+        assert t.num_edges == 10 + 5 + 3
+        # b1 (index 5) touches every clique node.
+        assert all(t.has_edge(c, 5) for c in range(5))
+        # Tail end (3 hops to b1) + 1 hop into the clique.
+        assert t.diameter() == 4
+
+    def test_clique_edges_not_bridges(self):
+        t = lollipop(5, 4)
+        bridges = set(t.bridges())
+        clique = [(a, b) for (a, b) in t.edges if a < 5 and b < 5]
+        assert not (bridges & set(clique))
+
+
+class TestBarbell:
+    def test_direct_bridge(self):
+        t = barbell(4)
+        assert t.num_nodes == 8
+        assert t.has_edge(0, 4)
+        assert t.is_connected()
+
+    def test_long_bridge(self):
+        t = barbell(4, bridge_length=3)
+        assert t.num_nodes == 10
+        assert t.is_connected()
+        assert t.diameter() >= 4

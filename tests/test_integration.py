@@ -1,0 +1,102 @@
+"""Cross-cutting integration tests: every algorithm on every topology,
+CONGEST bit-size certification, explicit-election agreement.
+"""
+
+import pytest
+
+from repro.api import _ensure_registry
+from repro.graphs import Network
+from repro.graphs.ids import SequentialIds
+from repro.sim import Simulator
+from tests.conftest import run_election, topology_zoo
+
+#: Algorithms that always succeed (prob. 1) with their knowledge needs.
+ALWAYS_SUCCEED = [
+    ("least-el", ("n",)),
+    ("size-estimation", ()),
+    ("las-vegas", ("n", "D")),
+    ("kingdom", ()),
+    ("kingdom-known-d", ("D",)),
+    ("spanner", ("n",)),
+    ("flood-max", ("n", "D")),
+]
+
+
+@pytest.mark.parametrize("name,keys", ALWAYS_SUCCEED,
+                         ids=[a for a, _ in ALWAYS_SUCCEED])
+def test_matrix_always_succeeds(name, keys, zoo_topology):
+    factory = _ensure_registry()[name].factory
+    result = run_election(zoo_topology, factory, knowledge_keys=keys)
+    assert result.has_unique_leader, f"{name} failed on {zoo_topology.name}"
+
+
+def test_dfs_agent_matrix():
+    factory = _ensure_registry()["dfs-agent"].factory
+    for topology in topology_zoo():
+        result = run_election(topology, factory, ids=SequentialIds(start=2),
+                              max_rounds=10 ** 9)
+        assert result.has_unique_leader
+
+
+class TestCongestCompliance:
+    """Certify O(log n)-bit messages for the CONGEST algorithms."""
+
+    @pytest.mark.parametrize("name,keys", [
+        ("least-el", ("n",)),
+        ("candidate", ("n",)),
+        ("las-vegas", ("n", "D")),
+        ("kingdom", ()),
+        ("kingdom-known-d", ("D",)),
+        ("spanner", ("n",)),
+        ("clustering", ("n",)),
+        ("size-estimation", ()),
+        ("flood-max", ("n", "D")),
+    ], ids=lambda v: v if isinstance(v, str) else "")
+    def test_payloads_within_congest(self, name, keys):
+        from repro.graphs import erdos_renyi
+
+        t = erdos_renyi(40, 0.15, seed=6)
+        auto = {}
+        if "n" in keys:
+            auto["n"] = t.num_nodes
+        if "D" in keys:
+            auto["D"] = t.diameter()
+        spec = _ensure_registry()[name]
+        net = Network.build(t, seed=1)
+        # c * log2(ID universe) bits; ranks live in [1, n^4] so 4·log2 n
+        # plus header slack.
+        limit = 16 * 40 .bit_length() * 4 + 64
+        sim = Simulator(net, spec.factory, seed=1, knowledge=auto,
+                        congest_bits=limit)
+        result = sim.run(max_rounds=10 ** 6)
+        assert result.metrics.max_payload_bits <= limit
+
+
+class TestExplicitElection:
+    """The paper: implicit algorithms here also deliver the leader's ID."""
+
+    @pytest.mark.parametrize("name,keys", ALWAYS_SUCCEED,
+                             ids=[a for a, _ in ALWAYS_SUCCEED])
+    def test_all_nodes_name_the_leader(self, name, keys):
+        from repro.graphs import grid
+
+        factory = _ensure_registry()[name].factory
+        result = run_election(grid(4, 5), factory, knowledge_keys=keys)
+        leader = result.leader_uid
+        named = [o.get("leader_uid") for o in result.outputs]
+        assert all(u == leader for u in named if u is not None)
+        assert any(u is not None for u in named)
+
+
+class TestSeedReproducibility:
+    def test_same_seed_same_run(self):
+        from repro.graphs import erdos_renyi
+
+        t = erdos_renyi(30, 0.2, seed=3)
+        a = run_election(t, _ensure_registry()["least-el"].factory,
+                         seed=9, knowledge_keys=("n",))
+        b = run_election(t, _ensure_registry()["least-el"].factory,
+                         seed=9, knowledge_keys=("n",))
+        assert a.leader_uid == b.leader_uid
+        assert a.messages == b.messages
+        assert a.rounds == b.rounds

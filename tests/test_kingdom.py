@@ -1,0 +1,109 @@
+"""Theorem 4.10 / Algorithm 2: the Double-Win Growing Kingdom election."""
+
+import math
+import statistics
+
+from repro.core import KingdomElection, KnownDiameterKingdomElection
+from repro.graphs import Network, barbell, erdos_renyi, grid, path, ring, star
+from repro.graphs.ids import ReversedIds, SequentialIds
+from repro.sim import Simulator
+from tests.conftest import run_election
+
+
+class TestCorrectnessNoKnowledge:
+    def test_elects_on_zoo(self, zoo_topology):
+        result = run_election(zoo_topology, KingdomElection)
+        assert result.has_unique_leader
+
+    def test_winner_is_global_max(self, zoo_topology):
+        # The maximum-ID candidate survives every phase.
+        result = run_election(zoo_topology, KingdomElection)
+        assert result.leader_uid == max(result.network.ids)
+
+    def test_deterministic(self):
+        # Same network, different simulator seeds: the algorithm uses no
+        # coins, so the outcome must be identical.
+        t = erdos_renyi(30, 0.15, seed=8)
+        net = Network.build(t, seed=4)
+        r1 = Simulator(net, KingdomElection, seed=1).run()
+        net2 = Network.build(t, seed=4)
+        r2 = Simulator(net2, KingdomElection, seed=2).run()
+        assert r1.leader_uid == r2.leader_uid
+        assert r1.messages == r2.messages
+        assert r1.rounds == r2.rounds
+
+    def test_adversarial_id_orders(self):
+        for ids in (SequentialIds(start=10), ReversedIds(start=10)):
+            result = run_election(ring(14), KingdomElection, ids=ids)
+            assert result.has_unique_leader
+            assert result.leader_uid == max(result.network.ids)
+
+    def test_barbell_collision_point(self):
+        # Kingdoms from the two cliques collide exactly on the bridge.
+        result = run_election(barbell(6, bridge_length=4), KingdomElection)
+        assert result.has_unique_leader
+
+
+class TestCorrectnessKnownD:
+    def test_elects_on_zoo(self, zoo_topology):
+        result = run_election(zoo_topology, KnownDiameterKingdomElection,
+                              knowledge_keys=("D",))
+        assert result.has_unique_leader
+        assert result.leader_uid == max(result.network.ids)
+
+    def test_many_graphs_many_ports(self):
+        for seed in range(6):
+            t = erdos_renyi(25, 0.18, seed=seed)
+            result = run_election(t, KnownDiameterKingdomElection, seed=seed,
+                                  knowledge_keys=("D",))
+            assert result.has_unique_leader
+
+
+class TestComplexity:
+    def test_messages_m_log_n_shape(self):
+        for t in (ring(32), grid(6, 6), erdos_renyi(40, 0.15, seed=2)):
+            result = run_election(t, KingdomElection)
+            bound = 8 * t.num_edges * math.log2(t.num_nodes) + 4 * t.num_nodes
+            assert result.messages <= bound
+
+    def test_known_d_time_d_log_n(self):
+        for t in (ring(24), grid(5, 8)):
+            d = t.diameter()
+            result = run_election(t, KnownDiameterKingdomElection,
+                                  knowledge_keys=("D",))
+            assert result.rounds <= 8 * d * (math.log2(t.num_nodes) + 2)
+
+    def test_phase_count_logarithmic(self):
+        # Lemma 4.8: candidates at least halve, so phases <= log n + O(1).
+        t = erdos_renyi(60, 0.12, seed=4)
+        result = run_election(t, KnownDiameterKingdomElection,
+                              knowledge_keys=("D",))
+        phases = max(o.get("phases", 0) for o in result.outputs)
+        assert phases <= math.log2(t.num_nodes) + 3
+
+    def test_doubling_phase_count(self):
+        t = path(32)  # long diameter: radius doubling dominates
+        result = run_election(t, KingdomElection)
+        phases = max(o.get("phases", 0) for o in result.outputs)
+        assert phases <= math.log2(t.diameter()) + math.log2(t.num_nodes) + 3
+
+
+class TestStatuses:
+    def test_everyone_decides_and_agrees(self):
+        result = run_election(grid(5, 5), KingdomElection)
+        from repro.sim import Status
+        assert Status.UNDECIDED not in result.statuses
+        leaders = {o.get("leader_uid") for o in result.outputs
+                   if "leader_uid" in o}
+        assert leaders == {result.leader_uid}
+
+    def test_single_node(self):
+        from repro.graphs import Topology
+        result = run_election(Topology(1, []), KingdomElection)
+        assert result.has_unique_leader
+        assert result.messages == 0
+
+    def test_two_nodes(self):
+        result = run_election(path(2), KingdomElection)
+        assert result.has_unique_leader
+        assert result.leader_uid == max(result.network.ids)

@@ -1,0 +1,49 @@
+"""The double-win ablation switch of the kingdom algorithm.
+
+Removing stages 3-4 from the survival rule (``double_win=False``) must
+keep the election correct (the elect condition is independent of M2)
+while losing Lemma 4.8's halving — measurable as extra phases on
+star-shaped collision patterns.
+"""
+
+from repro.core import KingdomElection, KnownDiameterKingdomElection
+from repro.graphs import erdos_renyi, star
+from tests.conftest import run_election
+
+
+def max_phases(result):
+    return max(o.get("phases", 1) for o in result.outputs)
+
+
+class TestAblationCorrectness:
+    def test_single_win_still_unique_on_zoo(self, zoo_topology):
+        result = run_election(zoo_topology,
+                              lambda: KingdomElection(double_win=False))
+        assert result.has_unique_leader
+        assert result.leader_uid == max(result.network.ids)
+
+    def test_single_win_known_d(self):
+        t = erdos_renyi(30, 0.15, seed=4)
+        result = run_election(
+            t, lambda: KnownDiameterKingdomElection(double_win=False),
+            knowledge_keys=("D",))
+        assert result.has_unique_leader
+
+
+class TestAblationCost:
+    def test_star_needs_more_phases_without_double_win(self):
+        # On a star, phase-1 kingdoms form a star-shaped collision
+        # pattern: every leaf with an ID above the hub's survives a
+        # single-win round, while double-win lets the maximum leaf kill
+        # them all through the hub's CONFIRM.
+        t = star(33)
+        with_dw = run_election(t, lambda: KnownDiameterKingdomElection(
+            double_win=True), knowledge_keys=("D",))
+        without = run_election(t, lambda: KnownDiameterKingdomElection(
+            double_win=False), knowledge_keys=("D",))
+        assert with_dw.has_unique_leader and without.has_unique_leader
+        assert max_phases(without) > max_phases(with_dw)
+        assert without.messages > with_dw.messages
+
+    def test_default_is_double_win(self):
+        assert KingdomElection().double_win is True

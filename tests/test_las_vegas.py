@@ -1,0 +1,78 @@
+"""Corollary 4.6: restartable Las Vegas election (knows n and D)."""
+
+import statistics
+
+from repro.core import RestartingElection, attempt_period
+from repro.graphs import erdos_renyi, ring
+from tests.conftest import run_election
+
+
+class TestCorrectness:
+    def test_always_elects_on_zoo(self, zoo_topology):
+        for seed in range(3):
+            result = run_election(zoo_topology, RestartingElection,
+                                  seed=seed, knowledge_keys=("n", "D"))
+            assert result.has_unique_leader
+
+    def test_many_seeds_on_one_graph(self):
+        t = erdos_renyi(30, 0.2, seed=5)
+        for seed in range(25):
+            result = run_election(t, RestartingElection, seed=seed,
+                                  knowledge_keys=("n", "D"))
+            assert result.has_unique_leader
+
+
+class TestRestarts:
+    def test_low_f_forces_restarts_but_still_succeeds(self):
+        # f = 0.2 expected candidates: most attempts are empty.
+        t = ring(12)
+        attempts = []
+        for seed in range(15):
+            result = run_election(t, lambda: RestartingElection(f=0.2),
+                                  seed=seed, knowledge_keys=("n", "D"))
+            assert result.has_unique_leader
+            attempts.append(max(o["attempts"] for o in result.outputs))
+        assert max(attempts) > 1      # restarts actually exercised
+        # Expected attempts ~ 1/(1 - e^-0.2) ~ 5.5.
+        assert statistics.fmean(attempts) < 15
+
+    def test_default_f_rarely_restarts(self):
+        t = ring(12)
+        attempts = []
+        for seed in range(20):
+            result = run_election(t, RestartingElection, seed=seed,
+                                  knowledge_keys=("n", "D"))
+            attempts.append(max(o["attempts"] for o in result.outputs))
+        # Per-attempt failure probability is e^-4 ~ 0.018.
+        assert statistics.fmean(attempts) < 1.5
+
+    def test_restarts_stay_synchronized(self):
+        # Every node must report the same attempt count at the end.
+        t = erdos_renyi(25, 0.15, seed=9)
+        for seed in range(10):
+            result = run_election(t, lambda: RestartingElection(f=0.3),
+                                  seed=seed, knowledge_keys=("n", "D"))
+            counts = {o["attempts"] for o in result.outputs}
+            assert len(counts) == 1
+
+
+class TestComplexity:
+    def test_expected_time_linear_in_d(self):
+        t = ring(24)
+        d = t.diameter()
+        rounds = [run_election(t, RestartingElection, seed=s,
+                               knowledge_keys=("n", "D")).rounds
+                  for s in range(10)]
+        # One attempt period is Theta(D); expect a small number of them.
+        assert statistics.fmean(rounds) <= 3 * attempt_period(d)
+
+    def test_expected_messages_linear_in_m(self):
+        t = erdos_renyi(50, 0.2, seed=4)
+        msgs = [run_election(t, RestartingElection, seed=s,
+                             knowledge_keys=("n", "D")).messages
+                for s in range(8)]
+        assert statistics.fmean(msgs) <= 8 * t.num_edges
+
+    def test_period_formula(self):
+        assert attempt_period(5) == 28
+        assert attempt_period(1) == 12

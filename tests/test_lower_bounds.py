@@ -1,0 +1,93 @@
+"""Section 3 experiment harnesses: bridge crossing and time truncation."""
+
+import pytest
+
+from repro.core import KingdomElection, LeastElementElection
+from repro.lower_bounds import (
+    broadcast_crossing_experiment,
+    completion_time_experiment,
+    crossing_experiment,
+    truncation_experiment,
+)
+
+
+class TestBridgeCrossing:
+    def test_election_always_crosses(self):
+        # Solving LE on a dumbbell requires bridge communication.
+        exp = crossing_experiment(16, 30, LeastElementElection, trials=6,
+                                  seed=1)
+        assert exp.crossing_rate == 1.0
+        assert exp.success_rate == 1.0
+
+    def test_messages_before_crossing_scale_with_m1(self):
+        # Theorem 3.1's measurable core: cost before crossing ~ Omega(m1).
+        small = crossing_experiment(14, 24, LeastElementElection, trials=8,
+                                    seed=2)
+        large = crossing_experiment(30, 120, LeastElementElection, trials=8,
+                                    seed=2)
+        assert large.m1 > 2 * small.m1
+        assert (large.mean_messages_before_crossing
+                > 1.5 * small.mean_messages_before_crossing)
+
+    def test_holds_for_deterministic_algorithm(self):
+        exp = crossing_experiment(16, 30, KingdomElection, trials=5, seed=3,
+                                  knowledge={})
+        assert exp.crossing_rate == 1.0
+        assert exp.mean_messages_before_crossing >= exp.m1 / 4
+
+    def test_summary_fields(self):
+        exp = crossing_experiment(14, 24, LeastElementElection, trials=3,
+                                  seed=1)
+        s = exp.summary()
+        assert set(s) >= {"n", "m", "m1", "crossing_rate",
+                          "mean_messages_before_crossing"}
+
+
+class TestBroadcastCrossing:
+    def test_majority_broadcast_crosses_and_costs_m1(self):
+        # Corollary 3.12: majority broadcast must cross; cost Omega(m).
+        exp = broadcast_crossing_experiment(20, 60, trials=8, seed=1)
+        assert exp.crossing_rate == 1.0
+        assert exp.mean_messages_before_crossing >= exp.m1 / 4
+
+    def test_scaling_in_m(self):
+        small = broadcast_crossing_experiment(14, 24, trials=8, seed=2)
+        large = broadcast_crossing_experiment(30, 120, trials=8, seed=2)
+        assert (large.mean_messages_before_crossing
+                > 1.5 * small.mean_messages_before_crossing)
+
+
+class TestTimeTruncation:
+    def test_truncation_fails_early_succeeds_late(self):
+        exp = truncation_experiment(
+            32, 12, LeastElementElection,
+            fractions=[0.1, 8.0], trials=10, seed=1)
+        early, late = exp.points
+        assert early.unique_leader_rate <= 0.2
+        assert late.unique_leader_rate >= 0.9
+
+    def test_horizon_scaling(self):
+        exp = truncation_experiment(32, 12, LeastElementElection,
+                                    fractions=[0.5], trials=4, seed=1)
+        assert exp.points[0].horizon == exp.num_cliques // 2
+
+    def test_completion_rounds_theta_d(self):
+        small = completion_time_experiment(24, 8, LeastElementElection,
+                                           trials=4, seed=1)
+        large = completion_time_experiment(96, 32, LeastElementElection,
+                                           trials=4, seed=1)
+        # Rounds grow with the diameter...
+        assert large.mean_rounds > 2 * small.mean_rounds
+        # ...and stay within a constant band of it (Omega(D) and O(D)).
+        for exp in (small, large):
+            assert 1.0 <= exp.rounds_over_diameter <= 6.0
+
+    def test_no_success_raises(self):
+        from repro.sim import NodeProcess
+
+        class Nothing(NodeProcess):
+            """Never elects anyone: zero successful runs to time."""
+
+        with pytest.raises(RuntimeError):
+            completion_time_experiment(24, 8, Nothing, trials=2, seed=5,
+                                       knowledge_keys=())

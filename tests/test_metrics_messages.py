@@ -1,0 +1,87 @@
+"""Message payload sizing and metrics accounting."""
+
+from dataclasses import dataclass
+
+from repro.core.waves import WaveRankMsg
+from repro.graphs import Network, path
+from repro.sim import Delivery, Envelope, Metrics, NodeProcess, Payload, Simulator
+
+
+@dataclass(frozen=True)
+class Small(Payload):
+    a: int = 3
+    b: int = 200
+
+
+@dataclass(frozen=True)
+class WithTuple(Payload):
+    key: tuple = (5, 6)
+
+
+class TestPayloadSizes:
+    def test_scalar_fields_counted(self):
+        # 8-bit header + bit lengths of 3 (2) and 200 (8)
+        assert Small().size_bits() == 8 + 2 + 8
+
+    def test_tuple_fields_counted(self):
+        assert WithTuple().size_bits() > 8
+
+    def test_wave_rank_is_congest_sized(self):
+        msg = WaveRankMsg("least-el", (123456, 789))
+        assert msg.size_bits() < 256
+
+    def test_kind(self):
+        assert Small().kind() == "Small"
+
+
+class TestEnvelope:
+    def test_edge_is_normalized(self):
+        e = Envelope(src=5, dst=2, dst_port=0, payload=Small(), sent_round=1)
+        assert e.edge == (2, 5)
+
+
+class TestMetrics:
+    def test_counts_accumulate(self):
+        m = Metrics()
+        m.on_send(Envelope(0, 1, 0, Small(), 0))
+        m.on_send(Envelope(1, 0, 0, Small(), 1))
+        assert m.messages == 2
+        assert m.bits == 2 * Small().size_bits()
+        assert m.per_node_sent[0] == 1
+        assert m.per_kind["Small"] == 2
+
+    def test_edge_watch_records_first_crossing_only(self):
+        m = Metrics(watch_edges={(1, 0)})
+        m.on_send(Envelope(2, 3, 0, Small(), 0))   # elsewhere
+        m.on_send(Envelope(0, 1, 0, Small(), 4))   # crossing
+        m.on_send(Envelope(1, 0, 0, Small(), 9))   # second crossing ignored
+        watch = m.first_watched_crossing()
+        assert watch is not None
+        assert watch.first_crossing_round == 4
+        assert watch.messages_before_crossing == 1
+        assert m.messages_before_any_crossing() == 1
+
+    def test_unwatched_returns_none(self):
+        m = Metrics(watch_edges={(5, 6)})
+        m.on_send(Envelope(0, 1, 0, Small(), 0))
+        assert m.first_watched_crossing() is None
+        assert m.messages_before_any_crossing() is None
+
+    def test_summary_keys(self):
+        m = Metrics()
+        assert set(m.summary()) == {"messages", "bits", "rounds",
+                                    "max_payload_bits"}
+
+
+class TestSendLog:
+    def test_record_sends_option(self):
+        class Pinger(NodeProcess):
+            def on_start(self, ctx):
+                if ctx.degree:
+                    ctx.send(0, Small())
+
+        net = Network.build(path(3), seed=0)
+        sim = Simulator(net, Pinger, seed=0, record_sends=True)
+        result = sim.run()
+        assert len(result.metrics.send_log) == result.messages
+        assert all(isinstance(e, Envelope) for e in result.metrics.send_log)

@@ -1,0 +1,127 @@
+"""Edge cases across the model and analysis layers."""
+
+import pytest
+
+from repro.analysis import Summary, run_trials
+from repro.core import LeastElementElection
+from repro.graphs import Network, Topology, path, ring
+from repro.graphs.ids import SequentialIds
+from repro.sim import (
+    Delivery,
+    NodeContext,
+    NodeProcess,
+    Payload,
+    Simulator,
+    Status,
+)
+from repro.sim.message import _value_bits
+
+
+class TestPayloadSizing:
+    def test_value_bits_branches(self):
+        assert _value_bits(None) == 1
+        assert _value_bits(True) == 1
+        assert _value_bits(0) == 1
+        assert _value_bits(255) == 8
+        assert _value_bits(-5) == 64
+        assert _value_bits("ab") == 16
+        assert _value_bits((1, 1)) > 2  # tuple adds per-element overhead
+
+
+class TestSummary:
+    def test_single_value(self):
+        s = Summary.of([7])
+        assert s.mean == s.median == s.minimum == s.maximum == 7
+        assert s.stdev == 0.0
+
+
+class TestRunTrialsOptions:
+    def test_ids_option_controls_assignment(self):
+        stats = run_trials(ring(6), LeastElementElection, trials=2,
+                           knowledge_keys=("n",), ids=SequentialIds(start=3),
+                           keep_results=True)
+        for result in stats.results:
+            assert sorted(result.network.ids) == [3, 4, 5, 6, 7, 8]
+
+    def test_explicit_knowledge_overrides_keys(self):
+        stats = run_trials(ring(6), LeastElementElection, trials=1,
+                           knowledge_keys=("n",), knowledge={"n": 6})
+        assert stats.success_rate == 1.0
+
+
+class TestContextRules:
+    def test_halted_node_cannot_send(self):
+        from repro.sim import ModelViolation
+
+        class HaltThenSend(NodeProcess):
+            def on_start(self, ctx):
+                ctx.halt()
+                with pytest.raises(ModelViolation):
+                    ctx.send(0, Payload())
+
+        net = Network.build(ring(3), seed=0)
+        Simulator(net, HaltThenSend, seed=0).run()
+
+    def test_status_transitions_tracked(self):
+        class Flip(NodeProcess):
+            def on_start(self, ctx):
+                assert ctx.status is Status.UNDECIDED
+                ctx.set_non_elected()
+                assert ctx.status is Status.NON_ELECTED
+                ctx.set_undecided()
+                assert ctx.status is Status.UNDECIDED
+                ctx.elect()
+                assert ctx.status is Status.ELECTED
+
+        net = Network.build(Topology(1, []), seed=0)
+        result = Simulator(net, Flip, seed=0).run()
+        assert result.statuses == [Status.ELECTED]
+
+    def test_rng_streams_differ_per_node(self):
+        class Draw(NodeProcess):
+            def on_start(self, ctx):
+                ctx.output["draw"] = ctx.rng.random()
+
+        net = Network.build(ring(6), seed=0)
+        result = Simulator(net, Draw, seed=5).run()
+        draws = [o["draw"] for o in result.outputs]
+        assert len(set(draws)) == len(draws)
+
+    def test_knowledge_is_read_only_view(self):
+        class Peek(NodeProcess):
+            def on_start(self, ctx):
+                ctx.output["n"] = ctx.knowledge.get("n")
+                ctx.output["missing"] = ctx.knowledge.get("zzz")
+
+        net = Network.build(ring(3), seed=0)
+        result = Simulator(net, Peek, seed=0, knowledge={"n": 3}).run()
+        assert all(o["n"] == 3 and o["missing"] is None
+                   for o in result.outputs)
+
+
+class TestRunResultHelpers:
+    def test_leader_uid_none_when_ambiguous(self):
+        class ElectAll(NodeProcess):
+            def on_start(self, ctx):
+                ctx.elect()
+
+        net = Network.build(path(3), seed=0)
+        result = Simulator(net, ElectAll, seed=0).run()
+        assert result.num_leaders == 3
+        assert result.leader_uid is None
+        assert not result.has_unique_leader
+
+    def test_wake_schedule_exposed(self):
+        net = Network.build(path(3), seed=0)
+        result = Simulator(net, NodeProcess, seed=0).run()
+        assert result.wake_schedule == [0, 0, 0]
+
+
+class TestTopologyEdges:
+    def test_diameter_estimate_on_ring(self):
+        t = ring(12)
+        est = t.diameter_estimate()
+        assert est <= t.diameter() <= 2 * est
+
+    def test_single_node_diameter(self):
+        assert Topology(1, []).diameter() == 0

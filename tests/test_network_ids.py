@@ -1,0 +1,93 @@
+"""Network instantiation: IDs, port permutations, reverse maps."""
+
+import random
+
+import pytest
+
+from repro.graphs import Network, ring
+from repro.graphs.ids import (
+    DisjointRandomIds,
+    ExplicitIds,
+    RandomIds,
+    ReversedIds,
+    SequentialIds,
+    id_space_size,
+)
+
+
+class TestIdAssigners:
+    def test_random_ids_unique_and_in_universe(self):
+        rng = random.Random(1)
+        ids = RandomIds().assign(20, rng)
+        assert len(set(ids)) == 20
+        assert all(1 <= i <= id_space_size(20) for i in ids)
+
+    def test_sequential(self):
+        assert SequentialIds(start=5).assign(3, random.Random(0)) == [5, 6, 7]
+
+    def test_reversed(self):
+        assert ReversedIds(start=1).assign(3, random.Random(0)) == [3, 2, 1]
+
+    def test_explicit_checks_uniqueness(self):
+        with pytest.raises(ValueError):
+            ExplicitIds([1, 1, 2])
+
+    def test_explicit_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ExplicitIds([1, 2]).assign(3, random.Random(0))
+
+    def test_disjoint_slices_never_collide(self):
+        rng = random.Random(7)
+        for _ in range(20):
+            a = DisjointRandomIds(0, 2).assign(15, rng)
+            b = DisjointRandomIds(1, 2).assign(15, rng)
+            assert not (set(a) & set(b))
+
+    def test_id_space_is_n_fourth(self):
+        assert id_space_size(10) == 10_000
+        assert id_space_size(1) == 2  # floor for tiny n
+
+
+class TestNetwork:
+    def test_ports_are_permutations(self):
+        net = Network.build(ring(8), seed=3)
+        for u in range(8):
+            seen = {net.neighbor_via_port(u, p) for p in range(net.degree(u))}
+            assert seen == set(ring(8).neighbors(u))
+
+    def test_port_reverse_map(self):
+        net = Network.build(ring(8), seed=3)
+        for u in range(8):
+            for p in range(net.degree(u)):
+                v = net.neighbor_via_port(u, p)
+                assert net.neighbor_via_port(v, net.port_to_neighbor(v, u)) == u
+
+    def test_id_reverse_map(self):
+        net = Network.build(ring(8), seed=3)
+        for u in range(8):
+            assert net.index_of_id(net.id_of(u)) == u
+
+    def test_build_is_deterministic(self):
+        a = Network.build(ring(8), seed=5)
+        b = Network.build(ring(8), seed=5)
+        assert a.ids == b.ids
+        assert all(a.neighbor_via_port(u, p) == b.neighbor_via_port(u, p)
+                   for u in range(8) for p in range(a.degree(u)))
+
+    def test_unshuffled_ports_are_sorted(self):
+        net = Network.build(ring(8), seed=5, shuffle_ports=False)
+        for u in range(8):
+            nbrs = [net.neighbor_via_port(u, p) for p in range(net.degree(u))]
+            assert nbrs == sorted(nbrs)
+
+    def test_duplicate_ids_rejected(self):
+        t = ring(4)
+        with pytest.raises(ValueError):
+            Network(t, [1, 1, 2, 3], [list(t.neighbors(u)) for u in t])
+
+    def test_bad_port_map_rejected(self):
+        t = ring(4)
+        ports = [list(t.neighbors(u)) for u in t]
+        ports[0] = [0, 2]  # not a permutation of 0's neighbors {1, 3}
+        with pytest.raises(ValueError):
+            Network(t, [1, 2, 3, 4], ports)

@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) on the core invariants.
+
+Random connected graphs, random seeds, adversarial ID assignments — the
+Section 2 definition must hold every time: exactly one ELECTED node,
+everyone else NON_ELECTED.
+"""
+
+import random
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    KingdomElection,
+    LeastElementElection,
+    SizeEstimationElection,
+)
+from repro.graphs import Network, Topology, baswana_sen_spanner, verify_spanner_stretch
+from repro.graphs.dumbbell import DumbbellSampler
+from repro.graphs.ids import ExplicitIds
+from repro.sim import Simulator, Status
+
+
+@st.composite
+def connected_topologies(draw, max_nodes=16, max_extra_edges=20):
+    """A random tree plus random extra edges: always connected."""
+    n = draw(st.integers(min_value=2, max_value=max_nodes))
+    seed = draw(st.integers(min_value=0, max_value=10 ** 6))
+    rng = random.Random(seed)
+    edges = [(rng.randrange(i), i) for i in range(1, n)]
+    extra = draw(st.integers(min_value=0, max_value=max_extra_edges))
+    for _ in range(extra):
+        u, v = rng.randrange(n), rng.randrange(n)
+        if u != v:
+            edges.append((u, v))
+    return Topology(n, edges, name=f"hyp-{n}-{seed}")
+
+
+@st.composite
+def id_vectors(draw, n):
+    """Adversarial unique IDs from [1, n^4]."""
+    universe = max(n ** 4, n + 1)
+    ids = draw(st.lists(st.integers(min_value=1, max_value=universe),
+                        min_size=n, max_size=n, unique=True))
+    return ids
+
+
+def run(topology, factory, seed, knowledge=None, ids=None):
+    net = Network.build(topology, seed=seed,
+                        ids=ExplicitIds(ids) if ids else None)
+    sim = Simulator(net, factory, seed=seed, knowledge=knowledge or {})
+    return sim.run(max_rounds=10 ** 6)
+
+
+class TestElectionInvariant:
+    @given(topology=connected_topologies(), seed=st.integers(0, 1000))
+    @settings(max_examples=40, deadline=None)
+    def test_least_element_always_unique(self, topology, seed):
+        result = run(topology, LeastElementElection, seed,
+                     knowledge={"n": topology.num_nodes})
+        assert result.statuses.count(Status.ELECTED) == 1
+        assert Status.UNDECIDED not in result.statuses
+
+    @given(topology=connected_topologies(max_nodes=12), seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_kingdom_always_unique_and_max_wins(self, topology, seed):
+        result = run(topology, KingdomElection, seed)
+        assert result.statuses.count(Status.ELECTED) == 1
+        assert result.leader_uid == max(result.network.ids)
+
+    @given(topology=connected_topologies(max_nodes=12), seed=st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_size_estimation_las_vegas(self, topology, seed):
+        result = run(topology, SizeEstimationElection, seed)
+        assert result.statuses.count(Status.ELECTED) == 1
+
+    @given(data=st.data(), seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_adversarial_ids_do_not_matter(self, data, seed):
+        topology = data.draw(connected_topologies(max_nodes=10))
+        ids = data.draw(id_vectors(topology.num_nodes))
+        result = run(topology, LeastElementElection, seed,
+                     knowledge={"n": topology.num_nodes}, ids=ids)
+        assert result.statuses.count(Status.ELECTED) == 1
+
+
+class TestStructuralInvariants:
+    @given(topology=connected_topologies(max_nodes=14, max_extra_edges=40),
+           k=st.integers(2, 4), seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_spanner_stretch_and_connectivity(self, topology, k, seed):
+        sp = baswana_sen_spanner(topology, k, seed=seed)
+        assert sp.is_connected()
+        assert verify_spanner_stretch(topology, sp, 2 * k - 1)
+        assert sp.num_edges <= topology.num_edges
+
+    @given(n=st.integers(10, 24), seed=st.integers(0, 100))
+    @settings(max_examples=20, deadline=None)
+    def test_dumbbell_diameter_invariant(self, n, seed):
+        m = 2 * n
+        sampler = DumbbellSampler(n, m, seed=seed)
+        expected = 2 * n - 2 * sampler.kappa + 1
+        inst = sampler.sample()
+        assert inst.network.topology.diameter() == expected
+
+    @given(topology=connected_topologies(), seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_network_ports_bijective(self, topology, seed):
+        net = Network.build(topology, seed=seed)
+        for u in range(net.num_nodes):
+            for p in range(net.degree(u)):
+                v = net.neighbor_via_port(u, p)
+                assert net.neighbor_via_port(v, net.port_to_neighbor(v, u)) == u
+
+
+class TestWaveInvariants:
+    @given(topology=connected_topologies(max_nodes=14), seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_winner_broadcast_spans_everyone(self, topology, seed):
+        result = run(topology, LeastElementElection, seed,
+                     knowledge={"n": topology.num_nodes})
+        # Every node reports the same leader UID.
+        leaders = {o.get("leader_uid") for o in result.outputs}
+        assert len(leaders) == 1
+
+    @given(topology=connected_topologies(max_nodes=14), seed=st.integers(0, 1000))
+    @settings(max_examples=30, deadline=None)
+    def test_responses_never_exceed_ranks(self, topology, seed):
+        result = run(topology, LeastElementElection, seed,
+                     knowledge={"n": topology.num_nodes})
+        kinds = result.metrics.per_kind
+        assert kinds.get("WaveResponseMsg", 0) <= kinds.get("WaveRankMsg", 0)

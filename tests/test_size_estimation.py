@@ -1,0 +1,58 @@
+"""Corollary 4.5: size estimation + election with no knowledge."""
+
+import math
+import statistics
+
+from repro.core import SizeEstimationElection
+from repro.graphs import erdos_renyi, ring
+from tests.conftest import run_election
+
+
+class TestCorrectness:
+    def test_always_elects_on_zoo(self, zoo_topology):
+        # Las Vegas: probability-1 success regardless of coins.
+        for seed in range(3):
+            result = run_election(zoo_topology, SizeEstimationElection,
+                                  seed=seed)
+            assert result.has_unique_leader
+
+    def test_no_knowledge_needed(self):
+        result = run_election(ring(15), SizeEstimationElection)
+        assert result.has_unique_leader
+
+
+class TestEstimateQuality:
+    def test_estimate_within_paper_bounds(self):
+        # n_hat in [n / log n, n^2] up to small constants, w.h.p.
+        t = erdos_renyi(64, 0.12, seed=3)
+        n = t.num_nodes
+        good = 0
+        trials = 20
+        for seed in range(trials):
+            result = run_election(t, SizeEstimationElection, seed=seed)
+            n_hat = result.outputs[0]["n_estimate"]
+            assert all(o["n_estimate"] == n_hat for o in result.outputs)
+            if n / (4 * math.log2(n)) <= n_hat <= 4 * n * n:
+                good += 1
+        assert good >= trials - 2
+
+    def test_estimate_is_max_geometric(self):
+        result = run_election(ring(20), SizeEstimationElection, seed=7)
+        x_max = max(o["x"] for o in result.outputs)
+        assert all(o["n_estimate"] == 2 ** x_max for o in result.outputs)
+
+
+class TestComplexity:
+    def test_time_linear_in_diameter(self):
+        for n in (8, 16, 32):
+            t = ring(n)
+            result = run_election(t, SizeEstimationElection)
+            # Two O(D) wave phases back to back.
+            assert result.rounds <= 6 * t.diameter() + 12
+
+    def test_messages_about_m_log_n(self):
+        t = erdos_renyi(60, 0.15, seed=2)
+        msgs = [run_election(t, SizeEstimationElection, seed=s).messages
+                for s in range(4)]
+        bound = 8 * t.num_edges * math.log2(t.num_nodes)
+        assert statistics.fmean(msgs) <= bound

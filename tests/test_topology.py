@@ -1,0 +1,123 @@
+"""Unit tests for the core Topology structure."""
+
+import pytest
+
+from repro.graphs import Topology, normalize_edge, union_topology
+from repro.graphs.generators import complete, path, ring
+
+
+class TestConstruction:
+    def test_basic_properties(self):
+        t = Topology(4, [(0, 1), (1, 2), (2, 3), (3, 0)])
+        assert t.num_nodes == 4
+        assert t.num_edges == 4
+        assert t.degree(0) == 2
+        assert t.neighbors(1) == (0, 2)
+
+    def test_duplicate_and_reversed_edges_collapse(self):
+        t = Topology(3, [(0, 1), (1, 0), (0, 1), (1, 2)])
+        assert t.num_edges == 2
+
+    def test_self_loop_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(3, [(1, 1)])
+
+    def test_out_of_range_edge_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(3, [(0, 3)])
+
+    def test_empty_graph_rejected(self):
+        with pytest.raises(ValueError):
+            Topology(0, [])
+
+    def test_has_edge(self):
+        t = Topology(3, [(0, 1)])
+        assert t.has_edge(0, 1) and t.has_edge(1, 0)
+        assert not t.has_edge(0, 2)
+        assert not t.has_edge(1, 1)
+
+    def test_edges_sorted_canonical(self):
+        t = Topology(4, [(3, 2), (1, 0)])
+        assert t.edges == ((0, 1), (2, 3))
+
+
+class TestNormalizeEdge:
+    def test_orders_endpoints(self):
+        assert normalize_edge(5, 2) == (2, 5)
+        assert normalize_edge(2, 5) == (2, 5)
+
+    def test_rejects_self_loop(self):
+        with pytest.raises(ValueError):
+            normalize_edge(3, 3)
+
+
+class TestGraphAlgorithms:
+    def test_bfs_distances_on_path(self):
+        t = path(5)
+        assert t.bfs_distances(0) == [0, 1, 2, 3, 4]
+
+    def test_bfs_unreachable_is_none(self):
+        t = Topology(3, [(0, 1)])
+        assert t.bfs_distances(0)[2] is None
+
+    def test_connectivity(self):
+        assert ring(5).is_connected()
+        assert not Topology(3, [(0, 1)]).is_connected()
+        assert Topology(1, []).is_connected()
+
+    def test_diameter_ring(self):
+        assert ring(10).diameter() == 5
+        assert ring(11).diameter() == 5
+
+    def test_diameter_complete(self):
+        assert complete(6).diameter() == 1
+
+    def test_diameter_path(self):
+        assert path(7).diameter() == 6
+
+    def test_diameter_estimate_lower_bounds(self):
+        for t in [ring(12), path(9), complete(5)]:
+            assert t.diameter_estimate() <= t.diameter()
+            # Double sweep is exact on paths/trees.
+        assert path(9).diameter_estimate() == 8
+
+    def test_diameter_raises_on_disconnected(self):
+        with pytest.raises(ValueError):
+            Topology(3, [(0, 1)]).diameter()
+
+    def test_bridges_on_path(self):
+        t = path(4)
+        assert set(t.bridges()) == {(0, 1), (1, 2), (2, 3)}
+
+    def test_no_bridges_on_ring(self):
+        assert ring(6).bridges() == []
+        assert ring(6).is_two_edge_connected()
+
+    def test_bridge_in_barbell(self):
+        # Two triangles joined by one edge: that edge is the only bridge.
+        edges = [(0, 1), (1, 2), (0, 2), (3, 4), (4, 5), (3, 5), (2, 3)]
+        t = Topology(6, edges)
+        assert t.bridges() == [(2, 3)]
+
+    def test_subgraph_without_edge(self):
+        t = ring(5)
+        cut = t.subgraph_without_edge(0, 1)
+        assert cut.num_edges == 4
+        assert not cut.has_edge(0, 1)
+        assert cut.is_connected()
+
+    def test_subgraph_without_missing_edge_raises(self):
+        with pytest.raises(ValueError):
+            path(4).subgraph_without_edge(0, 3)
+
+
+class TestUnion:
+    def test_union_disjoint(self):
+        t = union_topology([ring(4), ring(4)], extra_edges=[(0, 4)])
+        assert t.num_nodes == 8
+        assert t.num_edges == 9
+        assert t.is_connected()
+
+    def test_relabeled(self):
+        t = path(3)
+        assert t.relabeled(10) == [(10, 11), (11, 12)]

@@ -1,0 +1,56 @@
+"""Wakeup-model properties (Section 2's two wakeup settings)."""
+
+import random
+
+import pytest
+
+from repro.sim.wakeup import AdversarialWakeup, ExplicitWakeup, Simultaneous
+
+
+class TestSimultaneous:
+    def test_everyone_at_round_zero(self):
+        schedule = Simultaneous().schedule(10, random.Random(0))
+        assert schedule == [0] * 10
+
+
+class TestAdversarial:
+    def test_at_least_one_awake(self):
+        # Even with fraction 0, the model forces one spontaneous waker.
+        for seed in range(50):
+            schedule = AdversarialWakeup(0.0).schedule(8, random.Random(seed))
+            assert any(r is not None for r in schedule)
+
+    def test_earliest_wake_is_round_zero(self):
+        for seed in range(50):
+            schedule = AdversarialWakeup(0.5, max_delay=7).schedule(
+                12, random.Random(seed))
+            awake = [r for r in schedule if r is not None]
+            assert min(awake) == 0
+
+    def test_delays_bounded(self):
+        schedule = AdversarialWakeup(1.0, max_delay=3).schedule(
+            100, random.Random(1))
+        assert all(0 <= r <= 3 for r in schedule)
+
+    def test_fraction_roughly_respected(self):
+        schedule = AdversarialWakeup(0.25).schedule(1000, random.Random(2))
+        awake = sum(1 for r in schedule if r is not None)
+        assert 150 <= awake <= 350
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AdversarialWakeup(-0.1)
+        with pytest.raises(ValueError):
+            AdversarialWakeup(1.5)
+        with pytest.raises(ValueError):
+            AdversarialWakeup(0.5, max_delay=-1)
+
+
+class TestExplicit:
+    def test_passthrough(self):
+        schedule = ExplicitWakeup([0, None, 3]).schedule(3, random.Random(0))
+        assert schedule == [0, None, 3]
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            ExplicitWakeup([0, None]).schedule(3, random.Random(0))

@@ -1,0 +1,170 @@
+"""Unit tests for the extinction-wave engine (core/waves.py)."""
+
+from typing import List, Optional
+
+import pytest
+
+from repro.core.waves import ExtinctionWave, WaveRankMsg
+from repro.graphs import Network, Topology, complete, path, ring, star
+from repro.sim import Delivery, NodeContext, NodeProcess, Simulator
+
+
+class WaveProc(NodeProcess):
+    """Minimal host process: every node an origin with key (uid,)."""
+
+    def __init__(self, origin_keys=None):
+        self._keys = origin_keys  # uid -> key override (None = all origins)
+        self.wave: Optional[ExtinctionWave] = None
+
+    def on_start(self, ctx: NodeContext) -> None:
+        if self._keys is None:
+            key = (ctx.uid,)
+        else:
+            key = self._keys.get(ctx.uid)
+        self.wave = ExtinctionWave(
+            "test", list(ctx.ports), key,
+            on_won=lambda c: (42,),
+            on_finished=self._finish)
+        self.wave.start(ctx)
+
+    def _finish(self, ctx, key, data, is_winner):
+        if is_winner:
+            ctx.elect()
+        else:
+            ctx.set_non_elected()
+        ctx.output["winner_key"] = key
+        ctx.output["data"] = data
+        ctx.halt()
+
+    def on_round(self, ctx: NodeContext, inbox: List[Delivery]) -> None:
+        assert self.wave is not None
+        rest = self.wave.handle(ctx, inbox)
+        assert not rest
+
+
+def run_wave(topology: Topology, seed=0, keys=None, max_rounds=10_000):
+    net = Network.build(topology, seed=seed)
+    sim = Simulator(net, lambda: WaveProc(keys), seed=seed)
+    return net, sim.run(max_rounds=max_rounds)
+
+
+class TestBasicCompletion:
+    @pytest.mark.parametrize("topology", [ring(7), path(6), star(8), complete(6)],
+                             ids=lambda t: t.name)
+    def test_min_uid_wins_everywhere(self, topology):
+        net, result = run_wave(topology)
+        assert result.has_unique_leader
+        winner = min(net.ids)
+        assert result.leader_uid == winner
+        assert all(o["winner_key"] == (winner,) for o in result.outputs)
+        assert all(o["data"] == (42,) for o in result.outputs)
+
+    def test_single_node_graph(self):
+        net, result = run_wave(Topology(1, []))
+        assert result.has_unique_leader
+        assert result.messages == 0
+
+    def test_two_nodes(self):
+        net, result = run_wave(path(2))
+        assert result.has_unique_leader
+        assert result.leader_uid == min(net.ids)
+
+
+class TestPartialOrigins:
+    def test_single_origin(self):
+        t = ring(9)
+        net = Network.build(t, seed=1)
+        only = net.id_of(4)
+        _, result = run_wave_with_net(net, {only: (only,)})
+        assert result.has_unique_leader
+        assert result.leader_uid == only
+
+    def test_no_origin_means_silence(self):
+        t = ring(5)
+        net = Network.build(t, seed=1)
+        _, result = run_wave_with_net(net, {})
+        assert result.messages == 0
+        assert result.num_leaders == 0
+
+    def test_two_origins_smaller_key_wins(self):
+        t = path(7)
+        net = Network.build(t, seed=2)
+        a, b = net.id_of(0), net.id_of(6)
+        _, result = run_wave_with_net(net, {a: (5, a), b: (3, b)})
+        assert result.has_unique_leader
+        assert result.leader_uid == b
+
+
+def run_wave_with_net(net, keys, max_rounds=10_000):
+    sim = Simulator(net, lambda: WaveProc(keys), seed=3)
+    return net, sim.run(max_rounds=max_rounds)
+
+
+class TestComplexities:
+    def test_time_linear_in_diameter(self):
+        for n in (8, 16, 32):
+            t = ring(n)
+            _, result = run_wave(t)
+            # flood + feedback + announce <= ~3 diameters + slack
+            assert result.rounds <= 3 * t.diameter() + 6
+
+    def test_message_response_pairing(self):
+        # Every rank message gets exactly one response over its edge
+        # direction; plus one winner message per tree edge: the total is
+        # at most 2 * ranks + (n - 1).
+        t = complete(8)
+        net, result = run_wave(t)
+        kinds = result.metrics.per_kind
+        assert kinds["WaveResponseMsg"] <= kinds["WaveRankMsg"]
+        assert kinds["WaveWinnerMsg"] == t.num_nodes - 1
+
+    def test_adoption_counts_are_least_element_lists(self):
+        # On a path with decreasing uids toward one end, the far node
+        # adopts every improvement: |le| can reach Theta(D); with random
+        # uids it stays around log n.  Here just sanity-check bounds.
+        from repro.graphs.ids import ReversedIds
+
+        t = path(16)
+        net = Network.build(t, seed=1, ids=ReversedIds())
+        sim = Simulator(net, lambda: WaveProc(None), seed=1)
+        sim.run()
+        waves = [p.wave for p in sim.processes]
+        assert max(w.adoptions for w in waves) <= t.num_nodes
+        assert all(w.adoptions >= 1 for w in waves)
+
+
+class TestRobustness:
+    def test_handle_before_start_raises(self):
+        wave = ExtinctionWave("t", [0], (1,))
+        with pytest.raises(RuntimeError):
+            wave.handle(None, [])
+
+    def test_double_start_raises(self):
+        class DoubleStart(NodeProcess):
+            def on_start(self, ctx):
+                wave = ExtinctionWave("t", list(ctx.ports), None)
+                wave.start(ctx)
+                with pytest.raises(RuntimeError):
+                    wave.start(ctx)
+
+        net = Network.build(ring(3), seed=0)
+        Simulator(net, DoubleStart, seed=0).run()
+
+    def test_foreign_tag_left_in_leftover(self):
+        class TagProc(NodeProcess):
+            def on_start(self, ctx):
+                self.wave = ExtinctionWave("mine", list(ctx.ports), (ctx.uid,))
+                self.wave.start(ctx)
+                if ctx.uid == min(ctx.knowledge["ids"]):
+                    ctx.send_soon(0, WaveRankMsg("other", (0,)))
+
+            def on_round(self, ctx, inbox):
+                rest = self.wave.handle(ctx, inbox)
+                for d in rest:
+                    assert d.payload.tag == "other"
+                    ctx.output["saw_foreign"] = True
+
+        net = Network.build(ring(4), seed=0)
+        sim = Simulator(net, TagProc, seed=0, knowledge={"ids": net.ids})
+        result = sim.run()
+        assert any(o.get("saw_foreign") for o in result.outputs)

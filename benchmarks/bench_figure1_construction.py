@@ -1,42 +1,40 @@
 """Figure 1 — the clique-cycle construction itself.
 
-Regenerates the figure's object: for the paper's illustrated instance
-(D' = 8, n' = 24) and scaled-up versions, builds the graph, checks the
-rotation map φ is an automorphism (the proof's symmetry engine), and
-reports the derived parameters (D', γ, n') and the measured diameter
-Θ(D).
+Regenerates the figure's object through the experiment engine: for the
+paper's illustrated instance (D' = 8, n' = 24) and scaled-up versions,
+each grid cell builds the graph, checks the rotation map φ is an
+automorphism (the proof's symmetry engine), and reports the derived
+parameters (D', γ, n') and the measured diameter Θ(D).
 """
 
-from repro.graphs import CliqueCycle
+from repro.experiments import ExperimentSpec, run_sweep
 
 from _util import once, record
 
-INSTANCES = [(24, 8), (60, 12), (120, 24), (240, 48)]
+INSTANCES = ["24:8", "60:12", "120:24", "240:48"]
 
 
 def bench_figure1_clique_cycle(benchmark):
-    def build_all():
-        out = []
-        for (n, d) in INSTANCES:
-            cc = CliqueCycle(n, d)
-            out.append((cc, cc.topology.diameter(), cc.is_automorphism()))
-        return out
+    spec = ExperimentSpec(name="figure1", task="clique-cycle",
+                          params={"instance": INSTANCES})
 
-    built = once(benchmark, build_all)
+    sweep = once(benchmark, lambda: run_sweep(spec))
+    groups = sweep.groups()
     rows = {
         "(n, D) requested": INSTANCES,
-        "D' (cliques)": [cc.params.num_cliques for cc, _, _ in built],
-        "gamma (clique size)": [cc.params.clique_size for cc, _, _ in built],
-        "n' (nodes)": [cc.params.num_nodes for cc, _, _ in built],
-        "measured diameter": [d for _, d, _ in built],
-        "diameter / D'": [round(d / cc.params.num_cliques, 2)
-                          for cc, d, _ in built],
-        "rotation is automorphism": [ok for _, _, ok in built],
+        "D' (cliques)": [int(g.mean("num_cliques")) for g in groups],
+        "gamma (clique size)": [int(g.mean("clique_size")) for g in groups],
+        "n' (nodes)": [int(g.mean("num_nodes")) for g in groups],
+        "measured diameter": [int(g.mean("diameter")) for g in groups],
+        "diameter / D'": [round(g.mean("diameter") / g.mean("num_cliques"), 2)
+                          for g in groups],
+        "rotation is automorphism": [g.rates["automorphism"] == 1.0
+                                     for g in groups],
     }
     record(benchmark, "figure1_clique_cycle", rows)
-    assert all(ok for _, _, ok in built)
+    assert all(g.rates["automorphism"] == 1.0 for g in groups)
     # Figure 1's exact instance: D' = 8, gamma = 3, n' = 24.
-    first = built[0][0]
-    assert first.params.num_cliques == 8
-    assert first.params.clique_size == 3
-    assert first.params.num_nodes == 24
+    first = groups[0]
+    assert first.mean("num_cliques") == 8
+    assert first.mean("clique_size") == 3
+    assert first.mean("num_nodes") == 24

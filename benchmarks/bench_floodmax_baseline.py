@@ -1,61 +1,57 @@
 """Peleg [20] baseline — the O(D)-time algorithm proving Theorem 3.13
 tight (Section 4, goal (1)).
 
-Regenerates the tightness witness: flood-max completes in D + O(1)
-rounds across graph families (matching the Ω(D) bound within an
-additive constant), while its message bill — up to Θ(n·m) on
-adversarial rings — shows why the paper's message-efficient algorithms
-exist.
+Regenerates the tightness witness through the experiment engine:
+flood-max completes in D + O(1) rounds across graph families (matching
+the Ω(D) bound within an additive constant), while its message bill —
+up to Θ(n·m) on adversarial rings — shows why the paper's
+message-efficient algorithms exist.
 """
 
-from repro.analysis import run_trials
-from repro.core import FloodMaxElection
-from repro.graphs import erdos_renyi, grid, ring
-from repro.graphs.ids import ReversedIds
+from repro.experiments import ExperimentSpec, run_sweep
 
 from _util import once, record
 
+FAMILIES = ["ring:64", "grid:8x8", "er:64:m256"]
+
 
 def bench_floodmax_time_optimality(benchmark):
-    families = [ring(64), grid(8, 8), erdos_renyi(64, target_edges=256, seed=97)]
+    spec = ExperimentSpec(name="floodmax-time", algorithms=["flood-max"],
+                          graphs=FAMILIES, trials=5, seed=101,
+                          auto_knowledge=("D",))
 
-    def experiment():
-        return [run_trials(t, FloodMaxElection, trials=5, seed=101,
-                           knowledge_keys=("n", "D"))
-                for t in families]
-
-    stats = once(benchmark, experiment)
+    sweep = once(benchmark, lambda: run_sweep(spec))
+    groups = sweep.groups()
     rows = {
-        "family": [t.name for t in families],
-        "D": [t.diameter() for t in families],
-        "rounds (claim: D + O(1))": [round(s.rounds.mean, 1) for s in stats],
-        "rounds - D": [round(s.rounds.mean - t.diameter(), 1)
-                       for s, t in zip(stats, families)],
-        "messages/m": [round(s.messages.mean / t.num_edges, 1)
-                       for s, t in zip(stats, families)],
+        "family": FAMILIES,
+        "D": [round(g.mean("D"), 1) for g in groups],
+        "rounds (claim: D + O(1))": [round(g.mean("rounds"), 1)
+                                     for g in groups],
+        "rounds - D": [round(g.mean("rounds") - g.mean("D"), 1)
+                       for g in groups],
+        "messages/m": [round(g.mean("messages") / g.mean("m"), 1)
+                       for g in groups],
     }
     record(benchmark, "floodmax_time", rows)
-    for s, t in zip(stats, families):
-        assert s.rounds.mean <= t.diameter() + 2
-        assert s.success_rate == 1.0
+    for g in groups:
+        assert g.mean("rounds") <= g.mean("D") + 2
+        assert g.success_rate == 1.0
 
 
 def bench_floodmax_message_worst_case(benchmark):
-    def experiment():
-        out = []
-        for n in (16, 32, 64):
-            t = ring(n)
-            stats = run_trials(t, FloodMaxElection, trials=3, seed=103,
-                               knowledge_keys=("n", "D"), ids=ReversedIds())
-            out.append((n, stats.messages.mean / t.num_edges))
-        return out
+    spec = ExperimentSpec(name="floodmax-messages", algorithms=["flood-max"],
+                          graphs=["ring:16", "ring:32", "ring:64"],
+                          trials=3, seed=103, ids="reversed",
+                          auto_knowledge=("D",))
 
-    sweep = once(benchmark, experiment)
+    sweep = once(benchmark, lambda: run_sweep(spec))
+    groups = sweep.groups()
+    per_edge = [g.mean("messages") / g.mean("m") for g in groups]
     rows = {
-        "n (decreasing-ID ring)": [n for n, _ in sweep],
+        "n (decreasing-ID ring)": [int(g.mean("n")) for g in groups],
         "messages/m (grows with n => not O(m))": [round(r, 1)
-                                                  for _, r in sweep],
+                                                  for r in per_edge],
     }
     record(benchmark, "floodmax_messages", rows)
     # The per-edge cost grows with n — the baseline is message-suboptimal.
-    assert sweep[-1][1] > 1.5 * sweep[0][1]
+    assert per_edge[-1] > 1.5 * per_edge[0]

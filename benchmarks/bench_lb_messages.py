@@ -1,44 +1,44 @@
 """Theorem 3.1 — the Ω(m) message lower bound (Table 1, row 1).
 
-Sweeps the dumbbell family over m and measures the mean number of
-messages the network sends before the first bridge crossing.  The
-theorem predicts Ω(m1) growth (m1 = κ(κ-1)/2 = Θ(m)); the regenerated
-row reports the measured counts, the count/m1 ratios, and a power-law
-fit whose exponent should sit near (or above) 1.
+Sweeps the dumbbell family over m through the experiment engine
+(``bridge-crossing`` task, one sampled dumbbell per cell) and measures
+the mean number of messages the network sends before the first bridge
+crossing.  The theorem predicts Ω(m1) growth (m1 = κ(κ-1)/2 = Θ(m));
+the regenerated row reports the measured counts, the count/m1 ratios,
+and a power-law fit whose exponent should sit near (or above) 1.
 
 Run on the randomized least-element election with full knowledge of
 n, m, D — the paper's hardest setting for the adversary.
 """
 
 from repro.analysis import power_law_fit
-from repro.core import LeastElementElection
-from repro.lower_bounds import crossing_experiment
+from repro.experiments import ExperimentSpec, run_sweep
 
 from _util import once, record
 
-SWEEP = [(14, 24), (20, 48), (28, 96), (40, 192)]
+SWEEP = ["14:24", "20:48", "28:96", "40:192"]
 
 
 def bench_theorem_3_1_message_lower_bound(benchmark):
-    def experiment():
-        return [crossing_experiment(n, m, LeastElementElection,
-                                    trials=12, seed=2)
-                for (n, m) in SWEEP]
+    spec = ExperimentSpec(name="thm31-message-lb", task="bridge-crossing",
+                          algorithms=["least-el"],
+                          params={"half": SWEEP}, trials=12, seed=2)
 
-    results = once(benchmark, experiment)
-    m1s = [r.m1 for r in results]
-    costs = [r.mean_messages_before_crossing for r in results]
+    sweep = once(benchmark, lambda: run_sweep(spec))
+    groups = sweep.groups()
+    m1s = [int(g.mean("m1")) for g in groups]
+    costs = [g.mean("messages_before_crossing") for g in groups]
     fit = power_law_fit(m1s, costs)
     rows = {
-        "sweep (n, m per half)": SWEEP,
+        "sweep (n:m per half)": SWEEP,
         "m1 (clique edges)": m1s,
         "mean messages before bridge crossing": [round(c, 1) for c in costs],
         "cost / m1": [round(c / m, 2) for c, m in zip(costs, m1s)],
-        "crossing rate": [r.crossing_rate for r in results],
-        "election success rate": [r.success_rate for r in results],
+        "crossing rate": [g.rates["crossed"] for g in groups],
+        "election success rate": [g.success_rate for g in groups],
         "power-law exponent (claim: >= ~1)": round(fit.exponent, 3),
         "fit r^2": round(fit.r_squared, 3),
     }
     record(benchmark, "thm3.1_message_lb", rows)
-    assert all(r.crossing_rate == 1.0 for r in results)
+    assert all(g.rates["crossed"] == 1.0 for g in groups)
     assert fit.exponent > 0.6  # clearly growing with m, not flat

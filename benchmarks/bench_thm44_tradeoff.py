@@ -1,6 +1,7 @@
 """Theorem 4.4 (general f) — messages vs success probability trade-off.
 
-Sweeps f(n) on one graph: messages should scale as O(m·min(log f, D))
+Sweeps f(n) on one graph through the experiment engine (``candidate-f``
+task, f on a param axis): messages should scale as O(m·min(log f, D))
 and the success probability as 1 - e^(-Θ(f)); the regenerated series
 shows both columns moving together exactly as Table 1 row "Theorem 4.4"
 claims.
@@ -8,9 +9,7 @@ claims.
 
 import math
 
-from repro.analysis import run_trials
-from repro.core import CandidateElection
-from repro.graphs import erdos_renyi
+from repro.experiments import ExperimentSpec, run_sweep
 
 from _util import once, record
 
@@ -18,33 +17,31 @@ F_VALUES = [1.0, 2.0, 4.0, 8.0, 16.0, 64.0]
 
 
 def bench_theorem_4_4_tradeoff(benchmark):
-    topology = erdos_renyi(96, target_edges=5 * 96, seed=7)
-    m, d = topology.num_edges, topology.diameter()
+    spec = ExperimentSpec(name="thm44-tradeoff", task="candidate-f",
+                          graphs=[f"er:96:m{5 * 96}"],
+                          params={"f": F_VALUES}, trials=25, seed=9)
 
-    def experiment():
-        out = []
-        for f_val in F_VALUES:
-            stats = run_trials(topology,
-                               lambda: CandidateElection(lambda n: f_val),
-                               trials=25, seed=9, knowledge_keys=("n",))
-            out.append(stats)
-        return out
-
-    sweep = once(benchmark, experiment)
+    sweep = once(benchmark, lambda: run_sweep(spec))
+    groups = sweep.groups()
+    # Normalize each series by the graphs the cells actually simulated
+    # (the engine redraws the ER family per cell seed).
+    m = groups[0].mean("m")
     rows = {
-        "graph": f"n=96 m={m} D={d}",
+        "graph family": f"er:96:m{5 * 96} "
+                        f"(mean m={m:.0f}, mean D={groups[0].mean('D'):.1f})",
         "f": F_VALUES,
-        "messages/m (claim ~ log f)": [round(s.messages.mean / m, 2)
-                                       for s in sweep],
+        "messages/m (claim ~ log f)": [round(g.mean("messages") / g.mean("m"), 2)
+                                       for g in groups],
         "log f reference": [round(math.log(max(f, math.e)), 2)
                             for f in F_VALUES],
-        "rounds/D (claim O(1))": [round(s.rounds.mean / d, 2) for s in sweep],
-        "success rate": [s.success_rate for s in sweep],
+        "rounds/D (claim O(1))": [round(g.mean("rounds") / g.mean("D"), 2)
+                                  for g in groups],
+        "success rate": [g.success_rate for g in groups],
         "1 - e^-f claim": [round(1 - math.exp(-f), 3) for f in F_VALUES],
     }
     record(benchmark, "thm4.4_tradeoff", rows)
     # Success improves monotonically-ish with f and beats the claim shape.
-    assert sweep[-1].success_rate == 1.0
-    assert sweep[0].success_rate < sweep[-1].success_rate
+    assert groups[-1].success_rate == 1.0
+    assert groups[0].success_rate < groups[-1].success_rate
     # Messages grow sub-linearly in f (log-factor): f x64 => messages < x8.
-    assert sweep[-1].messages.mean < 8 * max(sweep[0].messages.mean, m)
+    assert groups[-1].mean("messages") < 8 * max(groups[0].mean("messages"), m)

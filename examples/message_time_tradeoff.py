@@ -4,8 +4,9 @@
 Theorem 4.4 parameterizes the election by f(n), the expected number of
 candidates: messages scale as O(m·min(log f(n), D)) while the failure
 probability is e^(-Θ(f(n))).  This script sweeps f from ~1 to n on one
-graph and prints the measured trade-off curve — the knob a deployment
-turns to trade energy for reliability:
+graph family — through the declarative experiment engine, fanned out
+over worker processes — and prints the measured trade-off curve, the
+knob a deployment turns to trade energy for reliability:
 
 * f = n           -> the [11] least-element algorithm (never fails),
 * f = Θ(log n)    -> Theorem 4.4(A) (fails with prob. 1/poly(n)),
@@ -13,49 +14,56 @@ turns to trade energy for reliability:
 * plus Corollary 4.6's restart wrapper: O(m) expected AND never fails,
   when D is also known.
 
-Usage:  python examples/message_time_tradeoff.py
+Pass a directory as argv[1] to cache results there: a second run with
+the same spec executes zero simulations.
+
+Usage:  python examples/message_time_tradeoff.py [cache_dir]
 """
 
 import math
-import statistics
+import sys
 
-from repro.analysis import run_trials
-from repro.core import CandidateElection, RestartingElection
-from repro.graphs import erdos_renyi
+from repro import run_sweep
+from repro.experiments import ExperimentSpec
+
+N = 120
+F_VALUES = [1.0, 2.0, 4.0, round(math.log(N), 2), round(8 * math.log(N), 2),
+            round(math.sqrt(N), 2), float(N)]
 
 
 def main() -> None:
-    n = 120
-    topology = erdos_renyi(n, target_edges=5 * n, seed=11)
-    m, d = topology.num_edges, topology.diameter()
-    print(f"graph: n={n}, m={m}, D={d}\n")
+    cache_dir = sys.argv[1] if len(sys.argv) > 1 else None
+    graph = f"er:{N}:m{5 * N}"
 
-    sweeps = [
-        ("f=1", lambda k: 1.0),
-        ("f=2", lambda k: 2.0),
-        ("f=4", lambda k: 4.0),
-        ("f=log n", lambda k: math.log(k)),
-        ("f=8 log n", lambda k: 8 * math.log(k)),
-        ("f=sqrt n", lambda k: math.sqrt(k)),
-        ("f=n", lambda k: float(k)),
-    ]
-    print(f"{'f(n)':12s} {'msgs/m':>8s} {'rounds/D':>9s} {'success':>8s} "
-          f"{'e^-f bound':>11s}")
-    for label, f in sweeps:
-        stats = run_trials(topology, lambda: CandidateElection(f),
-                           trials=20, seed=5, knowledge_keys=("n",))
-        bound = math.exp(-f(n))
-        print(f"{label:12s} {stats.messages.mean / m:8.2f} "
-              f"{stats.rounds.mean / d:9.2f} {stats.success_rate:8.2f} "
-              f"{1 - bound:11.4f}")
+    spec = ExperimentSpec(name="message-time-tradeoff", task="candidate-f",
+                          graphs=[graph], params={"f": F_VALUES},
+                          trials=20, seed=5)
+    sweep = run_sweep(spec, cache_dir=cache_dir, workers=4,
+                      progress=lambda msg: print(f"... {msg}"))
 
-    # The restart wrapper turns constant-f into a Las Vegas algorithm.
-    stats = run_trials(topology, lambda: RestartingElection(f=2.0),
-                       trials=20, seed=5, knowledge_keys=("n", "D"))
-    print(f"\n{'Cor 4.6 (f=2 + restarts, knows D)':34s} "
-          f"msgs/m={stats.messages.mean / m:.2f} "
-          f"rounds/D={stats.rounds.mean / d:.2f} "
-          f"success={stats.success_rate:.2f}")
+    print(f"graph family: {graph}\n")
+    print(f"{'f(n)':>8s} {'msgs/m':>8s} {'rounds/D':>9s} {'success':>8s} "
+          f"{'1-e^-f bound':>13s}")
+    for group in sweep.groups():
+        f_val = group.params["f"]
+        m, d = group.mean("m"), group.mean("D")
+        print(f"{f_val:8.2f} {group.mean('messages') / m:8.2f} "
+              f"{group.mean('rounds') / d:9.2f} {group.success_rate:8.2f} "
+              f"{1 - math.exp(-f_val):13.4f}")
+
+    # The restart wrapper (Corollary 4.6) turns constant-f into a Las
+    # Vegas algorithm: same engine, registry algorithm, D granted.
+    wrapper = run_sweep(
+        ExperimentSpec(name="message-time-tradeoff-restart",
+                       algorithms=["las-vegas"], graphs=[graph],
+                       trials=20, seed=5),
+        cache_dir=cache_dir, workers=4)
+    group = wrapper.groups()[0]
+    m, d = group.mean("m"), group.mean("D")
+    print(f"\nCor 4.6 (restart wrapper, knows D): "
+          f"msgs/m={group.mean('messages') / m:.2f} "
+          f"rounds/D={group.mean('rounds') / d:.2f} "
+          f"success={group.success_rate:.2f}")
 
 
 if __name__ == "__main__":

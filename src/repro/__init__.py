@@ -10,6 +10,9 @@ Public API tour:
 * :mod:`repro.lower_bounds` — the Section 3 experiment harnesses.
 * :mod:`repro.analysis` — verification, statistics, scaling fits, and
   the Table 1 reproduction.
+* :mod:`repro.experiments` — declarative sweep engine: parallel
+  multiprocess fan-out with bit-identical determinism and an on-disk
+  result cache.
 
 Quickstart::
 
@@ -20,9 +23,9 @@ Quickstart::
     print(result.leader_uid, result.rounds, result.messages)
 """
 
-from .api import ALGORITHMS, elect_leader, make_network, run_algorithm
+from .api import ALGORITHMS, elect_leader, make_network, run_algorithm, run_sweep
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = ["ALGORITHMS", "elect_leader", "make_network", "run_algorithm",
-           "__version__"]
+           "run_sweep", "__version__"]

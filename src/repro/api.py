@@ -105,7 +105,8 @@ def make_network(graph: Union[Topology, Network], *, seed: int = 0) -> Network:
 
 
 def _auto_knowledge(network: Network, needs: tuple,
-                    given: Optional[Mapping[str, int]]) -> Dict[str, int]:
+                    given: Optional[Mapping[str, int]], *,
+                    diameter: Optional[int] = None) -> Dict[str, int]:
     knowledge: Dict[str, int] = dict(given or {})
     for key in needs:
         if key in knowledge:
@@ -115,7 +116,8 @@ def _auto_knowledge(network: Network, needs: tuple,
         elif key == "m":
             knowledge["m"] = network.num_edges
         elif key == "D":
-            knowledge["D"] = network.topology.diameter()
+            knowledge["D"] = (network.topology.diameter()
+                              if diameter is None else diameter)
     return knowledge
 
 
@@ -144,14 +146,45 @@ def run_algorithm(graph: Union[Topology, Network], algorithm: str, *,
 def elect_leader(graph: Union[Topology, Network], *,
                  algorithm: str = "least-el", seed: int = 0,
                  knowledge: Optional[Mapping[str, int]] = None,
+                 wakeup: Optional[WakeupModel] = None,
                  max_rounds: Optional[int] = None) -> RunResult:
     """One-call leader election; raises if no unique leader emerged."""
     from .sim.errors import ElectionFailure
 
     result = run_algorithm(graph, algorithm, seed=seed, knowledge=knowledge,
-                           max_rounds=max_rounds)
+                           wakeup=wakeup, max_rounds=max_rounds)
     if not result.has_unique_leader:
         raise ElectionFailure(
             f"{algorithm} elected {result.num_leaders} leaders "
             f"(statuses: {[s.value for s in result.statuses][:10]}...)")
     return result
+
+
+def run_sweep(spec=None, *,
+              cache_dir: Optional[str] = None,
+              workers: int = 1,
+              progress: Optional[Callable[[str], None]] = None,
+              **spec_kwargs):
+    """Run a declarative experiment sweep (see :mod:`repro.experiments`).
+
+    Accepts either a prebuilt :class:`~repro.experiments.ExperimentSpec`
+    or the spec's keyword arguments directly::
+
+        sweep = run_sweep(name="scaling",
+                          algorithms=["least-el", "kingdom"],
+                          graphs=["ring:64", "er:100:0.08"],
+                          trials=10, workers=4,
+                          cache_dir=".repro-cache")
+
+    Returns a :class:`~repro.experiments.SweepResult`; call
+    ``sweep.groups()`` for per-configuration statistics.
+    """
+    from .experiments import ExperimentSpec
+    from .experiments import run_sweep as _run_sweep
+
+    if spec is None:
+        spec = ExperimentSpec(**spec_kwargs)
+    elif spec_kwargs:
+        raise TypeError("pass either a spec object or spec kwargs, not both")
+    return _run_sweep(spec, cache_dir=cache_dir, workers=workers,
+                      progress=progress)

@@ -10,6 +10,10 @@ Commands
     Regenerate the paper's Table 1 at a chosen scale.
 ``lower-bound``
     Run the Theorem 3.1 (messages) or Theorem 3.13 (time) experiment.
+``sweep``
+    Run a declarative experiment grid (algorithms × graphs × params ×
+    trials) through the parallel, cached engine of
+    :mod:`repro.experiments`.
 
 Graph specs are compact strings::
 
@@ -22,6 +26,9 @@ Examples::
     python -m repro elect --graph er:100:0.08 --algorithm least-el --trials 5
     python -m repro table1 --n 64 --trials 5
     python -m repro lower-bound messages --sweep 14:24 20:48 28:96
+    python -m repro sweep --algorithms least-el kingdom \
+        --graphs ring:64 er:100:0.08 --trials 10 --workers 4 \
+        --cache-dir .repro-cache
 """
 
 from __future__ import annotations
@@ -30,51 +37,20 @@ import argparse
 import sys
 from typing import List, Optional
 
-from .graphs import (
-    Topology,
-    complete,
-    erdos_renyi,
-    grid,
-    hypercube,
-    lollipop,
-    path,
-    random_regular,
-    ring,
-    star,
-)
+from .graphs import Topology
+from .graphs.specs import parse_graph_spec
 
 
 def parse_graph(spec: str, seed: int = 0) -> Topology:
-    """Parse a compact graph spec (see module docstring)."""
-    parts = spec.split(":")
-    kind = parts[0].lower()
+    """Parse a compact graph spec (see module docstring).
+
+    CLI-flavored wrapper around :func:`repro.graphs.parse_graph_spec`:
+    malformed specs exit with a message instead of raising.
+    """
     try:
-        if kind == "ring":
-            return ring(int(parts[1]))
-        if kind == "path":
-            return path(int(parts[1]))
-        if kind == "star":
-            return star(int(parts[1]))
-        if kind == "complete":
-            return complete(int(parts[1]))
-        if kind in ("grid", "torus"):
-            rows, cols = parts[1].lower().split("x")
-            return grid(int(rows), int(cols), torus=(kind == "torus"))
-        if kind == "hypercube":
-            return hypercube(int(parts[1]))
-        if kind == "regular":
-            return random_regular(int(parts[1]), int(parts[2]), seed=seed)
-        if kind == "lollipop":
-            return lollipop(int(parts[1]), int(parts[2]))
-        if kind == "er":
-            n = int(parts[1])
-            density = parts[2]
-            if density.startswith("m"):
-                return erdos_renyi(n, target_edges=int(density[1:]), seed=seed)
-            return erdos_renyi(n, float(density), seed=seed)
-    except (IndexError, ValueError) as exc:
-        raise SystemExit(f"bad graph spec {spec!r}: {exc}")
-    raise SystemExit(f"unknown graph kind {kind!r} in {spec!r}")
+        return parse_graph_spec(spec, seed=seed)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
 
 
 # ----------------------------------------------------------------------
@@ -148,6 +124,67 @@ def cmd_lower_bound(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_param_value(text: str):
+    """CLI param literal: int if it looks like one, else float, else str."""
+    for convert in (int, float):
+        try:
+            return convert(text)
+        except ValueError:
+            continue
+    return text
+
+
+def cmd_sweep(args: argparse.Namespace) -> int:
+    from .api import run_sweep
+    from .sim.errors import SimulationError
+
+    params = {}
+    for entry in args.param or []:
+        name, _, values = entry.partition("=")
+        if not values:
+            raise SystemExit(f"bad --param {entry!r}; expected name=v1,v2,...")
+        params[name] = [_parse_param_value(v) for v in values.split(",")]
+    knowledge = {}
+    for entry in args.knowledge or []:
+        name, _, value = entry.partition("=")
+        try:
+            knowledge[name] = int(value)
+        except ValueError:
+            raise SystemExit(f"bad --knowledge {entry!r}; expected key=int")
+
+    try:
+        sweep = run_sweep(
+            name=args.name, task=args.task,
+            algorithms=args.algorithms or [None],
+            graphs=args.graphs or [None],
+            params=params, trials=args.trials, seed=args.seed,
+            knowledge=knowledge, auto_knowledge=args.auto_knowledge or (),
+            wakeup=args.wakeup, ids=args.ids,
+            congest_bits=args.congest_bits, max_rounds=args.max_rounds,
+            cache_dir=args.cache_dir, workers=args.workers,
+            progress=lambda msg: print(f"... {msg}", file=sys.stderr))
+    except (KeyError, ValueError, SimulationError) as exc:
+        # str(KeyError) is the repr of its argument; unwrap for a clean
+        # one-line message.
+        raise SystemExit(exc.args[0] if exc.args else str(exc))
+
+    groups = sweep.groups()
+    width = max((len(g.label) for g in groups), default=5)
+    print(f"{'configuration'.ljust(width)} {'cells':>5} {'success':>8} "
+          f"{'messages':>10} {'rounds':>8}")
+    for g in groups:
+        success = ("-" if g.success_rate is None
+                   else f"{g.success_rate:.2f}")
+        messages = (f"{g.mean('messages'):.1f}"
+                    if "messages" in g.metrics else "-")
+        rounds = f"{g.mean('rounds'):.1f}" if "rounds" in g.metrics else "-"
+        print(f"{g.label.ljust(width)} {g.cells:>5} {success:>8} "
+              f"{messages:>10} {rounds:>8}")
+    print(f"cells: {sweep.cells} total, {sweep.executed} executed, "
+          f"{sweep.cached} cached")
+    return 0
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -180,6 +217,34 @@ def build_parser() -> argparse.ArgumentParser:
     lb.add_argument("--trials", type=int, default=10)
     lb.add_argument("--seed", type=int, default=0)
 
+    sweep = sub.add_parser(
+        "sweep", help="run a declarative experiment grid (repro.experiments)")
+    sweep.add_argument("--name", default="cli-sweep",
+                       help="experiment name (names the cache file)")
+    sweep.add_argument("--task", default="elect",
+                       help="registered task or module:function path")
+    sweep.add_argument("--algorithms", nargs="+",
+                       help="algorithm registry names (one grid axis)")
+    sweep.add_argument("--graphs", nargs="+",
+                       help="graph specs, e.g. ring:64 er:100:0.08")
+    sweep.add_argument("--param", action="append", metavar="NAME=V1,V2,...",
+                       help="extra grid axis (repeatable)")
+    sweep.add_argument("--knowledge", action="append", metavar="KEY=INT",
+                       help="explicit knowledge override (repeatable)")
+    sweep.add_argument("--auto-knowledge", nargs="+", metavar="KEY",
+                       choices=["n", "m", "D"],
+                       help="extra knowledge derived from each cell's graph")
+    sweep.add_argument("--trials", type=int, default=5)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--wakeup", help="simultaneous | adversarial[:frac[:delay]]")
+    sweep.add_argument("--ids", help="random | sequential[:start] | reversed[:start]")
+    sweep.add_argument("--congest-bits", type=int)
+    sweep.add_argument("--max-rounds", type=int)
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (results identical to serial)")
+    sweep.add_argument("--cache-dir",
+                       help="on-disk result cache; re-runs are free")
+
     return parser
 
 
@@ -190,6 +255,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "elect": cmd_elect,
         "table1": cmd_table1,
         "lower-bound": cmd_lower_bound,
+        "sweep": cmd_sweep,
     }
     return handlers[args.command](args)
 

@@ -1,0 +1,46 @@
+"""Parallel experiment engine (system S9).
+
+Declarative sweeps over (algorithm × topology × params × seed), executed
+serially or fanned out over ``multiprocessing`` workers with
+bit-identical results, cached on disk as JSON-lines keyed by a content
+hash of each cell, and aggregated into the :mod:`repro.analysis` layer.
+
+Typical use::
+
+    from repro.experiments import ExperimentSpec, run_sweep
+
+    spec = ExperimentSpec(
+        name="scaling",
+        algorithms=["least-el", "kingdom"],
+        graphs=["ring:32", "ring:64", "er:100:0.08"],
+        trials=10,
+    )
+    sweep = run_sweep(spec, cache_dir=".repro-cache", workers=4)
+    for group in sweep.groups():
+        print(group.label, group.mean("messages"), group.success_rate)
+"""
+
+from .aggregate import GroupStats, aggregate
+from .cache import ResultCache
+from .runner import CellResult, Runner, SweepResult, execute_cell, run_sweep
+from .spec import CellSpec, ExperimentSpec, derive_seed
+from .tasks import TASKS, make_ids, make_wakeup, register_task, resolve_task
+
+__all__ = [
+    "CellResult",
+    "CellSpec",
+    "ExperimentSpec",
+    "GroupStats",
+    "ResultCache",
+    "Runner",
+    "SweepResult",
+    "TASKS",
+    "aggregate",
+    "derive_seed",
+    "execute_cell",
+    "make_ids",
+    "make_wakeup",
+    "register_task",
+    "resolve_task",
+    "run_sweep",
+]

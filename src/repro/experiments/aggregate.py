@@ -1,0 +1,97 @@
+"""Bridge from raw cell results to the analysis layer.
+
+:func:`aggregate` folds a sweep's per-trial cell results into one
+:class:`GroupStats` per configuration (same algorithm, graph, params —
+everything but the trial index).  Numeric metrics become
+:class:`repro.analysis.Summary` five-number summaries; boolean metrics
+become rates.  :meth:`GroupStats.to_trial_stats` converts
+election-shaped groups into the :class:`repro.analysis.TrialStats` the
+existing fitting/tables code consumes, so sweeps plug straight into
+``power_law_fit``, ``ratio_band`` and friends.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional
+
+from ..analysis.stats import Summary, TrialStats
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .runner import CellResult
+
+
+@dataclass
+class GroupStats:
+    """All trials of one grid configuration, aggregated."""
+
+    task: str
+    algorithm: Optional[str]
+    graph: Optional[str]
+    params: Dict[str, Any]
+    cells: int
+    metrics: Dict[str, Summary] = field(default_factory=dict)
+    rates: Dict[str, float] = field(default_factory=dict)
+
+    @property
+    def label(self) -> str:
+        bits = [b for b in (self.algorithm, self.graph) if b]
+        bits += [f"{k}={v}" for k, v in sorted(self.params.items())]
+        return " ".join(bits) or self.task
+
+    @property
+    def success_rate(self) -> Optional[float]:
+        return self.rates.get("success")
+
+    def mean(self, metric: str) -> float:
+        return self.metrics[metric].mean
+
+    def to_trial_stats(self) -> TrialStats:
+        """Convert to the analysis layer's :class:`TrialStats`.
+
+        Requires the election-shaped metrics (``messages``, ``rounds``,
+        ``bits``, ``success``) that the built-in election tasks emit.
+        """
+        missing = [k for k in ("messages", "rounds", "bits") if k not in self.metrics]
+        if missing or "success" not in self.rates:
+            raise ValueError(
+                f"group {self.label!r} lacks election metrics "
+                f"(missing: {missing or ['success']})")
+        return TrialStats(trials=self.cells,
+                          successes=round(self.rates["success"] * self.cells),
+                          messages=self.metrics["messages"],
+                          rounds=self.metrics["rounds"],
+                          bits=self.metrics["bits"])
+
+
+def aggregate(results: Iterable["CellResult"]) -> List[GroupStats]:
+    """Group per-trial results by configuration and summarize each group.
+
+    Groups appear in first-encounter order, which for a sweep is the
+    deterministic grid-expansion order.
+    """
+    groups: Dict[str, List["CellResult"]] = {}
+    for result in results:
+        groups.setdefault(result.cell.group_key(), []).append(result)
+
+    out: List[GroupStats] = []
+    for members in groups.values():
+        first = members[0].cell
+        numeric: Dict[str, List[float]] = {}
+        booleans: Dict[str, List[bool]] = {}
+        for member in members:
+            for key, value in member.metrics.items():
+                if isinstance(value, bool):
+                    booleans.setdefault(key, []).append(value)
+                elif isinstance(value, (int, float)):
+                    numeric.setdefault(key, []).append(float(value))
+        out.append(GroupStats(
+            task=first.task,
+            algorithm=first.algorithm,
+            graph=first.graph,
+            params=first.param_dict,
+            cells=len(members),
+            metrics={k: Summary.of(v) for k, v in numeric.items() if v},
+            rates={k: sum(v) / len(v) for k, v in booleans.items() if v},
+        ))
+    return out

@@ -1,0 +1,91 @@
+"""On-disk result cache.
+
+Layout: one JSON-lines file per experiment name under the cache root::
+
+    <cache_dir>/
+        figure1.jsonl
+        thm44-tradeoff.jsonl
+
+Each line is one completed cell::
+
+    {"key": "<sha256 digest>", "cell": {...}, "metrics": {...}}
+
+The digest covers the *entire* cell identity (task, algorithm, graph,
+params, knowledge, wakeup, ids, congest limit, round limit, trial, and
+the derived seed — see :meth:`CellSpec.cache_key`), so a lookup can
+never return results for a different configuration.  Records are
+append-only; a re-run of a cell overwrites nothing and the newest record
+wins at load time (they are identical by construction, since the cell
+pins all randomness).
+
+The cache is written only by the parent runner process — workers return
+metrics to it — so no file locking is needed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Any, Dict, Optional
+
+from .spec import CellSpec, canonical_json
+
+
+def _safe_filename(name: str) -> str:
+    """Experiment name → filesystem-safe stem."""
+    stem = re.sub(r"[^A-Za-z0-9._-]+", "-", name).strip("-.")
+    return stem or "experiment"
+
+
+class ResultCache:
+    """Append-only JSONL store of cell results, keyed by content digest."""
+
+    def __init__(self, root: str) -> None:
+        self.root = root
+        self._loaded: Dict[str, Dict[str, Dict[str, Any]]] = {}
+
+    def path_for(self, experiment: str) -> str:
+        return os.path.join(self.root, f"{_safe_filename(experiment)}.jsonl")
+
+    # ------------------------------------------------------------------
+    def _records(self, experiment: str) -> Dict[str, Dict[str, Any]]:
+        if experiment in self._loaded:
+            return self._loaded[experiment]
+        records: Dict[str, Dict[str, Any]] = {}
+        path = self.path_for(experiment)
+        if os.path.exists(path):
+            with open(path, "r", encoding="utf-8") as fh:
+                for line in fh:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        record = json.loads(line)
+                    except json.JSONDecodeError:
+                        continue  # torn write from an interrupted run
+                    key = record.get("key")
+                    if isinstance(key, str) and "metrics" in record:
+                        records[key] = record
+        self._loaded[experiment] = records
+        return records
+
+    # ------------------------------------------------------------------
+    def get(self, cell: CellSpec) -> Optional[Dict[str, Any]]:
+        """Return the cached metrics for ``cell``, or None on a miss."""
+        record = self._records(cell.experiment).get(cell.digest())
+        if record is None:
+            return None
+        return record["metrics"]
+
+    def put(self, cell: CellSpec, metrics: Dict[str, Any]) -> None:
+        """Persist one cell's metrics (append + update the in-memory view)."""
+        record = {"key": cell.digest(), "cell": cell.to_json(),
+                  "metrics": metrics}
+        os.makedirs(self.root, exist_ok=True)
+        with open(self.path_for(cell.experiment), "a", encoding="utf-8") as fh:
+            fh.write(canonical_json(record) + "\n")
+        self._records(cell.experiment)[record["key"]] = record
+
+    def __len__(self) -> int:
+        return sum(len(recs) for recs in self._loaded.values())

@@ -1,0 +1,151 @@
+"""Grid execution: serial or multiprocess, cache-aware, deterministic.
+
+The :class:`Runner` takes an :class:`ExperimentSpec`, expands it, serves
+whatever it can from the on-disk cache, and executes the remaining cells
+— either in-process or fanned out over a ``multiprocessing`` pool.
+
+Determinism contract
+--------------------
+Every cell's randomness derives from the cell's own content (see
+:func:`repro.experiments.spec.derive_seed`), never from worker identity
+or scheduling, and results are reassembled in grid-expansion order
+regardless of completion order.  A parallel run is therefore
+bit-identical to a serial run of the same spec, and mixing cached and
+fresh cells changes nothing.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from .aggregate import GroupStats, aggregate
+from .cache import ResultCache
+from .spec import CellSpec, ExperimentSpec
+from .tasks import resolve_task
+
+
+def execute_cell(cell: CellSpec) -> Dict[str, Any]:
+    """Run one cell to completion (also the worker entry point)."""
+    return resolve_task(cell.task)(cell)
+
+
+@dataclass
+class CellResult:
+    """One executed (or cache-served) cell."""
+
+    cell: CellSpec
+    metrics: Dict[str, Any]
+    cached: bool = False
+
+
+@dataclass
+class SweepResult:
+    """Everything a sweep produced, in grid order."""
+
+    spec: ExperimentSpec
+    results: List[CellResult] = field(default_factory=list)
+
+    @property
+    def cells(self) -> int:
+        return len(self.results)
+
+    @property
+    def executed(self) -> int:
+        """Cells actually simulated this run (0 on a full cache hit)."""
+        return sum(not r.cached for r in self.results)
+
+    @property
+    def cached(self) -> int:
+        return sum(r.cached for r in self.results)
+
+    @property
+    def metrics(self) -> List[Dict[str, Any]]:
+        return [r.metrics for r in self.results]
+
+    def groups(self) -> List[GroupStats]:
+        """Aggregate per-trial cells into per-configuration statistics."""
+        return aggregate(self.results)
+
+
+class Runner:
+    """Executes experiment grids.
+
+    Parameters
+    ----------
+    cache_dir:
+        Root directory for the JSONL result cache, or None to disable
+        caching entirely.
+    workers:
+        Number of worker processes; 0 or 1 runs serially in-process.
+    mp_context:
+        ``multiprocessing`` start-method name.  Defaults to ``fork``
+        where available (cheap, inherits registered custom tasks);
+        ``spawn`` works for the built-in and dotted-path tasks.
+    """
+
+    def __init__(self, cache_dir: Optional[str] = None, *,
+                 workers: int = 1,
+                 mp_context: Optional[str] = None) -> None:
+        if workers < 0:
+            raise ValueError("workers must be >= 0")
+        self.cache = ResultCache(cache_dir) if cache_dir else None
+        self.workers = workers
+        self._mp_context = mp_context
+
+    # ------------------------------------------------------------------
+    def run(self, spec: ExperimentSpec, *,
+            progress: Optional[Callable[[str], None]] = None) -> SweepResult:
+        """Expand ``spec``, serve cache hits, execute misses, persist."""
+        cells = spec.expand()
+        report = progress or (lambda msg: None)
+
+        slots: List[Optional[CellResult]] = [None] * len(cells)
+        misses: List[int] = []
+        for i, cell in enumerate(cells):
+            hit = self.cache.get(cell) if self.cache is not None else None
+            if hit is not None:
+                slots[i] = CellResult(cell, hit, cached=True)
+            else:
+                misses.append(i)
+        report(f"{spec.name}: {len(cells)} cells "
+               f"({len(cells) - len(misses)} cached, {len(misses)} to run)")
+
+        if misses:
+            # Results stream back in input order and are persisted one by
+            # one, so an interrupted sweep keeps every finished cell.
+            outputs = self._iter_execute([cells[i] for i in misses])
+            for i, metrics in zip(misses, outputs):
+                slots[i] = CellResult(cells[i], metrics, cached=False)
+                if self.cache is not None:
+                    self.cache.put(cells[i], metrics)
+
+        return SweepResult(spec=spec, results=[s for s in slots if s is not None])
+
+    # ------------------------------------------------------------------
+    def _iter_execute(self, cells: List[CellSpec]):
+        if self.workers <= 1 or len(cells) <= 1:
+            for cell in cells:
+                yield execute_cell(cell)
+            return
+        method = self._mp_context
+        if method is None:
+            method = ("fork" if "fork" in multiprocessing.get_all_start_methods()
+                      else None)
+        ctx = multiprocessing.get_context(method)
+        procs = min(self.workers, len(cells), max(1, (os.cpu_count() or 2)))
+        with ctx.Pool(processes=procs) as pool:
+            # imap (not imap_unordered) so outputs line up with inputs:
+            # completion order never leaks into result order.
+            yield from pool.imap(execute_cell, cells, chunksize=1)
+
+
+def run_sweep(spec: ExperimentSpec, *,
+              cache_dir: Optional[str] = None,
+              workers: int = 1,
+              progress: Optional[Callable[[str], None]] = None) -> SweepResult:
+    """One-call sweep: build a :class:`Runner` and run ``spec``."""
+    runner = Runner(cache_dir=cache_dir, workers=workers)
+    return runner.run(spec, progress=progress)

@@ -1,0 +1,240 @@
+"""Declarative experiment specifications.
+
+An :class:`ExperimentSpec` names *what* to measure — a task, a grid of
+algorithms × graphs × extra parameter axes, a trial count — and
+:meth:`ExperimentSpec.expand` turns it into the flat list of
+:class:`CellSpec` cells the runner executes.  Cells are the atom of the
+engine: one cell = one simulation (or one constructed object), fully
+described by picklable, JSON-serializable fields.
+
+Two derived identities drive everything downstream:
+
+* ``cell.digest()`` — a SHA-256 content hash of the canonical cell JSON.
+  The on-disk cache is keyed by it, so *any* change to the cell (seed,
+  knowledge, congest limit, ...) is a cache miss and an unchanged cell
+  is a free hit.
+* ``derive_seed(base_seed, key)`` — the per-cell master seed, computed
+  from the spec's base seed and the cell's identity (not from worker
+  rank or execution order).  Serial and multiprocess runs therefore
+  consume *identical* randomness and produce bit-identical results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import itertools
+import json
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+#: Bump when the cell schema or seed derivation changes incompatibly;
+#: part of every digest, so stale cache entries can never be confused
+#: for current ones.
+SCHEMA_VERSION = 1
+
+
+def canonical_json(obj: Any) -> str:
+    """Stable, whitespace-free JSON used for hashing and cache records."""
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def derive_seed(base_seed: int, key: str) -> int:
+    """Map (base seed, cell identity) to a 63-bit master seed.
+
+    Uses SHA-256 rather than ``hash()`` so the value is stable across
+    processes and interpreter runs (``PYTHONHASHSEED`` does not leak in).
+    """
+    blob = f"repro-cell-v{SCHEMA_VERSION}|{base_seed}|{key}".encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big") >> 1
+
+
+@dataclass(frozen=True)
+class CellSpec:
+    """One fully-determined point of an experiment grid."""
+
+    experiment: str
+    task: str
+    algorithm: Optional[str]
+    graph: Optional[str]
+    trial: int
+    seed: int
+    params: Tuple[Tuple[str, Any], ...] = ()
+    knowledge: Tuple[Tuple[str, int], ...] = ()
+    auto_knowledge: Tuple[str, ...] = ()
+    wakeup: Optional[str] = None
+    ids: Optional[str] = None
+    congest_bits: Optional[int] = None
+    max_rounds: Optional[int] = None
+
+    # -- identity ------------------------------------------------------
+    def _identity(self, *, with_trial: bool, with_seed: bool) -> Dict[str, Any]:
+        ident: Dict[str, Any] = {
+            "schema": SCHEMA_VERSION,
+            "task": self.task,
+            "algorithm": self.algorithm,
+            "graph": self.graph,
+            "params": {k: v for k, v in self.params},
+            "knowledge": {k: v for k, v in self.knowledge},
+            "auto_knowledge": list(self.auto_knowledge),
+            "wakeup": self.wakeup,
+            "ids": self.ids,
+            "congest_bits": self.congest_bits,
+            "max_rounds": self.max_rounds,
+        }
+        if with_trial:
+            ident["trial"] = self.trial
+        if with_seed:
+            ident["seed"] = self.seed
+        return ident
+
+    def identity_key(self) -> str:
+        """Canonical identity *before* seed derivation (hashes to the seed)."""
+        return canonical_json(self._identity(with_trial=True, with_seed=False))
+
+    def cache_key(self) -> str:
+        """Canonical identity including the derived seed (hashes to the digest)."""
+        return canonical_json(self._identity(with_trial=True, with_seed=True))
+
+    def group_key(self) -> str:
+        """Identity shared by all trials of one configuration (aggregation key)."""
+        return canonical_json(self._identity(with_trial=False, with_seed=False))
+
+    def digest(self) -> str:
+        """SHA-256 content hash — the cache key for this cell."""
+        return hashlib.sha256(self.cache_key().encode()).hexdigest()
+
+    @property
+    def param_dict(self) -> Dict[str, Any]:
+        return {k: v for k, v in self.params}
+
+    @property
+    def knowledge_dict(self) -> Dict[str, int]:
+        return {k: v for k, v in self.knowledge}
+
+    def to_json(self) -> Dict[str, Any]:
+        """Full cell record as stored alongside cached metrics."""
+        record = self._identity(with_trial=True, with_seed=True)
+        record["experiment"] = self.experiment
+        return record
+
+
+def _freeze_mapping(mapping: Optional[Mapping[str, Any]]) -> Tuple[Tuple[str, Any], ...]:
+    return tuple(sorted((mapping or {}).items()))
+
+
+@dataclass
+class ExperimentSpec:
+    """Declarative description of a sweep.
+
+    Parameters
+    ----------
+    name:
+        Experiment name; groups cache records on disk (one JSONL file
+        per name under the cache directory).
+    task:
+        Name of a registered task (see :mod:`repro.experiments.tasks`),
+        or a ``"module:function"`` dotted path.  The default ``elect``
+        runs one leader election per cell.
+    algorithms:
+        Registry names (``repro.api.ALGORITHMS``) forming one grid axis.
+        Tasks that need no algorithm leave the default ``(None,)``.
+    graphs:
+        Compact graph-spec strings (:func:`repro.graphs.parse_graph_spec`)
+        forming a second axis; ``(None,)`` for graph-free tasks.
+    params:
+        Extra named axes, e.g. ``{"f": [1.0, 2.0, 4.0]}``.  Axes are
+        crossed; zipped pairs are expressed as one axis of compact
+        strings (e.g. ``{"half": ["14:24", "20:48"]}``).
+    trials:
+        Independent repetitions of every configuration; trial index is
+        part of the cell identity, so each gets its own derived seed.
+    seed:
+        Base seed; combined with each cell's identity via
+        :func:`derive_seed`.
+    knowledge:
+        Explicit knowledge overrides granted to every node (auto-derived
+        "n"/"m"/"D" per the registry's needs otherwise).
+    auto_knowledge:
+        Extra knowledge keys ("n", "m", "D") to derive from each cell's
+        own graph, beyond what the algorithm's registry entry requires —
+        e.g. grant flood-max the true diameter so it stops at D + O(1).
+    wakeup:
+        Wakeup-model spec string (``"simultaneous"``,
+        ``"adversarial[:frac[:max_delay]]"``) or None for the default.
+    ids:
+        ID-assignment spec string (``"random"``, ``"sequential[:start]"``,
+        ``"reversed[:start]"``) or None for the default.
+    congest_bits / max_rounds:
+        Forwarded to the simulator.
+    """
+
+    name: str
+    task: str = "elect"
+    algorithms: Sequence[Optional[str]] = (None,)
+    graphs: Sequence[Optional[str]] = (None,)
+    params: Mapping[str, Sequence[Any]] = field(default_factory=dict)
+    trials: int = 1
+    seed: int = 0
+    knowledge: Mapping[str, int] = field(default_factory=dict)
+    auto_knowledge: Sequence[str] = ()
+    wakeup: Optional[str] = None
+    ids: Optional[str] = None
+    congest_bits: Optional[int] = None
+    max_rounds: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("ExperimentSpec.name must be non-empty")
+        if self.trials < 1:
+            raise ValueError("trials must be >= 1")
+        if not self.algorithms:
+            raise ValueError("algorithms axis must be non-empty (use (None,))")
+        if not self.graphs:
+            raise ValueError("graphs axis must be non-empty (use (None,))")
+        for axis, values in self.params.items():
+            if not values:
+                raise ValueError(f"param axis {axis!r} has no values")
+        unknown = set(self.auto_knowledge) - {"n", "m", "D"}
+        if unknown:
+            # A typo'd key would silently never be granted while still
+            # perturbing the cell digest and derived seed.
+            raise ValueError(f"unknown auto_knowledge keys: "
+                             f"{sorted(unknown)} (valid: n, m, D)")
+
+    # ------------------------------------------------------------------
+    def expand(self) -> List[CellSpec]:
+        """Expand the grid: algorithms × graphs × params × trials.
+
+        Expansion order is deterministic (axes in declaration order,
+        param axes sorted by name) and defines the canonical result
+        order of a sweep.
+        """
+        axis_names = sorted(self.params)
+        axis_values = [list(self.params[name]) for name in axis_names]
+        knowledge = _freeze_mapping(self.knowledge)
+        auto_knowledge = tuple(sorted(self.auto_knowledge))
+        cells: List[CellSpec] = []
+        for algorithm in self.algorithms:
+            for graph in self.graphs:
+                for combo in itertools.product(*axis_values):
+                    params = tuple(zip(axis_names, combo))
+                    for trial in range(self.trials):
+                        cell = CellSpec(
+                            experiment=self.name,
+                            task=self.task,
+                            algorithm=algorithm,
+                            graph=graph,
+                            trial=trial,
+                            seed=0,
+                            params=params,
+                            knowledge=knowledge,
+                            auto_knowledge=auto_knowledge,
+                            wakeup=self.wakeup,
+                            ids=self.ids,
+                            congest_bits=self.congest_bits,
+                            max_rounds=self.max_rounds,
+                        )
+                        cells.append(replace(
+                            cell,
+                            seed=derive_seed(self.seed, cell.identity_key())))
+        return cells

@@ -34,6 +34,7 @@ from .ids import (
 )
 from .network import Network
 from .spanner import baswana_sen_spanner, verify_spanner_stretch
+from .specs import parse_graph_spec
 from .topology import Edge, Topology, normalize_edge, union_topology
 
 __all__ = [
@@ -63,6 +64,7 @@ __all__ = [
     "id_space_size",
     "lollipop",
     "normalize_edge",
+    "parse_graph_spec",
     "path",
     "random_regular",
     "ring",

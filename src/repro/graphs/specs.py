@@ -1,0 +1,73 @@
+"""Compact graph-spec strings.
+
+Every sweepable surface of the toolkit (CLI, experiment engine, cache
+keys) describes topologies as short strings rather than Python objects,
+so that a configuration is hashable, picklable, and printable::
+
+    ring:32          path:9        star:10        complete:20
+    grid:5x6         torus:8x8     hypercube:4    regular:12:3
+    er:100:0.08      er:100:m400   lollipop:6:5   barbell:8:4
+
+``regular`` and ``er`` draw random graphs; their ``seed`` argument pins
+the draw so a spec string plus a seed is a complete description.
+"""
+
+from __future__ import annotations
+
+from .generators import (
+    barbell,
+    complete,
+    erdos_renyi,
+    grid,
+    hypercube,
+    lollipop,
+    path,
+    random_regular,
+    ring,
+    star,
+)
+from .topology import Topology
+
+#: Graph kinds whose construction consumes the seed; every other kind
+#: is fully determined by the spec string alone (callers may memoize
+#: those across seeds).
+SEEDED_KINDS = frozenset({"er", "regular"})
+
+
+def parse_graph_spec(spec: str, seed: int = 0) -> Topology:
+    """Parse a compact graph spec (see module docstring).
+
+    Raises :class:`ValueError` on malformed or unknown specs; the CLI
+    wraps this into a ``SystemExit`` with a friendly message.
+    """
+    parts = spec.split(":")
+    kind = parts[0].lower()
+    try:
+        if kind == "ring":
+            return ring(int(parts[1]))
+        if kind == "path":
+            return path(int(parts[1]))
+        if kind == "star":
+            return star(int(parts[1]))
+        if kind == "complete":
+            return complete(int(parts[1]))
+        if kind in ("grid", "torus"):
+            rows, cols = parts[1].lower().split("x")
+            return grid(int(rows), int(cols), torus=(kind == "torus"))
+        if kind == "hypercube":
+            return hypercube(int(parts[1]))
+        if kind == "regular":
+            return random_regular(int(parts[1]), int(parts[2]), seed=seed)
+        if kind == "lollipop":
+            return lollipop(int(parts[1]), int(parts[2]))
+        if kind == "barbell":
+            return barbell(int(parts[1]), int(parts[2]))
+        if kind == "er":
+            n = int(parts[1])
+            density = parts[2]
+            if density.startswith("m"):
+                return erdos_renyi(n, target_edges=int(density[1:]), seed=seed)
+            return erdos_renyi(n, float(density), seed=seed)
+    except (IndexError, ValueError) as exc:
+        raise ValueError(f"bad graph spec {spec!r}: {exc}") from None
+    raise ValueError(f"unknown graph kind {kind!r} in {spec!r}")

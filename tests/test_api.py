@@ -55,6 +55,15 @@ class TestElectLeader:
         assert result.has_unique_leader
         assert result.leader_uid in result.network.ids
 
+    def test_forwards_wakeup_model(self):
+        from repro.sim.wakeup import ExplicitWakeup
+
+        schedule = [3] * 9
+        result = elect_leader(ring(9), seed=1,
+                              wakeup=ExplicitWakeup(schedule))
+        assert result.has_unique_leader
+        assert result.wake_schedule == schedule  # model reached the simulator
+
     def test_raises_on_failure(self):
         # Trivial election usually fails: catch a failing seed.
         t = ring(20)

@@ -1,0 +1,295 @@
+"""The parallel experiment engine: specs, determinism, caching, CLI."""
+
+import json
+
+import pytest
+
+from repro.api import run_sweep as api_run_sweep
+from repro.cli import main
+from repro.experiments import (
+    CellSpec,
+    ExperimentSpec,
+    ResultCache,
+    Runner,
+    derive_seed,
+    execute_cell,
+    make_ids,
+    make_wakeup,
+    resolve_task,
+    run_sweep,
+)
+from repro.graphs import parse_graph_spec
+from repro.graphs.ids import RandomIds, ReversedIds, SequentialIds
+from repro.sim.wakeup import AdversarialWakeup, Simultaneous
+
+SPEC = ExperimentSpec(name="unit", algorithms=["least-el", "flood-max"],
+                      graphs=["ring:8", "er:12:0.4"], trials=3, seed=11)
+
+
+class TestSpecExpansion:
+    def test_grid_size_and_order(self):
+        cells = SPEC.expand()
+        assert len(cells) == 2 * 2 * 3
+        # algorithms are the outer axis, trials the innermost
+        assert [c.algorithm for c in cells[:6]] == ["least-el"] * 6
+        assert [c.trial for c in cells[:3]] == [0, 1, 2]
+
+    def test_expansion_is_deterministic(self):
+        assert SPEC.expand() == SPEC.expand()
+
+    def test_every_cell_unique_seed_and_digest(self):
+        cells = SPEC.expand()
+        assert len({c.seed for c in cells}) == len(cells)
+        assert len({c.digest() for c in cells}) == len(cells)
+
+    def test_group_key_ignores_trial_but_not_config(self):
+        a, b, c = SPEC.expand()[0], SPEC.expand()[1], SPEC.expand()[3]
+        assert a.group_key() == b.group_key()  # same config, other trial
+        assert a.group_key() != c.group_key()  # other graph
+
+    def test_base_seed_changes_every_cell_seed(self):
+        reseeded = ExperimentSpec(name="unit",
+                                  algorithms=["least-el", "flood-max"],
+                                  graphs=["ring:8", "er:12:0.4"],
+                                  trials=3, seed=12)
+        for x, y in zip(SPEC.expand(), reseeded.expand()):
+            assert x.seed != y.seed
+
+    def test_derive_seed_is_stable_across_processes(self):
+        # SHA-256-based, not hash(): a fixed reference value must hold.
+        assert derive_seed(0, "k") == derive_seed(0, "k")
+        assert derive_seed(0, "k") != derive_seed(1, "k")
+
+    def test_param_axes_cross(self):
+        spec = ExperimentSpec(name="p", task="candidate-f",
+                              graphs=["ring:8"],
+                              params={"f": [1.0, 2.0], "g": ["a", "b"]})
+        combos = {(c.param_dict["f"], c.param_dict["g"])
+                  for c in spec.expand()}
+        assert combos == {(1.0, "a"), (1.0, "b"), (2.0, "a"), (2.0, "b")}
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="")
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="x", trials=0)
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="x", params={"f": []})
+        with pytest.raises(ValueError, match="unknown auto_knowledge"):
+            ExperimentSpec(name="x", auto_knowledge=("diameter",))
+
+
+class TestDeterminism:
+    def test_serial_rerun_identical(self):
+        assert run_sweep(SPEC).metrics == run_sweep(SPEC).metrics
+
+    def test_parallel_bit_identical_to_serial(self):
+        serial = run_sweep(SPEC)
+        parallel = run_sweep(SPEC, workers=2)
+        assert serial.metrics == parallel.metrics
+        # ... and therefore identical aggregates too.
+        assert ([ (g.label, g.metrics, g.rates) for g in serial.groups() ] ==
+                [ (g.label, g.metrics, g.rates) for g in parallel.groups() ])
+
+    def test_groups_aggregate_trials(self):
+        sweep = run_sweep(SPEC)
+        groups = sweep.groups()
+        assert len(groups) == 4
+        for group in groups:
+            assert group.cells == 3
+            assert group.success_rate == 1.0
+            stats = group.to_trial_stats()
+            assert stats.trials == 3 and stats.success_rate == 1.0
+
+
+class TestCache:
+    def test_second_run_is_free(self, tmp_path):
+        first = run_sweep(SPEC, cache_dir=str(tmp_path))
+        assert (first.executed, first.cached) == (12, 0)
+        second = run_sweep(SPEC, cache_dir=str(tmp_path))
+        assert (second.executed, second.cached) == (0, 12)
+        assert first.metrics == second.metrics
+
+    def test_changed_spec_misses(self, tmp_path):
+        run_sweep(SPEC, cache_dir=str(tmp_path))
+        changed = ExperimentSpec(name="unit", algorithms=["least-el"],
+                                 graphs=["ring:8"], trials=3, seed=11,
+                                 knowledge={"n": 8})
+        sweep = run_sweep(changed, cache_dir=str(tmp_path))
+        assert sweep.executed == 3  # explicit knowledge => new digests
+
+    def test_partial_hit(self, tmp_path):
+        small = ExperimentSpec(name="unit", algorithms=["least-el"],
+                               graphs=["ring:8"], trials=3, seed=11)
+        run_sweep(small, cache_dir=str(tmp_path))
+        sweep = run_sweep(SPEC, cache_dir=str(tmp_path))
+        assert (sweep.executed, sweep.cached) == (9, 3)
+
+    def test_corrupt_lines_are_skipped(self, tmp_path):
+        run_sweep(SPEC, cache_dir=str(tmp_path))
+        path = ResultCache(str(tmp_path)).path_for("unit")
+        with open(path, "a") as fh:
+            fh.write("{torn json\n")
+        sweep = run_sweep(SPEC, cache_dir=str(tmp_path))
+        assert sweep.executed == 0
+
+    def test_records_carry_cell_identity(self, tmp_path):
+        run_sweep(SPEC, cache_dir=str(tmp_path))
+        with open(ResultCache(str(tmp_path)).path_for("unit")) as fh:
+            record = json.loads(fh.readline())
+        assert set(record) == {"key", "cell", "metrics"}
+        assert record["cell"]["experiment"] == "unit"
+        assert record["metrics"]["success"] is True
+
+
+class TestTasks:
+    def test_elect_metrics_shape(self):
+        cell = SPEC.expand()[0]
+        metrics = execute_cell(cell)
+        assert metrics["n"] == 8 and metrics["m"] == 8
+        assert metrics["success"] is True
+        assert metrics["leader_uid"] is not None
+
+    def test_unknown_algorithm(self):
+        cell = ExperimentSpec(name="x", algorithms=["nope"],
+                              graphs=["ring:4"]).expand()[0]
+        with pytest.raises(KeyError):
+            execute_cell(cell)
+
+    def test_unknown_task(self):
+        with pytest.raises(KeyError):
+            resolve_task("nope")
+
+    def test_dotted_path_task(self):
+        fn = resolve_task("repro.experiments.tasks:elect_task")
+        assert callable(fn)
+
+    def test_make_wakeup(self):
+        assert make_wakeup(None) is None
+        assert isinstance(make_wakeup("simultaneous"), Simultaneous)
+        adv = make_wakeup("adversarial:0.5:3")
+        assert isinstance(adv, AdversarialWakeup)
+        assert adv.fraction_awake == 0.5 and adv.max_delay == 3
+        with pytest.raises(ValueError):
+            make_wakeup("nope")
+
+    def test_make_ids(self):
+        assert make_ids(None) is None
+        assert isinstance(make_ids("random"), RandomIds)
+        assert isinstance(make_ids("sequential:5"), SequentialIds)
+        assert isinstance(make_ids("reversed"), ReversedIds)
+        with pytest.raises(ValueError):
+            make_ids("nope")
+
+    def test_bridge_crossing_task(self):
+        spec = ExperimentSpec(name="bc", task="bridge-crossing",
+                              algorithms=["least-el"],
+                              params={"half": ["14:24"]}, trials=2, seed=2)
+        sweep = run_sweep(spec)
+        group = sweep.groups()[0]
+        assert group.rates["crossed"] == 1.0
+        assert group.mean("m1") > 0
+
+    def test_clique_cycle_task(self):
+        spec = ExperimentSpec(name="cc", task="clique-cycle",
+                              params={"instance": ["24:8"]})
+        metrics = run_sweep(spec).metrics[0]
+        assert metrics["num_cliques"] == 8
+        assert metrics["automorphism"] is True
+
+    def test_unsupported_fields_rejected_not_ignored(self):
+        # These fields enter the cache digest, so silently ignoring them
+        # would fabricate "measurements" of settings that never applied.
+        spec = ExperimentSpec(name="cc", task="clique-cycle",
+                              params={"instance": ["24:8"]}, ids="reversed")
+        with pytest.raises(ValueError, match="does not support: ids"):
+            execute_cell(spec.expand()[0])
+        spec = ExperimentSpec(name="bc", task="bridge-crossing",
+                              params={"half": ["14:24"]}, wakeup="simultaneous")
+        with pytest.raises(ValueError, match="does not support: wakeup"):
+            execute_cell(spec.expand()[0])
+        # candidate-f ignores the algorithm field entirely.
+        spec = ExperimentSpec(name="cf", task="candidate-f",
+                              algorithms=["kingdom"], graphs=["ring:8"],
+                              params={"f": [2.0]})
+        with pytest.raises(ValueError, match="does not support: algorithm"):
+            execute_cell(spec.expand()[0])
+
+    def test_unconsumed_params_rejected(self):
+        # A typo'd axis still perturbs the derived seed, so ignoring it
+        # would fabricate per-value "effects".
+        spec = ExperimentSpec(name="e", algorithms=["least-el"],
+                              graphs=["ring:8"], params={"bogus": [1, 2]})
+        with pytest.raises(ValueError, match="does not consume params: bogus"):
+            execute_cell(spec.expand()[0])
+
+    def test_missing_required_param(self):
+        spec = ExperimentSpec(name="cf", task="candidate-f",
+                              graphs=["ring:8"])
+        with pytest.raises(ValueError, match="requires a 'f' param axis"):
+            execute_cell(spec.expand()[0])
+
+
+class TestApiAndRunner:
+    def test_run_sweep_kwargs(self):
+        sweep = api_run_sweep(name="api", algorithms=["least-el"],
+                              graphs=["ring:8"], trials=2, seed=1)
+        assert sweep.cells == 2 and sweep.executed == 2
+
+    def test_run_sweep_spec_object(self):
+        assert api_run_sweep(SPEC).cells == 12
+
+    def test_run_sweep_rejects_mixed_args(self):
+        with pytest.raises(TypeError):
+            api_run_sweep(SPEC, name="also")
+
+    def test_runner_rejects_negative_workers(self):
+        with pytest.raises(ValueError):
+            Runner(workers=-1)
+
+    def test_progress_callback(self):
+        seen = []
+        run_sweep(ExperimentSpec(name="p", algorithms=["least-el"],
+                                 graphs=["ring:6"]), progress=seen.append)
+        assert seen and "1 cells" in seen[0]
+
+
+class TestGraphSpecs:
+    def test_parse_graph_spec_errors_are_value_errors(self):
+        with pytest.raises(ValueError):
+            parse_graph_spec("nope:5")
+        with pytest.raises(ValueError):
+            parse_graph_spec("er:20")
+
+    def test_barbell_spec(self):
+        t = parse_graph_spec("barbell:5:3")
+        assert t.num_nodes == 12  # two K5 halves + 2 bridge-path interiors
+
+
+class TestSweepCli:
+    def test_smoke(self, capsys, tmp_path):
+        argv = ["sweep", "--algorithms", "least-el", "--graphs", "ring:8",
+                "--trials", "2", "--seed", "4",
+                "--cache-dir", str(tmp_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "least-el ring:8" in out
+        assert "2 executed, 0 cached" in out
+        # Second invocation: everything served from cache.
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "0 executed, 2 cached" in out
+
+    def test_param_axis_and_task(self, capsys):
+        assert main(["sweep", "--task", "candidate-f", "--graphs", "ring:8",
+                     "--param", "f=1,2", "--trials", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "f=1" in out and "f=2" in out
+
+    def test_bad_param_exits(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--graphs", "ring:8", "--param", "oops"])
+
+    def test_unknown_task_exits(self):
+        with pytest.raises(SystemExit):
+            main(["sweep", "--task", "nope", "--graphs", "ring:8"])

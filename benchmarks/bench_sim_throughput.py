@@ -1,0 +1,36 @@
+"""Simulator hot-path throughput (the engine under every other bench).
+
+Not a paper figure: this tracks the *reproduction machinery itself*.
+Every Table 1 row is regenerated through thousands of simulated
+elections, so scheduler throughput bounds how far the sweeps can push n.
+The grid matches ``repro bench-sim`` (FloodMax over cliques stresses
+dense delivery + alarm rounds; least-el stresses the wave/send_soon
+path), and the rows land in ``benchmarks/results/`` next to the paper
+numbers.  The commit-over-commit trajectory lives in ``BENCH_sim.json``
+(append with ``repro bench-sim``).
+"""
+
+from repro.sim.bench import DEFAULT_GRID, measure_point
+
+from _util import once, record
+
+#: Keep the pytest run snappy: the big-n point is the CLI's job.
+GRID = [(algo, graph) for algo, graph in DEFAULT_GRID
+        if graph != "complete:512"]
+
+
+def bench_sim_throughput(benchmark):
+    rows = once(benchmark,
+                lambda: [measure_point(algo, graph, seed=1, repeats=1)
+                         for algo, graph in GRID])
+    record(benchmark, "sim_throughput", {
+        "point": [f"{r['algorithm']}@{r['graph']}" for r in rows],
+        "events_per_s": [r["events_per_s"] for r in rows],
+        "messages_per_s": [r["messages_per_s"] for r in rows],
+        "wall_s": [r["wall_s"] for r in rows],
+        "messages": [r["messages"] for r in rows],
+        "rounds_executed": [r["rounds_executed"] for r in rows],
+    })
+    for r in rows:
+        assert not r["truncated"]
+        assert r["messages"] > 0 and r["events_per_s"] > 0

@@ -14,6 +14,9 @@ Commands
     Run a declarative experiment grid (algorithms × graphs × params ×
     trials) through the parallel, cached engine of
     :mod:`repro.experiments`.
+``bench-sim``
+    Measure simulator throughput (events/sec, messages/sec) on a fixed
+    grid and append the numbers to the ``BENCH_sim.json`` trajectory.
 
 Graph specs are compact strings::
 
@@ -185,6 +188,38 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_bench_sim(args: argparse.Namespace) -> int:
+    from .sim.bench import (GRIDS, append_snapshot, format_rows, run_grid,
+                            snapshot)
+
+    if args.point:
+        grid = []
+        for entry in args.point:
+            algorithm, _, graph = entry.partition("@")
+            if not graph:
+                raise SystemExit(f"bad --point {entry!r}; expected "
+                                 f"ALGORITHM@GRAPHSPEC, e.g. "
+                                 f"flood-max@complete:512")
+            grid.append((algorithm, graph))
+    else:
+        grid = list(GRIDS[args.grid])
+
+    try:
+        rows = run_grid(grid, seed=args.seed, repeats=args.repeats,
+                        max_rounds=args.max_rounds,
+                        progress=lambda msg: print(f"... {msg}",
+                                                   file=sys.stderr))
+    except (KeyError, ValueError) as exc:
+        raise SystemExit(exc.args[0] if exc.args else str(exc))
+
+    print(format_rows(rows))
+    snap = snapshot(rows, label=args.label)
+    if args.out:
+        append_snapshot(args.out, snap)
+        print(f"appended snapshot to {args.out}")
+    return 0
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -245,6 +280,23 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--cache-dir",
                        help="on-disk result cache; re-runs are free")
 
+    bench = sub.add_parser(
+        "bench-sim",
+        help="measure simulator throughput and append it to BENCH_sim.json")
+    bench.add_argument("--grid", choices=["default", "tiny"], default="default",
+                       help="predefined measurement grid")
+    bench.add_argument("--point", action="append",
+                       metavar="ALGORITHM@GRAPHSPEC",
+                       help="explicit grid point (repeatable); overrides --grid")
+    bench.add_argument("--repeats", type=int, default=3,
+                       help="simulations per point (best wall time kept)")
+    bench.add_argument("--seed", type=int, default=1)
+    bench.add_argument("--max-rounds", type=int)
+    bench.add_argument("--label", default="",
+                       help="free-form tag stored with the snapshot")
+    bench.add_argument("--out", default="BENCH_sim.json",
+                       help="trajectory file to append to ('' to skip writing)")
+
     return parser
 
 
@@ -256,6 +308,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "table1": cmd_table1,
         "lower-bound": cmd_lower_bound,
         "sweep": cmd_sweep,
+        "bench-sim": cmd_bench_sim,
     }
     return handlers[args.command](args)
 

@@ -228,8 +228,7 @@ class _KingdomBase(ElectionProcess):
             state.member = True
             state.sent_to = set(ctx.ports)
             state.sent_elect = set(ctx.ports)
-            for port in ctx.ports:
-                ctx.send(port, ElectMsg(phase, ctx.uid, state.radius))
+            ctx.broadcast(ElectMsg(phase, ctx.uid, state.radius))
             # Candidates drive the phase clock: M1/CONFIRM at T2 + R,
             # decide at T4 + R, next phase at `end`.
             ctx.set_alarm_at(state.t2 + state.radius)
@@ -301,11 +300,11 @@ class _KingdomBase(ElectionProcess):
         state.depth = ctx.round - state.start
         schedule_present = False
         if msg.ttl > 1:
-            for p in ctx.ports:
-                if p not in state.received_from:
-                    state.sent_to.add(p)
-                    state.sent_elect.add(p)
-                    ctx.send(p, ElectMsg(msg.phase, msg.candidate, msg.ttl - 1))
+            forward = [p for p in ctx.ports if p not in state.received_from]
+            state.sent_to.update(forward)
+            state.sent_elect.update(forward)
+            ctx.multicast(forward, ElectMsg(msg.phase, msg.candidate,
+                                            msg.ttl - 1))
         else:
             schedule_present = True
         # Convergecast / victor alarms (time-driven).
@@ -335,10 +334,10 @@ class _KingdomBase(ElectionProcess):
             pass
 
     def _send_present(self, ctx: NodeContext, state: PhaseState) -> None:
-        for p in ctx.ports:
-            if p not in state.received_from and p not in state.sent_to:
-                state.sent_to.add(p)
-                ctx.send(p, PresentMsg(state.phase, state.kingdom))
+        quiet = [p for p in ctx.ports
+                 if p not in state.received_from and p not in state.sent_to]
+        state.sent_to.update(quiet)
+        ctx.multicast(quiet, PresentMsg(state.phase, state.kingdom))
 
     # ------------------------------------------------------------------
     # Stage 2: ACK
@@ -380,11 +379,10 @@ class _KingdomBase(ElectionProcess):
             state.confirm_seen = max(state.confirm_seen, msg.m1)
 
     def _forward_confirm(self, ctx: NodeContext, state: PhaseState, m1: int) -> None:
-        for p in state.children:
-            ctx.send(p, ConfirmMsg(state.phase, state.kingdom, m1))
-        for p in state.border_ports:
-            if p not in state.children and p != state.parent_port:
-                ctx.send(p, ConfirmMsg(state.phase, state.kingdom, m1))
+        targets = list(state.children)
+        targets += [p for p in state.border_ports
+                    if p not in state.children and p != state.parent_port]
+        ctx.multicast(targets, ConfirmMsg(state.phase, state.kingdom, m1))
 
     # ------------------------------------------------------------------
     # Stage 4: VICTOR
@@ -463,9 +461,7 @@ class _KingdomBase(ElectionProcess):
         if msg.leader_uid != ctx.uid:
             ctx.set_non_elected()
         ctx.output["leader_uid"] = msg.leader_uid
-        for p in ctx.ports:
-            if p != port:
-                ctx.send(p, LeaderMsg(msg.leader_uid))
+        ctx.broadcast(LeaderMsg(msg.leader_uid), exclude=(port,))
         ctx.halt()
 
 

@@ -127,8 +127,7 @@ class ExtinctionWave:
             self._complete(ctx)
             return
         self.pending = set(self.ports)
-        for port in self.ports:
-            ctx.send_soon(port, WaveRankMsg(self.tag, self.own_key))
+        ctx.multicast_soon(self.ports, WaveRankMsg(self.tag, self.own_key))
 
     # ------------------------------------------------------------------
     def handle(self, ctx: NodeContext, inbox: List[Delivery]) -> List[Delivery]:
@@ -179,8 +178,7 @@ class ExtinctionWave:
         self.completed = False
         self.adoptions += 1
         self.pending = set(p for p in self.ports if p != port)
-        for p in self.pending:
-            ctx.send_soon(p, WaveRankMsg(self.tag, key))
+        ctx.multicast_soon(self.pending, WaveRankMsg(self.tag, key))
         if not self.pending:
             self._complete(ctx)
 
@@ -200,8 +198,8 @@ class ExtinctionWave:
         if self.parent_port is None:
             # We are the origin of the globally minimal key: won.
             data = self._on_won(ctx) if self._on_won else ()
-            for port in self.children:
-                ctx.send_soon(port, WaveWinnerMsg(self.tag, self.best, tuple(data)))
+            ctx.multicast_soon(self.children,
+                               WaveWinnerMsg(self.tag, self.best, tuple(data)))
             self.finished = True
             if self._on_finished:
                 self._on_finished(ctx, self.best, tuple(data), True)
@@ -214,8 +212,7 @@ class ExtinctionWave:
         if self.finished:
             return
         self.finished = True
-        for child in self.children:
-            if child != port:
-                ctx.send_soon(child, WaveWinnerMsg(self.tag, msg.key, msg.data))
+        ctx.multicast_soon([child for child in self.children if child != port],
+                           WaveWinnerMsg(self.tag, msg.key, msg.data))
         if self._on_finished:
             self._on_finished(ctx, msg.key, msg.data, False)

@@ -30,7 +30,13 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 #: Bump when the cell schema or seed derivation changes incompatibly;
 #: part of every digest, so stale cache entries can never be confused
 #: for current ones.
-SCHEMA_VERSION = 1
+#:
+#: v2: election metrics rows gained ``rounds_executed`` (event rounds
+#: actually run — work, vs. the ``rounds`` span) and negative-int
+#: payload fields are charged ``bit_length() + 1`` instead of a flat 64
+#: bits, so v1 cache rows would silently mix stale bit counts and
+#: missing columns into new sweeps.
+SCHEMA_VERSION = 2
 
 
 def canonical_json(obj: Any) -> str:

@@ -128,6 +128,7 @@ def _election_metrics(result: RunResult, network: Network,
         "D": diameter,
         "messages": result.messages,
         "rounds": result.rounds,
+        "rounds_executed": result.metrics.rounds_executed,
         "bits": result.bits,
         "success": bool(result.has_unique_leader),
         "leaders": result.num_leaders,

@@ -52,6 +52,14 @@ class Network:
         self._id_to_index: Dict[int, int] = {uid: i for i, uid in enumerate(self._ids)}
         self._port_of_neighbor: Tuple[Dict[int, int], ...] = tuple(
             {nbr: port for port, nbr in enumerate(self._ports[u])} for u in range(n))
+        # Flat hot-path tables: degree per node, and for each (node,
+        # port) the *receiver-side* port of the shared edge, so a send
+        # resolves (dst, dst_port) with two list indexes and no dict
+        # lookups (see Simulator._submit_send).
+        self._degrees: Tuple[int, ...] = tuple(len(p) for p in self._ports)
+        self._peer_ports: Tuple[Tuple[int, ...], ...] = tuple(
+            tuple(self._port_of_neighbor[nbr][u] for nbr in self._ports[u])
+            for u in range(n))
 
     # ------------------------------------------------------------------
     @classmethod
@@ -106,7 +114,7 @@ class Network:
         return self._id_to_index[uid]
 
     def degree(self, index: int) -> int:
-        return self._topology.degree(index)
+        return self._degrees[index]
 
     def neighbor_via_port(self, index: int, port: int) -> int:
         """Node index reached by sending through ``port`` from ``index``."""
@@ -115,6 +123,24 @@ class Network:
     def port_to_neighbor(self, index: int, neighbor: int) -> int:
         """Local port of ``index`` whose edge leads to ``neighbor``."""
         return self._port_of_neighbor[index][neighbor]
+
+    def peer_port(self, index: int, port: int) -> int:
+        """The receiver-side port of the edge behind ``(index, port)``.
+
+        Equivalent to ``port_to_neighbor(neighbor_via_port(index, port),
+        index)`` but a single table index.
+        """
+        return self._peer_ports[index][port]
+
+    @property
+    def port_table(self) -> Tuple[Tuple[int, ...], ...]:
+        """Flat ``[node][port] -> neighbor`` table (hot-path view)."""
+        return self._ports
+
+    @property
+    def peer_port_table(self) -> Tuple[Tuple[int, ...], ...]:
+        """Flat ``[node][port] -> receiver port`` table (hot-path view)."""
+        return self._peer_ports
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Network({self._topology.name!r}, n={self.num_nodes}, "

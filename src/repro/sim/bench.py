@@ -1,0 +1,171 @@
+"""Simulator-throughput measurement harness (``repro bench-sim``).
+
+Every claim in the paper is a scaling statement, so the binding
+constraint on reproducing its figures is raw simulator throughput at
+large n.  This module measures it on a fixed grid and records the
+numbers as an append-only JSON trajectory (``BENCH_sim.json``) so that
+scheduler regressions are visible commit over commit.
+
+Two throughput figures are reported per grid point:
+
+* ``events_per_s`` — node activations scheduled per second (one event =
+  one (event round, active node) pair, halted skips included; the
+  scheduler-loop rate).
+* ``messages_per_s`` — messages transmitted per second (the send-path
+  rate: port resolution, CONGEST check, accounting, delivery buffering).
+
+Wall time covers ``Simulator(...)`` construction plus ``run()`` — the
+network build is excluded (it is amortized across a sweep's trials).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import sys
+import time
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+#: (algorithm, graph-spec) grid measured by default: FloodMax over
+#: cliques is the acceptance workload (dense alarm + delivery rounds);
+#: least-el exercises the wave/send_soon path.
+DEFAULT_GRID: Tuple[Tuple[str, str], ...] = (
+    ("flood-max", "complete:128"),
+    ("flood-max", "complete:256"),
+    ("flood-max", "complete:512"),
+    ("least-el", "complete:256"),
+)
+
+#: Small grid for CI smoke runs (seconds, not minutes, per run).
+TINY_GRID: Tuple[Tuple[str, str], ...] = (
+    ("flood-max", "complete:64"),
+    ("least-el", "complete:64"),
+)
+
+GRIDS: Dict[str, Tuple[Tuple[str, str], ...]] = {
+    "default": DEFAULT_GRID,
+    "tiny": TINY_GRID,
+}
+
+
+def measure_point(algorithm: str, graph: str, *, seed: int = 1,
+                  repeats: int = 3,
+                  max_rounds: Optional[int] = None) -> Dict[str, Any]:
+    """Time one (algorithm, graph) point; return its throughput row.
+
+    ``repeats`` independent simulations are run on the same network and
+    the *best* wall time is kept (the usual benchmarking convention:
+    minimum over repeats estimates the noise floor).
+    """
+    from ..api import _auto_knowledge, _ensure_registry
+    from ..graphs.network import Network
+    from ..graphs.specs import parse_graph_spec
+    from .scheduler import Simulator
+
+    registry = _ensure_registry()
+    if algorithm not in registry:
+        known = ", ".join(sorted(registry))
+        raise KeyError(f"unknown algorithm {algorithm!r}; choose one of: {known}")
+    spec = registry[algorithm]
+    topology = parse_graph_spec(graph, seed=seed)
+    network = Network.build(topology, seed=seed)
+    knowledge = _auto_knowledge(network, spec.needs, None)
+
+    best_wall: Optional[float] = None
+    result = None
+    metrics = None
+    for _ in range(max(1, repeats)):
+        t0 = time.perf_counter()
+        sim = Simulator(network, spec.factory, seed=seed, knowledge=knowledge)
+        result = sim.run(max_rounds=max_rounds)
+        wall = time.perf_counter() - t0
+        metrics = result.metrics
+        if best_wall is None or wall < best_wall:
+            best_wall = wall
+    assert result is not None and metrics is not None and best_wall is not None
+    wall = max(best_wall, 1e-9)
+    return {
+        "algorithm": algorithm,
+        "graph": graph,
+        "n": network.num_nodes,
+        "m": network.num_edges,
+        "seed": seed,
+        "repeats": repeats,
+        "wall_s": round(wall, 6),
+        "messages": result.messages,
+        "bits": result.bits,
+        "rounds": result.rounds,
+        "rounds_executed": metrics.rounds_executed,
+        "events": metrics.activations,
+        "events_per_s": round(metrics.activations / wall, 1),
+        "messages_per_s": round(result.messages / wall, 1),
+        "truncated": bool(result.truncated),
+    }
+
+
+def run_grid(grid: Sequence[Tuple[str, str]], *, seed: int = 1,
+             repeats: int = 3, max_rounds: Optional[int] = None,
+             progress=None) -> List[Dict[str, Any]]:
+    rows = []
+    for algorithm, graph in grid:
+        if progress:
+            progress(f"bench {algorithm} on {graph} ...")
+        rows.append(measure_point(algorithm, graph, seed=seed,
+                                  repeats=repeats, max_rounds=max_rounds))
+    return rows
+
+
+def snapshot(rows: List[Dict[str, Any]], *, label: str = "") -> Dict[str, Any]:
+    """Wrap one grid run with enough provenance to compare over time."""
+    return {
+        "label": label,
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "results": rows,
+    }
+
+
+def append_snapshot(path: str, snap: Dict[str, Any]) -> Dict[str, Any]:
+    """Append ``snap`` to the trajectory file at ``path``.
+
+    The file is rewritten atomically (temp file + ``os.replace``) so an
+    interrupted run can never truncate the history.  A corrupt or
+    foreign file is set aside as ``<path>.corrupt`` — with a warning —
+    rather than silently discarded.
+    """
+    doc: Dict[str, Any] = {"schema": 1, "runs": []}
+    if os.path.exists(path):
+        loaded = None
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                loaded = json.load(fh)
+        except (OSError, json.JSONDecodeError):
+            pass
+        if isinstance(loaded, dict) and isinstance(loaded.get("runs"), list):
+            doc = loaded
+        else:
+            backup = path + ".corrupt"
+            os.replace(path, backup)
+            print(f"warning: {path} was not a bench trajectory; "
+                  f"moved it to {backup} and starting fresh",
+                  file=sys.stderr)
+    doc["runs"].append(snap)
+    tmp = path + ".tmp"
+    with open(tmp, "w", encoding="utf-8") as fh:
+        json.dump(doc, fh, indent=1)
+        fh.write("\n")
+    os.replace(tmp, path)
+    return doc
+
+
+def format_rows(rows: List[Dict[str, Any]]) -> str:
+    header = (f"{'algorithm':<14} {'graph':<14} {'n':>5} {'events/s':>12} "
+              f"{'messages/s':>12} {'wall_s':>9}")
+    lines = [header]
+    for row in rows:
+        lines.append(f"{row['algorithm']:<14} {row['graph']:<14} "
+                     f"{row['n']:>5} {row['events_per_s']:>12,.0f} "
+                     f"{row['messages_per_s']:>12,.0f} {row['wall_s']:>9.4f}")
+    return "\n".join(lines)

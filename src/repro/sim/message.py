@@ -10,7 +10,7 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field, fields
-from typing import Any, Tuple
+from typing import Any, Dict, Tuple
 
 #: Default size charged for a scalar field (an ID, a rank, a counter):
 #: all of these are O(log n)-bit quantities in the paper's model.
@@ -22,7 +22,12 @@ def _value_bits(value: Any) -> int:
     if value is None or isinstance(value, bool):
         return 1
     if isinstance(value, int):
-        return max(1, value.bit_length()) if value >= 0 else WORD_BITS
+        # |value| magnitude bits, plus one sign bit for negatives, so
+        # the charge is continuous through 0.  (It used to be a flat
+        # WORD_BITS for any negative, making e.g. the negated-key waves
+        # of Corollary 4.5 look 64-bit regardless of magnitude.)
+        bits = max(1, value.bit_length())
+        return bits + 1 if value < 0 else bits
     if isinstance(value, str):
         return 8 * len(value)
     if isinstance(value, (tuple, list, frozenset, set)):
@@ -30,6 +35,11 @@ def _value_bits(value: Any) -> int:
     if isinstance(value, Payload):
         return value.size_bits()
     return WORD_BITS
+
+
+#: Per-class cache of dataclass field names, so the hot path never pays
+#: the ``dataclasses.fields()`` protocol per message.
+_FIELD_NAMES: Dict[type, Tuple[str, ...]] = {}
 
 
 @dataclass(frozen=True)
@@ -41,12 +51,24 @@ class Payload:
     shipping structures larger than O(log n) bits (e.g. Algorithm 1's
     inter-cluster graph) override :meth:`size_bits` or fragment the
     structure explicitly.
+
+    Sizes are memoized per instance (payloads are immutable), so a
+    payload broadcast over many ports is measured once, and the CONGEST
+    check plus bit accounting share a single computation.
     """
 
     def size_bits(self) -> int:
+        cached = self.__dict__.get("_size_bits")
+        if cached is not None:
+            return cached
+        cls = type(self)
+        names = _FIELD_NAMES.get(cls)
+        if names is None:
+            names = _FIELD_NAMES[cls] = tuple(f.name for f in fields(self))
         total = 8  # message-type header
-        for f in fields(self):
-            total += _value_bits(getattr(self, f.name))
+        for name in names:
+            total += _value_bits(getattr(self, name))
+        object.__setattr__(self, "_size_bits", total)
         return total
 
     def kind(self) -> str:

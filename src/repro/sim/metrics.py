@@ -8,6 +8,13 @@ which any message was delivered or any node changed state.
 Edge watches support the bridge-crossing experiments of Section 3.1: the
 harness registers the two bridge edges of a dumbbell graph and reads off
 how many messages the whole network sent before the first crossing.
+
+Hot path: the scheduler feeds the counters through :meth:`record_send`
+(one message, size already computed) and :meth:`record_broadcast` (one
+payload fanned out over ``count`` edges) without ever materializing an
+:class:`~repro.sim.message.Envelope`.  Envelopes are built only when a
+run records its send log (``record_sends=True``), in which case the
+scheduler routes through :meth:`on_send` instead.
 """
 
 from __future__ import annotations
@@ -45,7 +52,14 @@ class Metrics:
         self.per_kind: Counter = Counter()
         self.max_payload_bits = 0
         self.last_activity_round = 0
+        #: Event rounds actually executed (the run's *work* along the
+        #: time axis; ``last_activity_round`` is its *span*).
         self.rounds_executed = 0
+        #: Node activations *scheduled* (one per (event round, active
+        #: node) pair, including nodes that turn out to be halted and
+        #: are skipped) — the scheduler-loop denominator used by
+        #: ``repro bench-sim``.
+        self.activations = 0
         self._watches: Dict[Edge, EdgeWatch] = {}
         if watch_edges:
             for (u, v) in watch_edges:
@@ -55,24 +69,49 @@ class Metrics:
         self.send_log: List[Envelope] = []
 
     # ------------------------------------------------------------------
-    def on_send(self, env: Envelope) -> None:
+    def record_send(self, src: int, dst: int, kind: str, size: int,
+                    sent_round: int) -> None:
+        """Count one message of ``size`` bits without an Envelope."""
         self.messages += 1
-        size = env.payload.size_bits()
         self.bits += size
-        self.max_payload_bits = max(self.max_payload_bits, size)
-        self.per_node_sent[env.src] += 1
-        self.per_kind[env.payload.kind()] += 1
-        watch = self._watches.get(env.edge)
-        if watch is not None and watch.first_crossing_round is None:
-            watch.first_crossing_round = env.sent_round
-            # The crossing message itself is included in the count, so
-            # "messages strictly before" is self.messages - 1.
-            watch.messages_before_crossing = self.messages - 1
+        if size > self.max_payload_bits:
+            self.max_payload_bits = size
+        self.per_node_sent[src] += 1
+        self.per_kind[kind] += 1
+        if self._watches:
+            edge = (src, dst) if src < dst else (dst, src)
+            watch = self._watches.get(edge)
+            if watch is not None and watch.first_crossing_round is None:
+                watch.first_crossing_round = sent_round
+                # The crossing message itself is included in the count,
+                # so "messages strictly before" is self.messages - 1.
+                watch.messages_before_crossing = self.messages - 1
+
+    def record_broadcast(self, src: int, kind: str, size: int,
+                         count: int) -> None:
+        """Count one payload sent over ``count`` edges in one update.
+
+        Only valid on the fast path (no watches, no send log) — the
+        scheduler falls back to per-edge accounting otherwise.
+        """
+        self.messages += count
+        self.bits += size * count
+        if size > self.max_payload_bits:
+            self.max_payload_bits = size
+        self.per_node_sent[src] += count
+        self.per_kind[kind] += count
+
+    def on_send(self, env: Envelope) -> None:
+        """Envelope-carrying slow path (send log and direct callers)."""
+        payload = env.payload
+        self.record_send(env.src, env.dst, payload.kind(),
+                         payload.size_bits(), env.sent_round)
         if self.record_sends:
             self.send_log.append(env)
 
     def on_activity(self, round_index: int) -> None:
-        self.last_activity_round = max(self.last_activity_round, round_index)
+        if round_index > self.last_activity_round:
+            self.last_activity_round = round_index
 
     # ------------------------------------------------------------------
     @property
@@ -97,5 +136,6 @@ class Metrics:
             "messages": self.messages,
             "bits": self.bits,
             "rounds": self.last_activity_round,
+            "rounds_executed": self.rounds_executed,
             "max_payload_bits": self.max_payload_bits,
         }

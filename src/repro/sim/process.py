@@ -16,7 +16,8 @@ coins, optional global knowledge (``n``, ``m``, ``D`` — cf. Table 1's
 from __future__ import annotations
 
 import random
-from typing import Any, Dict, Iterable, List, Mapping, NamedTuple, Optional, TYPE_CHECKING
+from typing import (Any, Dict, Iterable, List, Mapping, NamedTuple, Optional,
+                    Sequence, TYPE_CHECKING)
 
 from .errors import InvalidPort, ModelViolation
 from .message import Payload
@@ -45,7 +46,11 @@ class NodeContext:
         self._halted = False
         self._rng = random.Random(f"node:{sim.seed}:{index}")
         self._round = 0
-        self._ports_sent_this_round: set = set()
+        # One-message-per-port-per-round bookkeeping: the set holds the
+        # ports used in round ``_sent_round`` and is reset lazily when
+        # the round advances (bounded memory, no per-send tuple keys).
+        self._sent_round = -1
+        self._sent_ports: set = set()
         self._outbox: list = []
         #: Free-form per-node outputs collected into the RunResult
         #: (estimates, received-broadcast flags, phase counts, ...).
@@ -93,11 +98,13 @@ class NodeContext:
         if not 0 <= port < self._degree:
             raise InvalidPort(f"node {self._index}: port {port} out of range "
                               f"[0, {self._degree})")
-        key = (self._round, port)
-        if key in self._ports_sent_this_round:
+        if self._round != self._sent_round:
+            self._sent_round = self._round
+            self._sent_ports.clear()
+        elif port in self._sent_ports:
             raise ModelViolation(
                 f"node {self._index} sent twice on port {port} in round {self._round}")
-        self._ports_sent_this_round.add(key)
+        self._sent_ports.add(port)
         self._sim._submit_send(self._index, port, payload)
 
     def send_soon(self, port: int, payload: Payload) -> None:
@@ -109,11 +116,17 @@ class NodeContext:
         same round) without violating the one-message-per-edge-per-round
         discipline.  Deferred messages are flushed automatically at the
         node's next activation (an alarm is set to guarantee one).
+
+        Halted nodes may not send at all — deferring would silently
+        drop the message (a halted node is never activated again), so
+        the model violation is raised up front.
         """
+        if self._halted:
+            raise ModelViolation(f"halted node {self._index} tried to send")
         if not 0 <= port < self._degree:
             raise InvalidPort(f"node {self._index}: port {port} out of range "
                               f"[0, {self._degree})")
-        if (self._round, port) in self._ports_sent_this_round:
+        if self._round == self._sent_round and port in self._sent_ports:
             self._outbox.append((port, payload))
             self._sim._submit_alarm(self._index, self._round + 1)
         else:
@@ -127,12 +140,106 @@ class NodeContext:
         for port, payload in backlog:
             self.send_soon(port, payload)
 
+    def _claim_ports(self, ports: Sequence[int],
+                     check_range: bool = False) -> None:
+        """Validate + mark several ports for a batched same-round send.
+
+        Single pass, atomic: if any port fails validation the claims
+        made so far are rolled back, so a failed batch leaves no port
+        marked as sent (no message of the batch is ever submitted).
+        """
+        if self._halted:
+            raise ModelViolation(f"halted node {self._index} tried to send")
+        if self._round != self._sent_round:
+            self._sent_round = self._round
+            self._sent_ports.clear()
+        sent = self._sent_ports
+        degree = self._degree
+        claimed = 0
+        try:
+            for port in ports:
+                if check_range and not 0 <= port < degree:
+                    raise InvalidPort(
+                        f"node {self._index}: port {port} out of range "
+                        f"[0, {degree})")
+                if port in sent:
+                    raise ModelViolation(
+                        f"node {self._index} sent twice on port {port} "
+                        f"in round {self._round}")
+                sent.add(port)
+                claimed += 1
+        except Exception:
+            for port in ports[:claimed]:
+                sent.discard(port)
+            raise
+
     def broadcast(self, payload: Payload, exclude: Iterable[int] = ()) -> None:
-        """Send ``payload`` on every port except those in ``exclude``."""
-        skip = set(exclude)
-        for port in self.ports:
-            if port not in skip:
-                self.send(port, payload)
+        """Send ``payload`` on every port except those in ``exclude``.
+
+        Batched fast path: the whole fan-out is submitted in one
+        scheduler call (one CONGEST check, one metrics update).
+        """
+        if exclude:
+            skip = set(exclude)
+            ports = [p for p in range(self._degree) if p not in skip]
+        else:
+            ports = list(range(self._degree))
+        if not ports:
+            return
+        self._claim_ports(ports)
+        self._sim._submit_multicast(self._index, ports, payload)
+
+    def multicast(self, ports: Sequence[int], payload: Payload) -> None:
+        """Send ``payload`` on each of the given distinct ports at once.
+
+        The batched equivalent of calling :meth:`send` per port (in the
+        given order): same validation, same one-per-port discipline,
+        one scheduler submission.  Unlike a manual loop, the batch is
+        atomic — a validation failure sends and claims nothing.
+        """
+        port_list = list(ports)
+        if not port_list:
+            return
+        self._claim_ports(port_list, check_range=True)
+        self._sim._submit_multicast(self._index, port_list, payload)
+
+    def multicast_soon(self, ports: Sequence[int], payload: Payload) -> None:
+        """Batched :meth:`send_soon`: ports free this round are sent as
+        one multicast, the rest are deferred to following rounds.
+
+        Atomic like :meth:`multicast`: an out-of-range port (or a
+        halted sender) aborts the whole batch with nothing sent,
+        claimed, or deferred.
+        """
+        if self._halted:
+            raise ModelViolation(f"halted node {self._index} tried to send")
+        now: list = []
+        later: list = []
+        degree = self._degree
+        if self._round != self._sent_round:
+            self._sent_round = self._round
+            self._sent_ports.clear()
+        sent = self._sent_ports
+        try:
+            for port in ports:
+                if not 0 <= port < degree:
+                    raise InvalidPort(
+                        f"node {self._index}: port {port} out of range "
+                        f"[0, {degree})")
+                if port in sent:
+                    later.append(port)
+                else:
+                    sent.add(port)
+                    now.append(port)
+        except InvalidPort:
+            for port in now:
+                sent.discard(port)
+            raise
+        if now:
+            self._sim._submit_multicast(self._index, now, payload)
+        if later:
+            self._outbox.extend((port, payload) for port in later)
+            self._sim._submit_alarm(self._index, self._round + 1)
 
     # -- timers ------------------------------------------------------------
     def set_alarm_in(self, delta: int) -> None:

@@ -13,6 +13,26 @@ round with no deliveries, no alarms, and no wakeups — but it makes runs
 whose span is exponential (Theorem 4.1: the agent with smallest ID ``i``
 finishes around round ``2m · 2^i``) run in time proportional to the
 number of *events*, not rounds.
+
+Hot-path design (the paper's claims are scaling statements, so sweep
+throughput at large n is the binding constraint):
+
+* **O(1) event queue.**  Messages always deliver exactly one round
+  ahead, so in-flight traffic is one flat ``node -> inbox`` map plus a
+  single ``_delivery_round`` scalar; alarms and spontaneous wakeups
+  each sit in a min-heap.  Finding the next event round peeks at three
+  monotone sources — no dict scans proportional to the number of
+  buffered rounds.
+* **Lazy envelopes.**  An :class:`Envelope` is materialized only when
+  the run records its send log; otherwise sends are accounted straight
+  into :class:`Metrics` from ``(src, dst, kind, size)`` scalars, with
+  payload sizes memoized per instance.
+* **Flat port tables.**  ``(dst, dst_port)`` of a send resolve through
+  the network's precomputed ``port_table``/``peer_port_table`` — two
+  list indexes, no method calls or reverse-dict lookups.
+* **Batched broadcast.**  :meth:`NodeContext.broadcast` (and
+  ``multicast``) submit all ports of one payload in a single call:
+  one CONGEST check, one size computation, one bulk metrics update.
 """
 
 from __future__ import annotations
@@ -130,6 +150,9 @@ class Simulator:
         self.knowledge: Mapping[str, int] = dict(knowledge or {})
         self._congest_bits = congest_bits
         self.metrics = Metrics(watch_edges=watch_edges, record_sends=record_sends)
+        #: Lazy-envelope fast path: edge watches and send recording are
+        #: the only consumers of per-send Envelope objects.
+        self._fast_sends = not record_sends and not watch_edges
         n = network.num_nodes
         self._processes: List[NodeProcess] = [process_factory() for _ in range(n)]
         self._contexts: List[NodeContext] = [NodeContext(self, i) for i in range(n)]
@@ -142,31 +165,88 @@ class Simulator:
         for i, r in enumerate(self._wake_schedule):
             if r is not None:
                 self._pending_wakeups.setdefault(r, []).append(i)
+        #: Distinct spontaneous-wakeup rounds, min-heap ordered.
+        self._wakeup_heap: List[int] = sorted(self._pending_wakeups)
 
-        self._deliveries: Dict[int, Dict[int, List[Delivery]]] = {}
+        # Flat delivery buffers: messages always deliver exactly one
+        # round after they are sent, so a single node->inbox map plus
+        # the scalar round it belongs to replaces the old nested
+        # Dict[round, Dict[node, List[Delivery]]].
+        self._inboxes: Dict[int, List[Delivery]] = {}
+        self._delivery_round: Optional[int] = None
+
         self._alarm_heap: List[Tuple[int, int]] = []
         self._alarm_set: Set[Tuple[int, int]] = set()
         self._current_round = 0
         self._ran = False
 
+        # Hot-path views of the network's flat port tables.
+        self._port_table = network.port_table
+        self._peer_table = network.peer_port_table
+
     # ------------------------------------------------------------------
     # Hooks used by NodeContext
     # ------------------------------------------------------------------
     def _submit_send(self, src: int, port: int, payload: Payload) -> None:
-        if self._congest_bits is not None:
-            size = payload.size_bits()
-            if size > self._congest_bits:
-                raise CongestViolation(
-                    f"payload {payload.kind()} is {size} bits "
-                    f"(> CONGEST limit of {self._congest_bits})")
-        dst = self.network.neighbor_via_port(src, port)
-        dst_port = self.network.port_to_neighbor(dst, src)
-        env = Envelope(src=src, dst=dst, dst_port=dst_port, payload=payload,
-                       sent_round=self._current_round)
-        self.metrics.on_send(env)
-        deliver_round = self._current_round + 1
-        bucket = self._deliveries.setdefault(deliver_round, {})
-        bucket.setdefault(dst, []).append(Delivery(dst_port, payload))
+        size = payload.size_bits()  # memoized; shared with the metrics
+        if self._congest_bits is not None and size > self._congest_bits:
+            raise CongestViolation(
+                f"payload {payload.kind()} is {size} bits "
+                f"(> CONGEST limit of {self._congest_bits})")
+        dst = self._port_table[src][port]
+        dst_port = self._peer_table[src][port]
+        if self._fast_sends:
+            self.metrics.record_send(src, dst, payload.kind(), size,
+                                     self._current_round)
+        else:
+            self.metrics.on_send(Envelope(
+                src=src, dst=dst, dst_port=dst_port, payload=payload,
+                sent_round=self._current_round))
+        inboxes = self._inboxes
+        box = inboxes.get(dst)
+        if box is None:
+            box = inboxes[dst] = []
+        box.append(Delivery(dst_port, payload))
+        self._delivery_round = self._current_round + 1
+
+    def _submit_multicast(self, src: int, ports: Sequence[int],
+                          payload: Payload) -> None:
+        """Batched send of one payload over several ports.
+
+        Semantically identical to ``_submit_send`` per port (in the
+        given port order) but pays the CONGEST check, size computation,
+        and metrics update once for the whole fan-out.
+        """
+        size = payload.size_bits()
+        if self._congest_bits is not None and size > self._congest_bits:
+            raise CongestViolation(
+                f"payload {payload.kind()} is {size} bits "
+                f"(> CONGEST limit of {self._congest_bits})")
+        port_row = self._port_table[src]
+        peer_row = self._peer_table[src]
+        inboxes = self._inboxes
+        if self._fast_sends:
+            for port in ports:
+                dst = port_row[port]
+                box = inboxes.get(dst)
+                if box is None:
+                    box = inboxes[dst] = []
+                box.append(Delivery(peer_row[port], payload))
+            self.metrics.record_broadcast(src, payload.kind(), size,
+                                          len(ports))
+        else:
+            sent_round = self._current_round
+            for port in ports:
+                dst = port_row[port]
+                dst_port = peer_row[port]
+                self.metrics.on_send(Envelope(
+                    src=src, dst=dst, dst_port=dst_port, payload=payload,
+                    sent_round=sent_round))
+                box = inboxes.get(dst)
+                if box is None:
+                    box = inboxes[dst] = []
+                box.append(Delivery(dst_port, payload))
+        self._delivery_round = self._current_round + 1
 
     def _submit_alarm(self, node: int, round_index: int) -> None:
         key = (round_index, node)
@@ -183,17 +263,23 @@ class Simulator:
         # discard them so they don't keep an otherwise-finished run
         # alive (e.g. the never-taken 2^ID steps of destroyed Theorem
         # 4.1 agents).
-        while self._alarm_heap and self._contexts[self._alarm_heap[0][1]].halted:
-            key = heapq.heappop(self._alarm_heap)
+        heap = self._alarm_heap
+        contexts = self._contexts
+        while heap and contexts[heap[0][1]]._halted:
+            key = heapq.heappop(heap)
             self._alarm_set.discard(key)
-        candidates: List[int] = []
-        if self._deliveries:
-            candidates.append(min(self._deliveries))
-        if self._alarm_heap:
-            candidates.append(self._alarm_heap[0][0])
-        if self._pending_wakeups:
-            candidates.append(min(self._pending_wakeups))
-        return min(candidates) if candidates else None
+        # O(1) peeks at the three monotone event sources.
+        best = self._delivery_round
+        if heap:
+            r = heap[0][0]
+            if best is None or r < best:
+                best = r
+        wakeups = self._wakeup_heap
+        if wakeups:
+            r = wakeups[0]
+            if best is None or r < best:
+                best = r
+        return best
 
     def run(self, max_rounds: Optional[int] = None, *,
             raise_on_limit: bool = False) -> RunResult:
@@ -233,37 +319,54 @@ class Simulator:
 
     # ------------------------------------------------------------------
     def _execute_round(self, r: int) -> None:
-        inboxes = self._deliveries.pop(r, {})
+        if self._delivery_round == r:
+            inboxes = self._inboxes
+            # Fresh buffer: sends made *during* this round target r + 1.
+            self._inboxes = {}
+            self._delivery_round = None
+        else:
+            inboxes = {}
         woken = self._pending_wakeups.pop(r, [])
+        wakeups = self._wakeup_heap
+        while wakeups and wakeups[0] <= r:
+            heapq.heappop(wakeups)
 
         fired: Set[int] = set()
-        while self._alarm_heap and self._alarm_heap[0][0] <= r:
-            key = heapq.heappop(self._alarm_heap)
+        heap = self._alarm_heap
+        while heap and heap[0][0] <= r:
+            key = heapq.heappop(heap)
             self._alarm_set.discard(key)
             fired.add(key[1])
 
-        active = sorted(set(woken) | set(inboxes) | fired)
+        if woken or fired:
+            active = sorted(set(woken) | inboxes.keys() | fired)
+        else:
+            active = sorted(inboxes)
         if inboxes:
             # Message deliveries mark activity even if receivers are halted.
             self.metrics.on_activity(r)
+        self.metrics.activations += len(active)
 
+        contexts = self._contexts
+        processes = self._processes
+        started = self._started
         for idx in active:
-            ctx = self._contexts[idx]
-            if ctx.halted:
+            ctx = contexts[idx]
+            if ctx._halted:
                 continue
             ctx._round = r
-            ctx._flush_outbox()
+            if ctx._outbox:
+                ctx._flush_outbox()
             inbox = inboxes.get(idx, [])
-            first_activation = not self._started[idx]
-            if first_activation:
+            if not started[idx]:
                 # A sleeping node woken by a message runs its wakeup code
                 # before processing the inbox (Theorem 4.1's wakeup phase
                 # relies on this ordering).
-                self._started[idx] = True
+                started[idx] = True
                 self.metrics.on_activity(r)
-                self._processes[idx].on_start(ctx)
+                processes[idx].on_start(ctx)
             if inbox or idx in fired:
-                self._processes[idx].on_round(ctx, inbox)
+                processes[idx].on_round(ctx, inbox)
 
     # ------------------------------------------------------------------
     # Introspection helpers (tests / experiments)

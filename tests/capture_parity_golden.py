@@ -1,0 +1,44 @@
+"""Regenerate the scheduler-parity golden fixture.
+
+Usage::
+
+    PYTHONPATH=src python tests/capture_parity_golden.py
+
+The committed ``tests/data/scheduler_parity_golden.json`` was captured
+from the *pre-overhaul* scheduler (nested dict delivery buffers, eager
+envelopes) **with the negative-int bit-accounting fix already applied**
+(that fix intentionally changed ``bits`` for payloads carrying negative
+ints, e.g. Corollary 4.5's negated keys), so the fixture pins the
+rewritten hot path to the original scheduler semantics under the
+corrected accounting.  Re-running this script after an *intentional*
+semantic change re-baselines the fixture — do that consciously, and
+say so in the commit message.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+sys.path.insert(0, os.path.dirname(__file__))
+
+from parity_cases import run_matrix  # noqa: E402
+
+OUT = os.path.join(os.path.dirname(__file__), "data",
+                   "scheduler_parity_golden.json")
+
+
+def main() -> int:
+    rows = run_matrix()
+    os.makedirs(os.path.dirname(OUT), exist_ok=True)
+    with open(OUT, "w", encoding="utf-8") as fh:
+        json.dump(rows, fh, indent=1, sort_keys=True)
+        fh.write("\n")
+    print(f"wrote {len(rows)} golden cases to {OUT}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

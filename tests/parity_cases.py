@@ -1,0 +1,161 @@
+"""Shared case matrix for the scheduler semantic-parity suite.
+
+The simulator's scheduler is performance-critical and was rewritten for
+throughput (flat delivery buffers, O(1) event queue, lazy envelopes).
+The rewrite must be *semantically invisible*: for identical seeds, every
+algorithm must produce an identical :class:`RunResult` — messages, bits,
+event rounds, statuses, outputs, watch crossings, truncation — on every
+topology and under every scheduler feature (adversarial wakeup, CONGEST
+enforcement, edge watches, send recording).
+
+This module defines the case matrix once so that
+
+* ``tests/capture_parity_golden.py`` can dump the golden results (the
+  committed fixture was captured from the pre-overhaul scheduler, with
+  the intentional negative-int bit-accounting fix already applied —
+  see that script's docstring), and
+* ``tests/test_scheduler_parity.py`` can replay the matrix against the
+  current scheduler and diff.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from repro.api import _ensure_registry
+from repro.graphs import Network, barbell, complete, lollipop, ring
+from repro.graphs.ids import SequentialIds
+from repro.sim.scheduler import Simulator
+from repro.sim.wakeup import AdversarialWakeup
+
+#: Small instances of the paper's three recurring shapes: cliques (the
+#: primary topology), cycles, and dumbbells (two dense halves + bridge).
+TOPOLOGIES = {
+    "clique8": lambda: complete(8),
+    "clique16": lambda: complete(16),
+    "ring9": lambda: ring(9),
+    "ring16": lambda: ring(16),
+    "barbell5": lambda: barbell(5),
+    "lollipop5-3": lambda: lollipop(5, 3),
+}
+
+#: The bridge edge of ``barbell(5)`` (clique node 0 — clique node k).
+BARBELL5_BRIDGE = (0, 5)
+
+
+def build_cases() -> List[Dict[str, Any]]:
+    """The full parity matrix (every registry algorithm + feature cases)."""
+    cases: List[Dict[str, Any]] = []
+    for algorithm in sorted(_ensure_registry()):
+        for topology in ("clique8", "ring9", "barbell5"):
+            for seed in (1, 2):
+                cases.append({"algorithm": algorithm, "topology": topology,
+                              "seed": seed})
+    # Adversarial wakeup: sleeping nodes woken by messages mid-run.
+    # (flood-max/kingdom are simultaneous-wakeup baselines, so the
+    # adversarial cases use the wave-based and agent algorithms.)
+    for algorithm in ("least-el", "size-estimation", "dfs-agent"):
+        for topology in ("clique8", "ring9"):
+            for seed in (1, 2):
+                cases.append({"algorithm": algorithm, "topology": topology,
+                              "seed": seed, "wakeup": "adversarial"})
+    # CONGEST enforcement active (runs must complete AND count the same).
+    for algorithm in ("least-el", "candidate"):
+        cases.append({"algorithm": algorithm, "topology": "clique8",
+                      "seed": 1, "congest_bits": 256})
+    # Edge watches on the dumbbell bridge (Section 3.1 experiments).
+    for seed in (1, 2):
+        cases.append({"algorithm": "least-el", "topology": "barbell5",
+                      "seed": seed, "watch_bridge": True})
+    # Truncated run: the round ceiling fires mid-election.
+    cases.append({"algorithm": "flood-max", "topology": "ring16", "seed": 1,
+                  "max_rounds": 5})
+    # Larger single shots + the lollipop (Theorem 3.1's G0 shape).
+    cases.append({"algorithm": "kingdom", "topology": "clique16", "seed": 1})
+    cases.append({"algorithm": "clustering", "topology": "ring16", "seed": 1})
+    cases.append({"algorithm": "kingdom", "topology": "lollipop5-3", "seed": 1})
+    cases.append({"algorithm": "least-el", "topology": "lollipop5-3", "seed": 2})
+    # Envelope recording (forces the slow send path).
+    cases.append({"algorithm": "least-el", "topology": "clique8", "seed": 1,
+                  "record_sends": True})
+    return cases
+
+
+def case_name(case: Dict[str, Any]) -> str:
+    extras = [k for k in ("wakeup", "congest_bits", "watch_bridge",
+                          "max_rounds", "record_sends") if case.get(k)]
+    parts = [case["algorithm"], case["topology"], f"seed{case['seed']}"]
+    parts += [f"{k}={case[k]}" for k in extras]
+    return "|".join(parts)
+
+
+def _jsonable(value: Any) -> Any:
+    """Outputs may hold tuples/sets; normalize to JSON-stable structures."""
+    if isinstance(value, dict):
+        return {str(k): _jsonable(v) for k, v in sorted(value.items(),
+                                                        key=lambda kv: str(kv[0]))}
+    if isinstance(value, (list, tuple)):
+        return [_jsonable(v) for v in value]
+    if isinstance(value, (set, frozenset)):
+        return sorted(_jsonable(v) for v in value)
+    return value
+
+
+def run_case(case: Dict[str, Any]) -> Dict[str, Any]:
+    """Execute one case and summarize everything observable about it."""
+    spec = _ensure_registry()[case["algorithm"]]
+    topology = TOPOLOGIES[case["topology"]]()
+    # Theorem 4.1 agents run for ~2m·2^ID rounds; sequential IDs keep the
+    # golden round numbers human-sized without losing any coverage.
+    ids = SequentialIds() if case["algorithm"] == "dfs-agent" else None
+    network = Network.build(topology, seed=case["seed"], ids=ids)
+    knowledge: Dict[str, int] = {}
+    for key in spec.needs:
+        if key == "n":
+            knowledge["n"] = network.num_nodes
+        elif key == "m":
+            knowledge["m"] = network.num_edges
+        elif key == "D":
+            knowledge["D"] = topology.diameter()
+    wakeup = (AdversarialWakeup(0.25, max_delay=3)
+              if case.get("wakeup") == "adversarial" else None)
+    watch = {BARBELL5_BRIDGE} if case.get("watch_bridge") else None
+    sim = Simulator(network, spec.factory, seed=case["seed"],
+                    knowledge=knowledge, wakeup=wakeup, watch_edges=watch,
+                    record_sends=bool(case.get("record_sends")),
+                    congest_bits=case.get("congest_bits"))
+    result = sim.run(max_rounds=case.get("max_rounds"))
+    m = result.metrics
+    row: Dict[str, Any] = {
+        "messages": m.messages,
+        "bits": m.bits,
+        "rounds": result.rounds,
+        "rounds_executed": m.rounds_executed,
+        "max_payload_bits": m.max_payload_bits,
+        "statuses": [s.value for s in result.statuses],
+        "leaders": result.num_leaders,
+        "leader_uid": result.leader_uid,
+        "truncated": bool(result.truncated),
+        "wake_schedule": list(result.wake_schedule),
+        "per_kind": {k: m.per_kind[k] for k in sorted(m.per_kind)},
+        "per_node_sent": [[i, m.per_node_sent[i]]
+                          for i in sorted(m.per_node_sent)],
+        "outputs": _jsonable(result.outputs),
+    }
+    if watch:
+        row["watches"] = sorted(
+            [list(w.edge), w.first_crossing_round, w.messages_before_crossing]
+            for w in m.watches.values())
+    if case.get("record_sends"):
+        row["send_log_len"] = len(m.send_log)
+        row["send_log_head"] = [
+            [e.src, e.dst, e.dst_port, e.payload.kind(), e.sent_round]
+            for e in m.send_log[:25]]
+    return row
+
+
+def run_matrix() -> Dict[str, Dict[str, Any]]:
+    """Run every case; JSON round-trip so results diff cleanly vs. disk."""
+    rows = {case_name(case): run_case(case) for case in build_cases()}
+    return json.loads(json.dumps(rows))

@@ -68,3 +68,61 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "Thm 4.10" in out
+
+
+class TestBenchSim:
+    def test_point_runs_and_appends_trajectory(self, capsys, tmp_path):
+        import json
+
+        out_path = tmp_path / "BENCH_sim.json"
+        argv = ["bench-sim", "--point", "flood-max@complete:16",
+                "--repeats", "1", "--out", str(out_path)]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "events/s" in out and "flood-max" in out
+
+        doc = json.loads(out_path.read_text())
+        assert len(doc["runs"]) == 1
+        (row,) = doc["runs"][0]["results"]
+        assert row["algorithm"] == "flood-max"
+        assert row["n"] == 16
+        assert row["events"] > 0 and row["messages"] > 0
+        assert row["events_per_s"] > 0
+
+        # Trajectory is append-only: a second run adds a snapshot.
+        assert main(argv) == 0
+        capsys.readouterr()
+        doc = json.loads(out_path.read_text())
+        assert len(doc["runs"]) == 2
+
+    def test_corrupt_trajectory_preserved_not_overwritten(self, tmp_path,
+                                                          capsys):
+        import json
+
+        from repro.sim.bench import append_snapshot, snapshot
+
+        path = tmp_path / "BENCH_sim.json"
+        path.write_text("{truncated by a kill")
+        append_snapshot(str(path), snapshot([], label="after-corruption"))
+        err = capsys.readouterr().err
+        assert "warning" in err and ".corrupt" in err
+        assert (tmp_path / "BENCH_sim.json.corrupt").read_text() == \
+            "{truncated by a kill"
+        doc = json.loads(path.read_text())
+        assert [run["label"] for run in doc["runs"]] == ["after-corruption"]
+
+    def test_empty_out_skips_writing(self, capsys, tmp_path, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        assert main(["bench-sim", "--point", "least-el@ring:8",
+                     "--repeats", "1", "--out", ""]) == 0
+        capsys.readouterr()
+        assert not (tmp_path / "BENCH_sim.json").exists()
+
+    def test_bad_point_spec_exits(self):
+        with pytest.raises(SystemExit):
+            main(["bench-sim", "--point", "flood-max-complete:16",
+                  "--out", ""])
+
+    def test_unknown_algorithm_exits(self):
+        with pytest.raises(SystemExit):
+            main(["bench-sim", "--point", "nope@ring:8", "--out", ""])

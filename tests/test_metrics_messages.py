@@ -70,7 +70,38 @@ class TestMetrics:
     def test_summary_keys(self):
         m = Metrics()
         assert set(m.summary()) == {"messages", "bits", "rounds",
-                                    "max_payload_bits"}
+                                    "rounds_executed", "max_payload_bits"}
+
+    def test_summary_distinguishes_span_from_work(self):
+        # An event-driven run that jumps over empty rounds has a large
+        # span ("rounds") but little work ("rounds_executed"); summary()
+        # must report both so sweep rows can tell them apart.
+        m = Metrics()
+        m.on_activity(1_000_000)
+        m.rounds_executed = 2
+        s = m.summary()
+        assert s["rounds"] == 1_000_000
+        assert s["rounds_executed"] == 2
+
+    def test_record_send_matches_envelope_path(self):
+        # The lazy (envelope-free) fast path and the envelope slow path
+        # must account identically.
+        fast, slow = Metrics(), Metrics()
+        fast.record_send(0, 1, Small().kind(), Small().size_bits(), 0)
+        slow.on_send(Envelope(0, 1, 0, Small(), 0))
+        assert fast.summary() == slow.summary()
+        assert fast.per_kind == slow.per_kind
+        assert fast.per_node_sent == slow.per_node_sent
+
+    def test_record_broadcast_matches_per_send(self):
+        bulk, loop = Metrics(), Metrics()
+        size = Small().size_bits()
+        bulk.record_broadcast(3, "Small", size, 4)
+        for dst in (0, 1, 2, 4):
+            loop.record_send(3, dst, "Small", size, 0)
+        assert bulk.summary() == loop.summary()
+        assert bulk.per_kind == loop.per_kind
+        assert bulk.per_node_sent == loop.per_node_sent
 
 
 class TestSendLog:

@@ -23,9 +23,20 @@ class TestPayloadSizing:
         assert _value_bits(True) == 1
         assert _value_bits(0) == 1
         assert _value_bits(255) == 8
-        assert _value_bits(-5) == 64
+        assert _value_bits(-5) == 4  # |−5| = 3 bits + sign bit
         assert _value_bits("ab") == 16
         assert _value_bits((1, 1)) > 2  # tuple adds per-element overhead
+
+    def test_negative_ints_charged_by_magnitude(self):
+        # Regression: negatives used to cost a flat WORD_BITS=64, making
+        # bit complexity discontinuous at 0.  Now −x costs exactly one
+        # sign bit more than x, for any magnitude.
+        for x in (1, 5, 255, 2 ** 20, 2 ** 40):
+            assert _value_bits(-x) == _value_bits(x) + 1
+        assert _value_bits(-1) == 2
+        # Continuity around zero: no 64-bit cliff.
+        costs = [_value_bits(v) for v in (-2, -1, 0, 1, 2)]
+        assert costs == [3, 2, 1, 1, 2]
 
 
 class TestSummary:

@@ -61,6 +61,10 @@ class TestNetwork:
             for p in range(net.degree(u)):
                 v = net.neighbor_via_port(u, p)
                 assert net.neighbor_via_port(v, net.port_to_neighbor(v, u)) == u
+                # The precomputed peer-port table agrees with the
+                # compositional definition (and routes back to u).
+                assert net.peer_port(u, p) == net.port_to_neighbor(v, u)
+                assert net.neighbor_via_port(v, net.peer_port(u, p)) == u
 
     def test_id_reverse_map(self):
         net = Network.build(ring(8), seed=3)

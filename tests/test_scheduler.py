@@ -130,6 +130,54 @@ class TestModelRules:
         _, sim = build(ring(3), BadPort)
         sim.run()
 
+    def test_multicast_failed_batch_is_atomic(self):
+        class Batcher(NodeProcess):
+            def on_start(self, ctx):
+                with pytest.raises(ModelViolation):
+                    ctx.multicast([0, ctx.degree], Ping())  # bad 2nd port
+                with pytest.raises(ModelViolation):
+                    ctx.multicast([1, 1], Ping())  # duplicate in batch
+                # Nothing was claimed or sent: the corrected batch works.
+                ctx.multicast([0, 1], Ping())
+
+        _, sim = build(ring(3), Batcher)
+        result = sim.run()
+        assert result.messages == 2 * 3  # two ports per node, three nodes
+
+    def test_halted_node_cannot_defer_sends(self):
+        # Deferral would silently drop the message (halted nodes are
+        # never activated again), so every send path must raise.
+        class HaltedSender(NodeProcess):
+            def on_start(self, ctx):
+                ctx.send(0, Ping())
+                ctx.halt()
+                with pytest.raises(ModelViolation):
+                    ctx.send_soon(0, Ping())  # busy port: would defer
+                with pytest.raises(ModelViolation):
+                    ctx.multicast_soon([0], Ping())
+                with pytest.raises(ModelViolation):
+                    ctx.broadcast(Ping())
+
+        _, sim = build(ring(3), HaltedSender)
+        result = sim.run()
+        assert result.messages == 3  # only the pre-halt sends
+
+    def test_multicast_soon_failed_batch_is_atomic(self):
+        class Batcher(NodeProcess):
+            def on_start(self, ctx):
+                with pytest.raises(ModelViolation):
+                    ctx.multicast_soon([0, ctx.degree], Ping())
+                ctx.multicast_soon([0, 1], Ping())
+                # A reuse of port 0 defers instead of raising.
+                ctx.multicast_soon([0], Ping())
+
+            def on_round(self, ctx, inbox):
+                pass
+
+        _, sim = build(ring(3), Batcher)
+        result = sim.run()
+        assert result.messages == 3 * 3  # 2 immediate + 1 deferred per node
+
     def test_congest_enforcement(self):
         @dataclass(frozen=True)
         class Huge(Payload):

@@ -51,10 +51,18 @@ class TrialStats:
     rounds: Summary
     bits: Summary
     results: List[RunResult] = field(default_factory=list, repr=False)
+    #: Trials satisfying the crash-tolerant condition (unique leader
+    #: among non-crashed nodes); equals ``successes`` when no crash
+    #: faults fire, so fault-free callers can ignore it.
+    surviving_successes: int = 0
 
     @property
     def success_rate(self) -> float:
         return self.successes / self.trials
+
+    @property
+    def surviving_success_rate(self) -> float:
+        return self.surviving_successes / self.trials
 
 
 def run_trials(topology: Topology,
@@ -65,12 +73,16 @@ def run_trials(topology: Topology,
                knowledge_keys: Sequence[str] = (),
                max_rounds: Optional[int] = None,
                ids=None,
+               model=None,
                keep_results: bool = False) -> TrialStats:
     """Run ``trials`` independent simulations (fresh network instance and
     coins per trial) and aggregate messages/rounds/success.
 
     ``knowledge_keys`` requests auto-computed parameters ("n", "m", "D");
-    explicit ``knowledge`` entries win.
+    explicit ``knowledge`` entries win.  ``model`` is an optional
+    :class:`~repro.sim.models.ExecutionModel` applied to every trial
+    (the per-trial simulator seed varies, so seeded delay/loss/crash
+    draws differ across trials while staying reproducible).
     """
     auto: Dict[str, int] = {}
     if "n" in knowledge_keys:
@@ -85,21 +97,25 @@ def run_trials(topology: Topology,
     rounds: List[float] = []
     bits: List[float] = []
     successes = 0
+    surviving = 0
     results: List[RunResult] = []
     for t in range(trials):
         network = Network.build(topology, seed=seed * 7919 + t, ids=ids)
         sim = Simulator(network, factory, seed=seed * 104_729 + t,
-                        knowledge=auto)
+                        knowledge=auto, model=model)
         result = sim.run(max_rounds=max_rounds)
         messages.append(result.messages)
         rounds.append(result.rounds)
         bits.append(result.bits)
         if result.has_unique_leader:
             successes += 1
+        if result.has_unique_surviving_leader:
+            surviving += 1
         if keep_results:
             results.append(result)
     return TrialStats(trials=trials, successes=successes,
                       messages=Summary.of(messages),
                       rounds=Summary.of(rounds),
                       bits=Summary.of(bits),
-                      results=results)
+                      results=results,
+                      surviving_successes=surviving)

@@ -18,6 +18,7 @@ from typing import Callable, Dict, Mapping, Optional, Union
 
 from .graphs.network import Network
 from .graphs.topology import Topology
+from .sim.models import ExecutionModel
 from .sim.process import NodeProcess
 from .sim.scheduler import RunResult, Simulator
 from .sim.wakeup import WakeupModel
@@ -125,11 +126,14 @@ def run_algorithm(graph: Union[Topology, Network], algorithm: str, *,
                   seed: int = 0,
                   knowledge: Optional[Mapping[str, int]] = None,
                   wakeup: Optional[WakeupModel] = None,
+                  model: Optional[ExecutionModel] = None,
                   max_rounds: Optional[int] = None) -> RunResult:
     """Run a named algorithm on ``graph`` and return the full result.
 
     Knowledge required by the algorithm (per Table 1) is computed from
-    the graph automatically unless supplied explicitly.
+    the graph automatically unless supplied explicitly.  ``model``
+    selects the execution model (delays, crash faults, message loss);
+    the default is the paper's synchronous fault-free model.
     """
     registry = _ensure_registry()
     if algorithm not in registry:
@@ -139,7 +143,7 @@ def run_algorithm(graph: Union[Topology, Network], algorithm: str, *,
     network = make_network(graph, seed=seed)
     sim = Simulator(network, spec.factory, seed=seed,
                     knowledge=_auto_knowledge(network, spec.needs, knowledge),
-                    wakeup=wakeup)
+                    wakeup=wakeup, model=model)
     return sim.run(max_rounds=max_rounds)
 
 
@@ -147,16 +151,26 @@ def elect_leader(graph: Union[Topology, Network], *,
                  algorithm: str = "least-el", seed: int = 0,
                  knowledge: Optional[Mapping[str, int]] = None,
                  wakeup: Optional[WakeupModel] = None,
+                 model: Optional[ExecutionModel] = None,
                  max_rounds: Optional[int] = None) -> RunResult:
-    """One-call leader election; raises if no unique leader emerged."""
+    """One-call leader election; raises if no unique leader emerged.
+
+    The check is the crash-tolerant one (`has_unique_surviving_leader`):
+    nodes the execution model crash-stopped are not required to have
+    decided.  Without crash faults this is exactly the paper's strict
+    condition.
+    """
     from .sim.errors import ElectionFailure
 
     result = run_algorithm(graph, algorithm, seed=seed, knowledge=knowledge,
-                           wakeup=wakeup, max_rounds=max_rounds)
-    if not result.has_unique_leader:
+                           wakeup=wakeup, model=model, max_rounds=max_rounds)
+    if not result.has_unique_surviving_leader:
+        crashed = result.crashed_indices
+        crash_note = f", crashed: {crashed}" if crashed else ""
         raise ElectionFailure(
             f"{algorithm} elected {result.num_leaders} leaders "
-            f"(statuses: {[s.value for s in result.statuses][:10]}...)")
+            f"(statuses: {[s.value for s in result.statuses][:10]}..."
+            f"{crash_note})")
     return result
 
 

@@ -70,20 +70,39 @@ def cmd_list(args: argparse.Namespace) -> int:
 def cmd_elect(args: argparse.Namespace) -> int:
     from .analysis import run_trials
     from .api import _ensure_registry
+    from .sim.models import make_model
 
     topology = parse_graph(args.graph, seed=args.seed)
     spec = _ensure_registry().get(args.algorithm)
     if spec is None:
         raise SystemExit(f"unknown algorithm {args.algorithm!r} "
                          f"(see `python -m repro list`)")
+    try:
+        model = make_model(args.delay, args.crash, args.loss,
+                           model_seed=args.model_seed)
+        if model is not None:
+            # Eager validation of graph-size-dependent model input
+            # (e.g. an explicit crash schedule naming absent nodes), so
+            # run_trials below never raises for bad CLI arguments.
+            import random
+            model.crash.schedule(topology.num_nodes, random.Random(0))
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     print(f"graph: {topology.name}  n={topology.num_nodes} "
           f"m={topology.num_edges} D={topology.diameter()}")
+    if model is not None:
+        knobs = {k: v for k, v in model.describe().items()
+                 if v not in (None, 0)}
+        print("model: " + " ".join(f"{k}={v}" for k, v in knobs.items()))
     stats = run_trials(topology, spec.factory, trials=args.trials,
                        seed=args.seed, knowledge_keys=spec.needs,
-                       max_rounds=args.max_rounds)
+                       max_rounds=args.max_rounds, model=model)
     print(f"algorithm: {args.algorithm}  ({spec.description})")
     print(f"trials:    {stats.trials}")
     print(f"success:   {stats.success_rate:.2f}")
+    if model is not None and not model.crash.is_null:
+        print(f"surviving: {stats.surviving_success_rate:.2f}  "
+              f"(unique leader among non-crashed nodes)")
     print(f"messages:  mean={stats.messages.mean:.0f} "
           f"min={stats.messages.minimum:.0f} max={stats.messages.maximum:.0f}")
     print(f"rounds:    mean={stats.rounds.mean:.0f} "
@@ -164,6 +183,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             knowledge=knowledge, auto_knowledge=args.auto_knowledge or (),
             wakeup=args.wakeup, ids=args.ids,
             congest_bits=args.congest_bits, max_rounds=args.max_rounds,
+            delay=args.delay, crash=args.crash, loss=args.loss,
+            model_seed=args.model_seed,
             cache_dir=args.cache_dir, workers=args.workers,
             progress=lambda msg: print(f"... {msg}", file=sys.stderr))
     except (KeyError, ValueError, SimulationError) as exc:
@@ -174,15 +195,17 @@ def cmd_sweep(args: argparse.Namespace) -> int:
     groups = sweep.groups()
     width = max((len(g.label) for g in groups), default=5)
     print(f"{'configuration'.ljust(width)} {'cells':>5} {'success':>8} "
-          f"{'messages':>10} {'rounds':>8}")
+          f"{'messages':>10} {'dropped':>8} {'rounds':>8}")
     for g in groups:
         success = ("-" if g.success_rate is None
                    else f"{g.success_rate:.2f}")
         messages = (f"{g.mean('messages'):.1f}"
                     if "messages" in g.metrics else "-")
+        dropped = (f"{g.mean('messages_dropped'):.1f}"
+                   if "messages_dropped" in g.metrics else "-")
         rounds = f"{g.mean('rounds'):.1f}" if "rounds" in g.metrics else "-"
         print(f"{g.label.ljust(width)} {g.cells:>5} {success:>8} "
-              f"{messages:>10} {rounds:>8}")
+              f"{messages:>10} {dropped:>8} {rounds:>8}")
     print(f"cells: {sweep.cells} total, {sweep.executed} executed, "
           f"{sweep.cached} cached")
     return 0
@@ -195,12 +218,13 @@ def cmd_bench_sim(args: argparse.Namespace) -> int:
     if args.point:
         grid = []
         for entry in args.point:
-            algorithm, _, graph = entry.partition("@")
-            if not graph:
+            parts = entry.split("@")
+            if len(parts) not in (2, 3) or not parts[1]:
                 raise SystemExit(f"bad --point {entry!r}; expected "
-                                 f"ALGORITHM@GRAPHSPEC, e.g. "
-                                 f"flood-max@complete:512")
-            grid.append((algorithm, graph))
+                                 f"ALGORITHM@GRAPHSPEC[@DELAY], e.g. "
+                                 f"flood-max@complete:512 or "
+                                 f"least-el@complete:128@uniform:4")
+            grid.append(tuple(parts))
     else:
         grid = list(GRIDS[args.grid])
 
@@ -237,6 +261,16 @@ def build_parser() -> argparse.ArgumentParser:
     elect.add_argument("--trials", type=int, default=1)
     elect.add_argument("--seed", type=int, default=0)
     elect.add_argument("--max-rounds", type=int, default=10 ** 7)
+    elect.add_argument("--delay",
+                       help="message delay: Δ | fixed:Δ | uniform:Δ | "
+                            "adversarial:Δ (default: synchronous, Δ=1)")
+    elect.add_argument("--crash",
+                       help="crash-stop faults: COUNT[:MAX_ROUND] | "
+                            "at:NODE@ROUND,...")
+    elect.add_argument("--loss", type=float,
+                       help="per-message loss probability in [0, 1]")
+    elect.add_argument("--model-seed", type=int, default=0,
+                       help="seed of the model's adversary randomness")
 
     table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
     table1.add_argument("--n", type=int, default=64)
@@ -275,6 +309,17 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--ids", help="random | sequential[:start] | reversed[:start]")
     sweep.add_argument("--congest-bits", type=int)
     sweep.add_argument("--max-rounds", type=int)
+    sweep.add_argument("--delay", nargs="+", metavar="SPEC",
+                       help="execution-model delay axis: Δ | fixed:Δ | "
+                            "uniform:Δ | adversarial:Δ (repeat values to "
+                            "sweep)")
+    sweep.add_argument("--crash", nargs="+", metavar="SPEC",
+                       help="crash-fault axis: COUNT[:MAX_ROUND] | "
+                            "at:NODE@ROUND,... (repeat values to sweep)")
+    sweep.add_argument("--loss", nargs="+", type=float, metavar="RATE",
+                       help="message-loss axis: probabilities in [0, 1]")
+    sweep.add_argument("--model-seed", type=int, default=0,
+                       help="seed of the model's adversary randomness")
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes (results identical to serial)")
     sweep.add_argument("--cache-dir",
@@ -283,10 +328,11 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench-sim",
         help="measure simulator throughput and append it to BENCH_sim.json")
-    bench.add_argument("--grid", choices=["default", "tiny"], default="default",
+    bench.add_argument("--grid", choices=["default", "tiny", "delay"],
+                       default="default",
                        help="predefined measurement grid")
     bench.add_argument("--point", action="append",
-                       metavar="ALGORITHM@GRAPHSPEC",
+                       metavar="ALGORITHM@GRAPHSPEC[@DELAY]",
                        help="explicit grid point (repeatable); overrides --grid")
     bench.add_argument("--repeats", type=int, default=3,
                        help="simulations per point (best wall time kept)")

@@ -32,11 +32,16 @@ class GroupStats:
     cells: int
     metrics: Dict[str, Summary] = field(default_factory=dict)
     rates: Dict[str, float] = field(default_factory=dict)
+    #: Non-default execution-model knobs of this configuration
+    #: (``delay``/``crash``/``loss``/``model_seed``), empty for the
+    #: paper's synchronous fault-free model.
+    model: Dict[str, Any] = field(default_factory=dict)
 
     @property
     def label(self) -> str:
         bits = [b for b in (self.algorithm, self.graph) if b]
         bits += [f"{k}={v}" for k, v in sorted(self.params.items())]
+        bits += [f"{k}={v}" for k, v in sorted(self.model.items())]
         return " ".join(bits) or self.task
 
     @property
@@ -57,11 +62,13 @@ class GroupStats:
             raise ValueError(
                 f"group {self.label!r} lacks election metrics "
                 f"(missing: {missing or ['success']})")
+        surviving = self.rates.get("success_surviving", self.rates["success"])
         return TrialStats(trials=self.cells,
                           successes=round(self.rates["success"] * self.cells),
                           messages=self.metrics["messages"],
                           rounds=self.metrics["rounds"],
-                          bits=self.metrics["bits"])
+                          bits=self.metrics["bits"],
+                          surviving_successes=round(surviving * self.cells))
 
 
 def aggregate(results: Iterable["CellResult"]) -> List[GroupStats]:
@@ -93,5 +100,6 @@ def aggregate(results: Iterable["CellResult"]) -> List[GroupStats]:
             cells=len(members),
             metrics={k: Summary.of(v) for k, v in numeric.items() if v},
             rates={k: sum(v) / len(v) for k, v in booleans.items() if v},
+            model=first.model_dict,
         ))
     return out

@@ -11,7 +11,11 @@ Every cell's randomness derives from the cell's own content (see
 or scheduling, and results are reassembled in grid-expansion order
 regardless of completion order.  A parallel run is therefore
 bit-identical to a serial run of the same spec, and mixing cached and
-fresh cells changes nothing.
+fresh cells changes nothing.  Execution-model adversaries (delay,
+crash, loss — :mod:`repro.sim.models`) are part of each cell's content:
+their draws derive from ``(cell seed, model seed)``, so a modeled sweep
+keeps the same contract — the runner itself never needs to know which
+model a cell carries.
 """
 
 from __future__ import annotations

@@ -36,7 +36,13 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 #: payload fields are charged ``bit_length() + 1`` instead of a flat 64
 #: bits, so v1 cache rows would silently mix stale bit counts and
 #: missing columns into new sweeps.
-SCHEMA_VERSION = 2
+#:
+#: v3: cells carry an execution model (delay/crash/loss/model_seed, see
+#: :mod:`repro.sim.models`) as part of their identity, and election
+#: rows gained ``messages_delivered``/``messages_dropped``/``crashes``/
+#: ``success_surviving`` — v2 rows lack both the model key and the
+#: delivery columns, so they must never satisfy a v3 lookup.
+SCHEMA_VERSION = 3
 
 
 def canonical_json(obj: Any) -> str:
@@ -71,6 +77,13 @@ class CellSpec:
     ids: Optional[str] = None
     congest_bits: Optional[int] = None
     max_rounds: Optional[int] = None
+    #: Execution-model knobs (canonical spec strings / rate — see
+    #: :mod:`repro.sim.models`); all part of the cell identity, so two
+    #: cells differing only in their adversary never share cache rows.
+    delay: Optional[str] = None
+    crash: Optional[str] = None
+    loss: Optional[float] = None
+    model_seed: int = 0
 
     # -- identity ------------------------------------------------------
     def _identity(self, *, with_trial: bool, with_seed: bool) -> Dict[str, Any]:
@@ -86,6 +99,8 @@ class CellSpec:
             "ids": self.ids,
             "congest_bits": self.congest_bits,
             "max_rounds": self.max_rounds,
+            "model": {"delay": self.delay, "crash": self.crash,
+                      "loss": self.loss, "seed": self.model_seed},
         }
         if with_trial:
             ident["trial"] = self.trial
@@ -117,6 +132,20 @@ class CellSpec:
     def knowledge_dict(self) -> Dict[str, int]:
         return {k: v for k, v in self.knowledge}
 
+    @property
+    def model_dict(self) -> Dict[str, Any]:
+        """Non-default execution-model knobs (labels, group reporting)."""
+        out: Dict[str, Any] = {}
+        if self.delay is not None:
+            out["delay"] = self.delay
+        if self.crash is not None:
+            out["crash"] = self.crash
+        if self.loss is not None:
+            out["loss"] = self.loss
+        if self.model_seed:
+            out["model_seed"] = self.model_seed
+        return out
+
     def to_json(self) -> Dict[str, Any]:
         """Full cell record as stored alongside cached metrics."""
         record = self._identity(with_trial=True, with_seed=True)
@@ -126,6 +155,16 @@ class CellSpec:
 
 def _freeze_mapping(mapping: Optional[Mapping[str, Any]]) -> Tuple[Tuple[str, Any], ...]:
     return tuple(sorted((mapping or {}).items()))
+
+
+def _axis(value: Any, name: str) -> Tuple[Any, ...]:
+    """Normalize a scalar-or-sequence spec field into a grid axis."""
+    if value is None or isinstance(value, (str, int, float)):
+        return (value,)
+    values = tuple(value)
+    if not values:
+        raise ValueError(f"{name} axis has no values (use None for default)")
+    return values
 
 
 @dataclass
@@ -172,6 +211,17 @@ class ExperimentSpec:
         ``"reversed[:start]"``) or None for the default.
     congest_bits / max_rounds:
         Forwarded to the simulator.
+    delay / crash / loss:
+        Execution-model axes (:mod:`repro.sim.models`).  Each accepts a
+        single spec value *or* a sequence of values forming a grid axis
+        — e.g. ``delay=["1", "uniform:2", "uniform:4"]`` crosses three
+        delay regimes into the sweep.  Values are canonicalized
+        (``delay=1``, ``loss=0``, ``crash=0`` all mean "default"), so a
+        default-valued point shares cache rows with model-free sweeps.
+    model_seed:
+        Seed of the model's own adversary randomness (delay/loss draws,
+        crash schedules), mixed with each cell's derived seed.  Part of
+        the cell identity.
     """
 
     name: str
@@ -187,6 +237,10 @@ class ExperimentSpec:
     ids: Optional[str] = None
     congest_bits: Optional[int] = None
     max_rounds: Optional[int] = None
+    delay: Any = None
+    crash: Any = None
+    loss: Any = None
+    model_seed: int = 0
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -206,6 +260,19 @@ class ExperimentSpec:
             # perturbing the cell digest and derived seed.
             raise ValueError(f"unknown auto_knowledge keys: "
                              f"{sorted(unknown)} (valid: n, m, D)")
+        # Canonicalize the execution-model axes eagerly so malformed
+        # specs fail at spec construction, not mid-sweep in a worker.
+        from ..sim.models import normalize_crash, normalize_delay, normalize_loss
+
+        # dict.fromkeys dedupes values that canonicalize to the same
+        # spec (e.g. delay=[1, "fixed:1"]) — duplicate cells would
+        # share a digest and double-count trials in the aggregates.
+        self._delay_axis = tuple(dict.fromkeys(
+            normalize_delay(v) for v in _axis(self.delay, "delay")))
+        self._crash_axis = tuple(dict.fromkeys(
+            normalize_crash(v) for v in _axis(self.crash, "crash")))
+        self._loss_axis = tuple(dict.fromkeys(
+            normalize_loss(v) for v in _axis(self.loss, "loss")))
 
     # ------------------------------------------------------------------
     def expand(self) -> List[CellSpec]:
@@ -220,27 +287,41 @@ class ExperimentSpec:
         knowledge = _freeze_mapping(self.knowledge)
         auto_knowledge = tuple(sorted(self.auto_knowledge))
         cells: List[CellSpec] = []
+        model_grid = list(itertools.product(
+            self._delay_axis, self._crash_axis, self._loss_axis))
         for algorithm in self.algorithms:
             for graph in self.graphs:
-                for combo in itertools.product(*axis_values):
-                    params = tuple(zip(axis_names, combo))
-                    for trial in range(self.trials):
-                        cell = CellSpec(
-                            experiment=self.name,
-                            task=self.task,
-                            algorithm=algorithm,
-                            graph=graph,
-                            trial=trial,
-                            seed=0,
-                            params=params,
-                            knowledge=knowledge,
-                            auto_knowledge=auto_knowledge,
-                            wakeup=self.wakeup,
-                            ids=self.ids,
-                            congest_bits=self.congest_bits,
-                            max_rounds=self.max_rounds,
-                        )
-                        cells.append(replace(
-                            cell,
-                            seed=derive_seed(self.seed, cell.identity_key())))
+                for delay, crash, loss in model_grid:
+                    # A model seed with no active adversary knob is
+                    # inert; normalize it away so such cells keep the
+                    # model-free identity (and its cache rows).
+                    mseed = (self.model_seed
+                             if any(v is not None
+                                    for v in (delay, crash, loss)) else 0)
+                    for combo in itertools.product(*axis_values):
+                        params = tuple(zip(axis_names, combo))
+                        for trial in range(self.trials):
+                            cell = CellSpec(
+                                experiment=self.name,
+                                task=self.task,
+                                algorithm=algorithm,
+                                graph=graph,
+                                trial=trial,
+                                seed=0,
+                                params=params,
+                                knowledge=knowledge,
+                                auto_knowledge=auto_knowledge,
+                                wakeup=self.wakeup,
+                                ids=self.ids,
+                                congest_bits=self.congest_bits,
+                                max_rounds=self.max_rounds,
+                                delay=delay,
+                                crash=crash,
+                                loss=loss,
+                                model_seed=mseed,
+                            )
+                            cells.append(replace(
+                                cell,
+                                seed=derive_seed(self.seed,
+                                                 cell.identity_key())))
         return cells

@@ -35,6 +35,7 @@ from ..graphs.ids import IdAssigner, RandomIds, ReversedIds, SequentialIds
 from ..graphs.network import Network
 from ..graphs.specs import SEEDED_KINDS, parse_graph_spec
 from ..graphs.topology import Topology
+from ..sim.models import make_model
 from ..sim.scheduler import RunResult, Simulator
 from ..sim.wakeup import AdversarialWakeup, Simultaneous, WakeupModel
 from .spec import CellSpec
@@ -122,16 +123,21 @@ def _cell_topology(cell: CellSpec) -> Tuple[Topology, int]:
 
 def _election_metrics(result: RunResult, network: Network,
                       diameter: int) -> Dict[str, Any]:
+    metrics = result.metrics
     return {
         "n": network.num_nodes,
         "m": network.num_edges,
         "D": diameter,
         "messages": result.messages,
+        "messages_delivered": metrics.messages_delivered,
+        "messages_dropped": metrics.messages_dropped,
         "rounds": result.rounds,
-        "rounds_executed": result.metrics.rounds_executed,
+        "rounds_executed": metrics.rounds_executed,
         "bits": result.bits,
         "success": bool(result.has_unique_leader),
+        "success_surviving": bool(result.has_unique_surviving_leader),
         "leaders": result.num_leaders,
+        "crashes": len(metrics.crashed_nodes),
         "truncated": bool(result.truncated),
         "leader_uid": result.leader_uid,
     }
@@ -150,6 +156,8 @@ def _run_election(cell: CellSpec, factory: Callable[[], Any],
                                 cell.knowledge_dict, diameter=diameter)
     sim = Simulator(network, factory, seed=cell.seed, knowledge=knowledge,
                     wakeup=make_wakeup(cell.wakeup),
+                    model=make_model(cell.delay, cell.crash, cell.loss,
+                                     model_seed=cell.model_seed),
                     congest_bits=cell.congest_bits)
     result = sim.run(max_rounds=cell.max_rounds)
     return _election_metrics(result, network, diameter)
@@ -238,7 +246,9 @@ def clique_cycle_task(cell: CellSpec) -> Dict[str, Any]:
                         knowledge=cell.knowledge,
                         auto_knowledge=cell.auto_knowledge, ids=cell.ids,
                         wakeup=cell.wakeup, congest_bits=cell.congest_bits,
-                        max_rounds=cell.max_rounds)
+                        max_rounds=cell.max_rounds,
+                        delay=cell.delay, crash=cell.crash, loss=cell.loss,
+                        model_seed=cell.model_seed or None)
     _reject_unknown_params(cell, allowed=("instance",))
     n, d = _split_pair(_require_param(cell, "instance"), "instance")
     cc = CliqueCycle(n, d)
@@ -262,7 +272,9 @@ def bridge_crossing_task(cell: CellSpec) -> Dict[str, Any]:
 
     _reject_unsupported(cell, graph=cell.graph,
                         auto_knowledge=cell.auto_knowledge, ids=cell.ids,
-                        wakeup=cell.wakeup, congest_bits=cell.congest_bits)
+                        wakeup=cell.wakeup, congest_bits=cell.congest_bits,
+                        delay=cell.delay, crash=cell.crash, loss=cell.loss,
+                        model_seed=cell.model_seed or None)
     _reject_unknown_params(cell, allowed=("half",))
     registry = _ensure_registry()
     algorithm = cell.algorithm or "least-el"

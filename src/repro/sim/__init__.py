@@ -16,14 +16,46 @@ from .errors import (
 )
 from .message import Envelope, Payload, WORD_BITS
 from .metrics import EdgeWatch, Metrics
+from .models import (
+    AdversarialDelay,
+    BernoulliLoss,
+    CrashSchedule,
+    DelayPolicy,
+    ExecutionModel,
+    ExplicitCrashes,
+    FixedDelay,
+    LossPolicy,
+    NoCrashes,
+    NoLoss,
+    RandomCrashes,
+    SynchronousModel,
+    UniformDelay,
+    UnitDelay,
+    make_model,
+)
 from .process import Delivery, NodeContext, NodeProcess
 from .scheduler import DEFAULT_MAX_ROUNDS, RunResult, Simulator
 from .status import Status
 from .wakeup import AdversarialWakeup, ExplicitWakeup, Simultaneous, WakeupModel
 
 __all__ = [
+    "AdversarialDelay",
     "AdversarialWakeup",
+    "BernoulliLoss",
     "CongestViolation",
+    "CrashSchedule",
+    "DelayPolicy",
+    "ExecutionModel",
+    "ExplicitCrashes",
+    "FixedDelay",
+    "LossPolicy",
+    "NoCrashes",
+    "NoLoss",
+    "RandomCrashes",
+    "SynchronousModel",
+    "UniformDelay",
+    "UnitDelay",
+    "make_model",
     "DEFAULT_MAX_ROUNDS",
     "Delivery",
     "EdgeWatch",

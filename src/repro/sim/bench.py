@@ -27,10 +27,10 @@ import sys
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
 
-#: (algorithm, graph-spec) grid measured by default: FloodMax over
-#: cliques is the acceptance workload (dense alarm + delivery rounds);
-#: least-el exercises the wave/send_soon path.
-DEFAULT_GRID: Tuple[Tuple[str, str], ...] = (
+#: (algorithm, graph-spec[, delay-spec]) grid measured by default:
+#: FloodMax over cliques is the acceptance workload (dense alarm +
+#: delivery rounds); least-el exercises the wave/send_soon path.
+DEFAULT_GRID: Tuple[Tuple[str, ...], ...] = (
     ("flood-max", "complete:128"),
     ("flood-max", "complete:256"),
     ("flood-max", "complete:512"),
@@ -38,29 +38,46 @@ DEFAULT_GRID: Tuple[Tuple[str, str], ...] = (
 )
 
 #: Small grid for CI smoke runs (seconds, not minutes, per run).
-TINY_GRID: Tuple[Tuple[str, str], ...] = (
+TINY_GRID: Tuple[Tuple[str, ...], ...] = (
     ("flood-max", "complete:64"),
     ("least-el", "complete:64"),
 )
 
-GRIDS: Dict[str, Tuple[Tuple[str, str], ...]] = {
+#: Δ>1 scenario: the same workloads through the general (ring-buffer)
+#: path, so its overhead relative to the Δ=1 fast path is tracked in
+#: the BENCH_sim.json trajectory alongside the fast-path numbers.
+DELAY_GRID: Tuple[Tuple[str, ...], ...] = (
+    ("flood-max", "complete:128"),
+    ("flood-max", "complete:128", "fixed:4"),
+    ("flood-max", "complete:128", "uniform:4"),
+    ("least-el", "complete:128"),
+    ("least-el", "complete:128", "fixed:4"),
+    ("least-el", "complete:128", "uniform:4"),
+)
+
+GRIDS: Dict[str, Tuple[Tuple[str, ...], ...]] = {
     "default": DEFAULT_GRID,
     "tiny": TINY_GRID,
+    "delay": DELAY_GRID,
 }
 
 
-def measure_point(algorithm: str, graph: str, *, seed: int = 1,
-                  repeats: int = 3,
+def measure_point(algorithm: str, graph: str, delay: Optional[str] = None, *,
+                  seed: int = 1, repeats: int = 3,
                   max_rounds: Optional[int] = None) -> Dict[str, Any]:
-    """Time one (algorithm, graph) point; return its throughput row.
+    """Time one (algorithm, graph[, delay]) point; return its row.
 
     ``repeats`` independent simulations are run on the same network and
     the *best* wall time is kept (the usual benchmarking convention:
-    minimum over repeats estimates the noise floor).
+    minimum over repeats estimates the noise floor).  ``delay`` is an
+    execution-model delay spec (``fixed:Δ``/``uniform:Δ``/...); Δ>1
+    measures the general ring-buffer path instead of the flat fast
+    path.
     """
     from ..api import _auto_knowledge, _ensure_registry
     from ..graphs.network import Network
     from ..graphs.specs import parse_graph_spec
+    from .models import make_model
     from .scheduler import Simulator
 
     registry = _ensure_registry()
@@ -77,7 +94,8 @@ def measure_point(algorithm: str, graph: str, *, seed: int = 1,
     metrics = None
     for _ in range(max(1, repeats)):
         t0 = time.perf_counter()
-        sim = Simulator(network, spec.factory, seed=seed, knowledge=knowledge)
+        sim = Simulator(network, spec.factory, seed=seed, knowledge=knowledge,
+                        model=make_model(delay))
         result = sim.run(max_rounds=max_rounds)
         wall = time.perf_counter() - t0
         metrics = result.metrics
@@ -88,6 +106,7 @@ def measure_point(algorithm: str, graph: str, *, seed: int = 1,
     return {
         "algorithm": algorithm,
         "graph": graph,
+        "delay": delay,
         "n": network.num_nodes,
         "m": network.num_edges,
         "seed": seed,
@@ -104,14 +123,17 @@ def measure_point(algorithm: str, graph: str, *, seed: int = 1,
     }
 
 
-def run_grid(grid: Sequence[Tuple[str, str]], *, seed: int = 1,
+def run_grid(grid: Sequence[Tuple[str, ...]], *, seed: int = 1,
              repeats: int = 3, max_rounds: Optional[int] = None,
              progress=None) -> List[Dict[str, Any]]:
     rows = []
-    for algorithm, graph in grid:
+    for point in grid:
+        algorithm, graph = point[0], point[1]
+        delay = point[2] if len(point) > 2 else None
         if progress:
-            progress(f"bench {algorithm} on {graph} ...")
-        rows.append(measure_point(algorithm, graph, seed=seed,
+            suffix = f" delay={delay}" if delay else ""
+            progress(f"bench {algorithm} on {graph}{suffix} ...")
+        rows.append(measure_point(algorithm, graph, delay, seed=seed,
                                   repeats=repeats, max_rounds=max_rounds))
     return rows
 
@@ -161,11 +183,12 @@ def append_snapshot(path: str, snap: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def format_rows(rows: List[Dict[str, Any]]) -> str:
-    header = (f"{'algorithm':<14} {'graph':<14} {'n':>5} {'events/s':>12} "
-              f"{'messages/s':>12} {'wall_s':>9}")
+    header = (f"{'algorithm':<14} {'graph':<14} {'delay':<12} {'n':>5} "
+              f"{'events/s':>12} {'messages/s':>12} {'wall_s':>9}")
     lines = [header]
     for row in rows:
         lines.append(f"{row['algorithm']:<14} {row['graph']:<14} "
+                     f"{row.get('delay') or '-':<12} "
                      f"{row['n']:>5} {row['events_per_s']:>12,.0f} "
                      f"{row['messages_per_s']:>12,.0f} {row['wall_s']:>9.4f}")
     return "\n".join(lines)

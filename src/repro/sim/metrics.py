@@ -5,6 +5,14 @@ every transmitted message costs one unit, whether or not the protocol
 later ignores it).  Time complexity is the index of the last round in
 which any message was delivered or any node changed state.
 
+Under a non-default :class:`~repro.sim.models.ExecutionModel` the three
+fates of a sent message are told apart: ``messages`` counts sends,
+``messages_delivered`` counts arrivals at a live (non-crashed) node in
+an executed round, and ``messages_dropped`` counts losses in transit
+plus deliveries to crashed nodes.  Messages still in flight when a run
+truncates belong to none of the latter two.  ``crashed_nodes`` lists
+the nodes whose crash-stop fault actually fired before the run ended.
+
 Edge watches support the bridge-crossing experiments of Section 3.1: the
 harness registers the two bridge edges of a dumbbell graph and reads off
 how many messages the whole network sent before the first crossing.
@@ -48,6 +56,12 @@ class Metrics:
                  record_sends: bool = False) -> None:
         self.messages = 0
         self.bits = 0
+        #: Messages that arrived at a live node in an executed round.
+        self.messages_delivered = 0
+        #: Messages lost in transit or delivered to a crashed node.
+        self.messages_dropped = 0
+        #: Nodes whose scheduled crash-stop fault fired, in crash order.
+        self.crashed_nodes: List[int] = []
         self.per_node_sent: Counter = Counter()
         self.per_kind: Counter = Counter()
         self.max_payload_bits = 0
@@ -70,22 +84,26 @@ class Metrics:
 
     # ------------------------------------------------------------------
     def record_send(self, src: int, dst: int, kind: str, size: int,
-                    sent_round: int) -> None:
-        """Count one message of ``size`` bits without an Envelope."""
+                    sent_round: int, watch: bool = True) -> None:
+        """Count one message of ``size`` bits without an Envelope.
+
+        ``watch=False`` suppresses the watched-edge crossing check for
+        messages that never traverse their link (lost in transit).
+        """
         self.messages += 1
         self.bits += size
         if size > self.max_payload_bits:
             self.max_payload_bits = size
         self.per_node_sent[src] += 1
         self.per_kind[kind] += 1
-        if self._watches:
+        if watch and self._watches:
             edge = (src, dst) if src < dst else (dst, src)
-            watch = self._watches.get(edge)
-            if watch is not None and watch.first_crossing_round is None:
-                watch.first_crossing_round = sent_round
+            entry = self._watches.get(edge)
+            if entry is not None and entry.first_crossing_round is None:
+                entry.first_crossing_round = sent_round
                 # The crossing message itself is included in the count,
                 # so "messages strictly before" is self.messages - 1.
-                watch.messages_before_crossing = self.messages - 1
+                entry.messages_before_crossing = self.messages - 1
 
     def record_broadcast(self, src: int, kind: str, size: int,
                          count: int) -> None:
@@ -101,11 +119,21 @@ class Metrics:
         self.per_node_sent[src] += count
         self.per_kind[kind] += count
 
-    def on_send(self, env: Envelope) -> None:
-        """Envelope-carrying slow path (send log and direct callers)."""
+    def on_send(self, env: Envelope, *, crossed: bool = True) -> None:
+        """Envelope-carrying slow path (send log and direct callers).
+
+        ``crossed=False`` marks a message the execution model loses in
+        transit: it still costs send-time message/bit complexity and
+        still enters the send log (it *was* sent), but it never
+        traverses its link, so it must not satisfy a watched-edge
+        crossing.  A crossing counts messages that *traverse* the
+        watched edge: only loss in transit suppresses it — a message
+        delivered to a crash-stopped receiver still crossed the bridge
+        (and is separately counted in ``messages_dropped``).
+        """
         payload = env.payload
         self.record_send(env.src, env.dst, payload.kind(),
-                         payload.size_bits(), env.sent_round)
+                         payload.size_bits(), env.sent_round, watch=crossed)
         if self.record_sends:
             self.send_log.append(env)
 
@@ -134,8 +162,11 @@ class Metrics:
     def summary(self) -> Dict[str, int]:
         return {
             "messages": self.messages,
+            "messages_delivered": self.messages_delivered,
+            "messages_dropped": self.messages_dropped,
             "bits": self.bits,
             "rounds": self.last_activity_round,
             "rounds_executed": self.rounds_executed,
             "max_payload_bits": self.max_payload_bits,
+            "crashes": len(self.crashed_nodes),
         }

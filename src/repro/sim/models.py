@@ -1,0 +1,457 @@
+"""Pluggable execution models: delays, crash faults, message loss.
+
+The paper's model (Section 2) is the clean synchronous one: every
+message sent in round ``r`` is delivered in round ``r + 1``, no node
+ever fails, no message is ever lost — the adversary's power is confined
+to IDs, ports, and wakeup times.  An :class:`ExecutionModel` bundles the
+standard extensions of that adversary (cf. Aspnes' *Notes on Theory of
+Distributed Systems*): a **delay policy** (per-message delivery delay in
+``[1, Δ]``, fixed, seeded-uniform, or adversarial), a **crash schedule**
+(crash-stop nodes silenced at adversary-chosen rounds), a **loss
+policy** (per-link / per-round message drops), and the existing
+:class:`~repro.sim.wakeup.WakeupModel`.
+
+The default :class:`SynchronousModel` with ``delta=1`` *is* the paper's
+model and keeps the simulator's flat-buffer fast path; anything else
+routes sends through a small ring of delivery buffers (see
+:mod:`repro.sim.scheduler`).
+
+Determinism contract
+--------------------
+Every random choice a model makes derives from ``(simulator seed,
+model seed)`` alone: the scheduler draws loss and delay decisions from
+``Random(f"model:{seed}:{model.seed}")`` in send order and the crash
+schedule from ``Random(f"crash:{seed}:{model.seed}")`` at construction.
+Re-running with the same seeds replays the identical adversary; the
+wakeup stream (``f"wakeup:{seed}"``) is untouched, so the default model
+reproduces pre-model runs bit for bit.
+
+Semantics at a glance
+---------------------
+* **Delay** — a message sent in round ``r`` is delivered in round
+  ``r + d`` with ``d ∈ [1, Δ]``.  Messages on one link may be
+  reordered; the one-message-per-port-per-round *send* discipline is
+  unchanged (several deliveries may share a port in one round).
+* **Crash-stop** — a node crashed at round ``c`` performs no action in
+  any round ``>= c``: it never activates, sends nothing, and messages
+  *delivered* to it at or after ``c`` are dropped.  Messages it sent
+  strictly before ``c`` are already in flight and still deliver.
+* **Loss** — a dropped message is charged to the sender's message/bit
+  complexity (the standard send-time accounting) but never buffered;
+  :class:`~repro.sim.metrics.Metrics` reports it under
+  ``messages_dropped``.
+"""
+
+from __future__ import annotations
+
+import random
+from abc import ABC, abstractmethod
+from typing import Any, Dict, Optional, Union
+
+from .wakeup import WakeupModel
+
+
+# ----------------------------------------------------------------------
+# Delay policies
+# ----------------------------------------------------------------------
+class DelayPolicy(ABC):
+    """Per-message delivery delay, bounded by ``max_delay`` (Δ)."""
+
+    #: Upper bound Δ on :meth:`sample`; Δ == 1 enables the scheduler's
+    #: synchronous fast path.
+    max_delay: int = 1
+
+    @abstractmethod
+    def sample(self, src: int, dst: int, round_index: int,
+               rng: random.Random) -> int:
+        """Delay (in rounds, ``>= 1``) of one message sent now."""
+
+    def spec(self) -> Optional[str]:
+        """Canonical spec string; ``None`` for the unit-delay default."""
+        return None
+
+
+class UnitDelay(DelayPolicy):
+    """Exactly one round — the paper's synchronous model."""
+
+    max_delay = 1
+
+    def sample(self, src: int, dst: int, round_index: int,
+               rng: random.Random) -> int:
+        return 1
+
+
+class FixedDelay(DelayPolicy):
+    """Every message takes exactly Δ rounds (a slowed-down synchrony)."""
+
+    def __init__(self, delta: int) -> None:
+        if delta < 1:
+            raise ValueError("delay must be >= 1 round")
+        self.max_delay = delta
+
+    def sample(self, src: int, dst: int, round_index: int,
+               rng: random.Random) -> int:
+        return self.max_delay
+
+    def spec(self) -> Optional[str]:
+        return None if self.max_delay == 1 else f"fixed:{self.max_delay}"
+
+
+class UniformDelay(DelayPolicy):
+    """Seeded-random delay, uniform on ``[1, Δ]`` per message."""
+
+    def __init__(self, delta: int) -> None:
+        if delta < 1:
+            raise ValueError("delay must be >= 1 round")
+        self.max_delay = delta
+
+    def sample(self, src: int, dst: int, round_index: int,
+               rng: random.Random) -> int:
+        # Δ == 1 never consumes the stream (identical to UnitDelay).
+        if self.max_delay == 1:
+            return 1
+        return rng.randint(1, self.max_delay)
+
+    def spec(self) -> Optional[str]:
+        return None if self.max_delay == 1 else f"uniform:{self.max_delay}"
+
+
+class AdversarialDelay(DelayPolicy):
+    """Deterministic reordering adversary within the ``[1, Δ]`` bound.
+
+    The delay of a message depends on its link *and* its send round
+    (``1 + (src + 3·dst + round) mod Δ``), so consecutive messages on
+    one link get different delays — the pattern that maximizes
+    overtaking and stale-information interleavings while staying
+    reproducible without randomness.
+    """
+
+    def __init__(self, delta: int) -> None:
+        if delta < 1:
+            raise ValueError("delay must be >= 1 round")
+        self.max_delay = delta
+
+    def sample(self, src: int, dst: int, round_index: int,
+               rng: random.Random) -> int:
+        if self.max_delay == 1:
+            return 1
+        return 1 + (src + 3 * dst + round_index) % self.max_delay
+
+    def spec(self) -> Optional[str]:
+        return (None if self.max_delay == 1
+                else f"adversarial:{self.max_delay}")
+
+
+# ----------------------------------------------------------------------
+# Crash schedules
+# ----------------------------------------------------------------------
+class CrashSchedule(ABC):
+    """Maps each run to a ``node index -> crash round`` assignment."""
+
+    #: True for the no-crash schedule (enables the fast path).
+    is_null: bool = False
+
+    @abstractmethod
+    def schedule(self, n: int, rng: random.Random) -> Dict[int, int]:
+        """Crash round per crashing node (empty dict = nobody crashes)."""
+
+    def spec(self) -> Optional[str]:
+        return None
+
+
+class NoCrashes(CrashSchedule):
+    """Nobody ever fails (the paper's model)."""
+
+    is_null = True
+
+    def schedule(self, n: int, rng: random.Random) -> Dict[int, int]:
+        return {}
+
+
+class RandomCrashes(CrashSchedule):
+    """``count`` adversary-chosen nodes crash at seeded-random rounds.
+
+    Crash rounds are uniform on ``[0, window]``; the window defaults to
+    ``n`` (the natural time scale of the Table 1 algorithms, whose
+    spans are O(D) ⊆ O(n) on the paper's topologies).  At most
+    ``n - 1`` nodes crash — the classical crash-fault assumption
+    ``f < n`` — so a correct algorithm always has a survivor to elect.
+    """
+
+    def __init__(self, count: int, max_round: Optional[int] = None) -> None:
+        if count < 0:
+            raise ValueError("crash count must be >= 0")
+        if max_round is not None and max_round < 0:
+            raise ValueError("crash window must be >= 0")
+        self.count = count
+        self.max_round = max_round
+
+    def schedule(self, n: int, rng: random.Random) -> Dict[int, int]:
+        count = min(self.count, max(0, n - 1))
+        if count == 0:
+            return {}
+        window = self.max_round if self.max_round is not None else n
+        victims = rng.sample(range(n), count)
+        return {v: rng.randint(0, window) for v in victims}
+
+    def spec(self) -> Optional[str]:
+        if self.count == 0:
+            return None
+        if self.max_round is None:
+            return str(self.count)
+        return f"{self.count}:{self.max_round}"
+
+
+class ExplicitCrashes(CrashSchedule):
+    """A caller-pinned ``node -> crash round`` map (deterministic tests)."""
+
+    def __init__(self, rounds: Dict[int, int]) -> None:
+        for node, r in rounds.items():
+            if r < 0:
+                raise ValueError(f"crash round for node {node} must be >= 0")
+        self._rounds = dict(rounds)
+
+    def schedule(self, n: int, rng: random.Random) -> Dict[int, int]:
+        bad = [v for v in self._rounds if not 0 <= v < n]
+        if bad:
+            raise ValueError(f"crash schedule names nodes {bad} "
+                             f"outside [0, {n})")
+        return dict(self._rounds)
+
+    def spec(self) -> Optional[str]:
+        if not self._rounds:
+            return None
+        body = ",".join(f"{v}@{r}" for v, r in sorted(self._rounds.items()))
+        return f"at:{body}"
+
+
+# ----------------------------------------------------------------------
+# Loss policies
+# ----------------------------------------------------------------------
+class LossPolicy(ABC):
+    """Decides, per transmitted message, whether the link drops it."""
+
+    #: True for the no-loss policy (enables the fast path).
+    is_null: bool = False
+
+    @abstractmethod
+    def drops(self, src: int, dst: int, round_index: int,
+              rng: random.Random) -> bool:
+        """True if this message is lost in transit."""
+
+    def spec(self) -> Optional[float]:
+        return None
+
+
+class NoLoss(LossPolicy):
+    """Reliable links (the paper's model)."""
+
+    is_null = True
+
+    def drops(self, src: int, dst: int, round_index: int,
+              rng: random.Random) -> bool:
+        return False
+
+
+class BernoulliLoss(LossPolicy):
+    """Each message is lost independently with probability ``rate``
+    (i.i.d. per link per round — the standard lossy-link model)."""
+
+    def __init__(self, rate: float) -> None:
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError("loss rate must lie in [0, 1]")
+        self.rate = rate
+
+    def drops(self, src: int, dst: int, round_index: int,
+              rng: random.Random) -> bool:
+        return rng.random() < self.rate
+
+    def spec(self) -> Optional[float]:
+        return None if self.rate == 0.0 else self.rate
+
+
+# ----------------------------------------------------------------------
+# The bundle
+# ----------------------------------------------------------------------
+class ExecutionModel:
+    """A complete adversary configuration for one simulation run.
+
+    Parameters
+    ----------
+    delay / crash / loss:
+        Strategy objects (defaults: unit delay, no crashes, no loss).
+    wakeup:
+        Optional wakeup model carried with the execution model; an
+        explicit ``wakeup=`` argument to :class:`~repro.sim.Simulator`
+        still wins, so existing call sites are unaffected.
+    seed:
+        Model seed, mixed with the simulator seed into the delay/loss
+        and crash RNG streams.  Varying it replays the same algorithm
+        coins against a different adversary.
+    """
+
+    def __init__(self, *, delay: Optional[DelayPolicy] = None,
+                 crash: Optional[CrashSchedule] = None,
+                 loss: Optional[LossPolicy] = None,
+                 wakeup: Optional[WakeupModel] = None,
+                 seed: int = 0) -> None:
+        self.delay = delay if delay is not None else UnitDelay()
+        self.crash = crash if crash is not None else NoCrashes()
+        self.loss = loss if loss is not None else NoLoss()
+        self.wakeup = wakeup
+        self.seed = seed
+
+    @property
+    def is_synchronous(self) -> bool:
+        """True when the model is the paper's: Δ = 1, no faults.
+
+        This is the scheduler's fast-path predicate — a synchronous
+        model runs on the flat single-round delivery buffer.
+        """
+        return (self.delay.max_delay == 1 and self.crash.is_null
+                and self.loss.is_null)
+
+    def describe(self) -> Dict[str, Any]:
+        """Canonical JSON-able description (cache identity, labels)."""
+        return {
+            "delay": self.delay.spec(),
+            "crash": self.crash.spec(),
+            "loss": self.loss.spec(),
+            "seed": self.seed,
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        body = ", ".join(f"{k}={v!r}" for k, v in self.describe().items()
+                         if v not in (None, 0))
+        return f"ExecutionModel({body or 'synchronous'})"
+
+
+class SynchronousModel(ExecutionModel):
+    """The paper's model, optionally slowed to a fixed Δ.
+
+    ``SynchronousModel()`` (Δ = 1) is the simulator's default and is
+    semantically identical to passing no model at all; ``delta > 1``
+    delivers every message exactly ``delta`` rounds after it is sent.
+    """
+
+    def __init__(self, delta: int = 1, *,
+                 wakeup: Optional[WakeupModel] = None, seed: int = 0) -> None:
+        super().__init__(delay=UnitDelay() if delta == 1 else FixedDelay(delta),
+                         wakeup=wakeup, seed=seed)
+
+
+#: Shared default instance (stateless; safe to reuse across simulators).
+SYNCHRONOUS = SynchronousModel()
+
+
+# ----------------------------------------------------------------------
+# Spec-string parsing (experiments / CLI)
+# ----------------------------------------------------------------------
+DelaySpec = Union[None, int, str]
+CrashSpec = Union[None, int, str]
+LossSpec = Union[None, int, float, str]
+
+
+def make_delay(spec: DelaySpec) -> DelayPolicy:
+    """``None`` | Δ | ``fixed:Δ`` | ``uniform:Δ`` | ``adversarial:Δ``.
+
+    A bare integer means ``fixed:Δ``; Δ = 1 of any kind is the unit
+    delay (never consumes the model RNG stream).
+    """
+    if spec is None:
+        return UnitDelay()
+    text = str(spec)
+    kind, _, arg = text.partition(":")
+    try:
+        if not arg and kind.lstrip("-").isdigit():
+            kind, arg = "fixed", kind
+        delta = int(arg)
+    except ValueError:
+        raise ValueError(f"bad delay spec {spec!r}; expected Δ, fixed:Δ, "
+                         f"uniform:Δ, or adversarial:Δ")
+    factories = {"fixed": FixedDelay, "uniform": UniformDelay,
+                 "adversarial": AdversarialDelay}
+    factory = factories.get(kind.lower())
+    if factory is None:
+        raise ValueError(f"unknown delay kind {kind!r} "
+                         f"(valid: fixed, uniform, adversarial)")
+    if delta == 1:
+        return UnitDelay()
+    return factory(delta)
+
+
+def make_crash(spec: CrashSpec) -> CrashSchedule:
+    """``None`` | ``count[:max_round]`` | ``at:NODE@ROUND[,NODE@ROUND...]``."""
+    if spec is None or spec == 0:
+        return NoCrashes()
+    text = str(spec)
+    if text.lower().startswith("at:"):
+        rounds: Dict[int, int] = {}
+        try:
+            for part in text[3:].split(","):
+                node, _, r = part.partition("@")
+                rounds[int(node)] = int(r)
+        except ValueError:
+            raise ValueError(f"bad crash spec {spec!r}; expected "
+                             f"at:NODE@ROUND[,NODE@ROUND...]")
+        return ExplicitCrashes(rounds)
+    parts = text.split(":")
+    try:
+        if len(parts) > 2:
+            raise ValueError(text)
+        count = int(parts[0])
+        max_round = int(parts[1]) if len(parts) > 1 else None
+    except (ValueError, IndexError):
+        raise ValueError(f"bad crash spec {spec!r}; expected COUNT, "
+                         f"COUNT:MAX_ROUND, or at:NODE@ROUND,...")
+    if count == 0:
+        return NoCrashes()
+    return RandomCrashes(count, max_round)
+
+
+def make_loss(spec: LossSpec) -> LossPolicy:
+    """``None`` | rate in ``[0, 1]`` (a bare float/str)."""
+    if spec is None:
+        return NoLoss()
+    try:
+        rate = float(spec)
+    except (TypeError, ValueError):
+        raise ValueError(f"bad loss spec {spec!r}; expected a rate in [0, 1]")
+    if rate == 0.0:
+        return NoLoss()
+    return BernoulliLoss(rate)
+
+
+def make_model(delay: DelaySpec = None, crash: CrashSpec = None,
+               loss: LossSpec = None, *,
+               wakeup: Optional[WakeupModel] = None,
+               model_seed: int = 0) -> Optional[ExecutionModel]:
+    """Build an :class:`ExecutionModel` from spec strings.
+
+    Returns ``None`` when every knob is at its default, so callers can
+    forward the result straight to ``Simulator(model=...)`` and default
+    runs keep bypassing the model machinery entirely.  A ``model_seed``
+    with no active adversary knob is inert (there is no adversary
+    randomness to seed) and does not by itself produce a model.
+    """
+    model = ExecutionModel(delay=make_delay(delay), crash=make_crash(crash),
+                           loss=make_loss(loss), wakeup=wakeup,
+                           seed=model_seed)
+    if model.is_synchronous and wakeup is None:
+        return None
+    return model
+
+
+def normalize_delay(spec: DelaySpec) -> Optional[str]:
+    """Canonical delay spec for cell identity (``None`` = default)."""
+    return make_delay(spec).spec()
+
+
+def normalize_crash(spec: CrashSpec) -> Optional[str]:
+    """Canonical crash spec for cell identity (``None`` = default)."""
+    return make_crash(spec).spec()
+
+
+def normalize_loss(spec: LossSpec) -> Optional[float]:
+    """Canonical loss rate for cell identity (``None`` = default)."""
+    return make_loss(spec).spec()

@@ -44,6 +44,7 @@ class NodeContext:
         self._degree = sim.network.degree(index)
         self._status = Status.UNDECIDED
         self._halted = False
+        self._crashed = False
         self._rng = random.Random(f"node:{sim.seed}:{index}")
         self._round = 0
         # One-message-per-port-per-round bookkeeping: the set holds the
@@ -282,6 +283,22 @@ class NodeContext:
     @property
     def halted(self) -> bool:
         return self._halted
+
+    def _crash(self) -> None:
+        """Scheduler hook: apply a crash-stop fault (execution model).
+
+        A crashed node is halted *and* marked crashed: unlike a
+        voluntary halt, messages delivered to it are accounted as
+        dropped, and the node is excluded from the surviving-leader
+        correctness check.
+        """
+        self._halted = True
+        self._crashed = True
+
+    @property
+    def crashed(self) -> bool:
+        """True once the execution model's crash-stop fault has fired."""
+        return self._crashed
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"NodeContext(index={self._index}, uid={self._uid}, "

@@ -33,6 +33,17 @@ throughput at large n is the binding constraint):
 * **Batched broadcast.**  :meth:`NodeContext.broadcast` (and
   ``multicast``) submit all ports of one payload in a single call:
   one CONGEST check, one size computation, one bulk metrics update.
+
+Execution models (:mod:`repro.sim.models`) generalize the delivery
+rule: the default :class:`~repro.sim.models.SynchronousModel` (Δ = 1,
+no faults) keeps the flat-buffer fast path above bit for bit, while any
+other model swaps in a *general path* at construction time — a ring of
+``Δ`` delivery buffers indexed by ``delivery_round mod Δ`` (delivery
+rounds in flight always lie in the half-open window ``(r, r + Δ]``, so
+the ring never collides), per-message loss draws, and a crash-stop heap
+applied at the start of each executed round.  The swap is done by
+rebinding the four hot methods as instance attributes, so the default
+path pays no per-send model branch.
 """
 
 from __future__ import annotations
@@ -43,9 +54,10 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from ..graphs.network import Network
-from .errors import CongestViolation, RoundLimitExceeded
+from .errors import CongestViolation, ModelViolation, RoundLimitExceeded
 from .message import Envelope, Payload
 from .metrics import Metrics
+from .models import SYNCHRONOUS, ExecutionModel
 from .process import Delivery, NodeContext, NodeProcess
 from .status import Status
 from .wakeup import Simultaneous, WakeupModel
@@ -105,6 +117,27 @@ class RunResult:
             return None
         return self.network.id_of(leaders[0])
 
+    # -- fault tolerance ---------------------------------------------------
+    @property
+    def crashed_indices(self) -> List[int]:
+        """Nodes whose execution-model crash-stop fault fired, sorted."""
+        return sorted(self.metrics.crashed_nodes)
+
+    @property
+    def has_unique_surviving_leader(self) -> bool:
+        """The crash-tolerant correctness condition: exactly one ELECTED
+        node and no UNDECIDED node *among the survivors*.
+
+        Crashed nodes are exempt — a node silenced mid-election cannot
+        be blamed for staying UNDECIDED.  Without crashes this is
+        identical to :attr:`has_unique_leader`.
+        """
+        crashed = set(self.metrics.crashed_nodes)
+        survivors = [s for i, s in enumerate(self.statuses)
+                     if i not in crashed]
+        return (survivors.count(Status.ELECTED) == 1 and
+                all(s is not Status.UNDECIDED for s in survivors))
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"RunResult(rounds={self.rounds}, messages={self.messages}, "
                 f"leaders={self.num_leaders}, truncated={self.truncated})")
@@ -128,7 +161,13 @@ class Simulator:
         ``{"n": 100}`` or ``{"n": 100, "D": 12}`` (Table 1's
         "Knowledge" column).  Algorithms read it via ``ctx.knowledge``.
     wakeup:
-        Wakeup model; defaults to simultaneous wakeup.
+        Wakeup model; defaults to the model's wakeup, then simultaneous
+        wakeup.  An explicit argument overrides the execution model's.
+    model:
+        :class:`~repro.sim.models.ExecutionModel` configuring message
+        delays, crash-stop faults, and message loss.  ``None`` (the
+        default) is the paper's synchronous fault-free model and keeps
+        the flat-buffer fast path.
     watch_edges:
         Edges whose first crossing should be recorded (bridge-crossing
         experiments, Section 3.1).
@@ -142,6 +181,7 @@ class Simulator:
                  seed: int = 0,
                  knowledge: Optional[Mapping[str, int]] = None,
                  wakeup: Optional[WakeupModel] = None,
+                 model: Optional[ExecutionModel] = None,
                  watch_edges: Optional[Set[Tuple[int, int]]] = None,
                  record_sends: bool = False,
                  congest_bits: Optional[int] = None) -> None:
@@ -153,12 +193,15 @@ class Simulator:
         #: Lazy-envelope fast path: edge watches and send recording are
         #: the only consumers of per-send Envelope objects.
         self._fast_sends = not record_sends and not watch_edges
+        self.model = model if model is not None else SYNCHRONOUS
         n = network.num_nodes
         self._processes: List[NodeProcess] = [process_factory() for _ in range(n)]
         self._contexts: List[NodeContext] = [NodeContext(self, i) for i in range(n)]
         self._started: List[bool] = [False] * n
 
-        wake_model = wakeup if wakeup is not None else Simultaneous()
+        wake_model = wakeup if wakeup is not None else self.model.wakeup
+        if wake_model is None:
+            wake_model = Simultaneous()
         wake_rng = random.Random(f"wakeup:{seed}")
         self._wake_schedule = wake_model.schedule(n, wake_rng)
         self._pending_wakeups: Dict[int, List[int]] = {}
@@ -168,10 +211,10 @@ class Simulator:
         #: Distinct spontaneous-wakeup rounds, min-heap ordered.
         self._wakeup_heap: List[int] = sorted(self._pending_wakeups)
 
-        # Flat delivery buffers: messages always deliver exactly one
-        # round after they are sent, so a single node->inbox map plus
-        # the scalar round it belongs to replaces the old nested
-        # Dict[round, Dict[node, List[Delivery]]].
+        # Flat delivery buffers: under the synchronous model messages
+        # always deliver exactly one round after they are sent, so a
+        # single node->inbox map plus the scalar round it belongs to
+        # replaces the old nested Dict[round, Dict[node, List[Delivery]]].
         self._inboxes: Dict[int, List[Delivery]] = {}
         self._delivery_round: Optional[int] = None
 
@@ -183,6 +226,39 @@ class Simulator:
         # Hot-path views of the network's flat port tables.
         self._port_table = network.port_table
         self._peer_table = network.peer_port_table
+
+        if not self.model.is_synchronous:
+            self._init_model_path(n)
+
+    def _init_model_path(self, n: int) -> None:
+        """Switch this instance onto the general (modeled) path.
+
+        The four hot methods are rebound as instance attributes, so the
+        default synchronous path keeps its flat buffers with zero added
+        branches while modeled runs get the ring buffer, loss draws,
+        and the crash heap.
+        """
+        mdl = self.model
+        self._delta = mdl.delay.max_delay
+        self._delay_policy = mdl.delay
+        self._loss = mdl.loss
+        #: Delay and loss draws, consumed in send order; reproducible
+        #: from (simulator seed, model seed) alone.
+        self._model_rng = random.Random(f"model:{self.seed}:{mdl.seed}")
+        crash_map = mdl.crash.schedule(
+            n, random.Random(f"crash:{self.seed}:{mdl.seed}"))
+        self._crash_heap: List[Tuple[int, int]] = sorted(
+            (r, node) for node, r in crash_map.items())
+        self._crashed: List[bool] = [False] * n
+        #: Ring of Δ delivery buffers, slot = delivery_round mod Δ; each
+        #: occupied slot is ``[round, {dst: [Delivery, ...]}, count]``.
+        #: Delivery rounds in flight always lie in (current, current+Δ],
+        #: a window of Δ distinct values, so slots never collide.
+        self._ring: List[Optional[list]] = [None] * self._delta
+        self._submit_send = self._submit_send_model        # type: ignore[method-assign]
+        self._submit_multicast = self._submit_multicast_model  # type: ignore[method-assign]
+        self._next_event_round = self._next_event_round_model  # type: ignore[method-assign]
+        self._execute_round = self._execute_round_model    # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     # Hooks used by NodeContext
@@ -248,6 +324,96 @@ class Simulator:
                 box.append(Delivery(dst_port, payload))
         self._delivery_round = self._current_round + 1
 
+    # ------------------------------------------------------------------
+    # General (modeled) path: delays in [1, Δ], loss, crash-stop faults.
+    # Bound over the fast-path methods by _init_model_path.
+    # ------------------------------------------------------------------
+    def _draw_loss(self, src: int, dst: int, r: int) -> bool:
+        """One loss decision for a message on (src → dst) sent at ``r``."""
+        loss = self._loss
+        return not loss.is_null and loss.drops(src, dst, r, self._model_rng)
+
+    def _buffer_delivery(self, src: int, dst: int, dst_port: int,
+                         payload: Payload, r: int) -> None:
+        """Draw one message's delay and insert it into the delivery ring.
+
+        The sampled delay is hard-checked against ``[1, Δ]`` — a rogue
+        :class:`~repro.sim.models.DelayPolicy` returning anything else
+        would silently land in another round's ring slot, so it fails
+        loudly here instead.  Within the bound, delivery rounds in
+        flight all lie in ``(r, r + Δ]``, so slots never collide.
+        """
+        delta = self._delta
+        d = self._delay_policy.sample(src, dst, r, self._model_rng)
+        if not 1 <= d <= delta:
+            raise ModelViolation(
+                f"delay policy returned {d} for ({src} -> {dst}), "
+                f"outside [1, {delta}]")
+        dr = r + d
+        slot = self._ring[dr % delta]
+        if slot is None:
+            slot = self._ring[dr % delta] = [dr, {}, 0]
+        box = slot[1].get(dst)
+        if box is None:
+            box = slot[1][dst] = []
+        box.append(Delivery(dst_port, payload))
+        slot[2] += 1
+
+    def _submit_send_model(self, src: int, port: int, payload: Payload) -> None:
+        size = payload.size_bits()
+        if self._congest_bits is not None and size > self._congest_bits:
+            raise CongestViolation(
+                f"payload {payload.kind()} is {size} bits "
+                f"(> CONGEST limit of {self._congest_bits})")
+        dst = self._port_table[src][port]
+        dst_port = self._peer_table[src][port]
+        r = self._current_round
+        lost = self._draw_loss(src, dst, r)
+        if self._fast_sends:
+            # Watches force the envelope path, so no crossing can be
+            # misattributed here — this branch only counts.
+            self.metrics.record_send(src, dst, payload.kind(), size, r)
+        else:
+            self.metrics.on_send(Envelope(
+                src=src, dst=dst, dst_port=dst_port, payload=payload,
+                sent_round=r), crossed=not lost)
+        if lost:
+            self.metrics.messages_dropped += 1
+            return
+        self._buffer_delivery(src, dst, dst_port, payload, r)
+
+    def _submit_multicast_model(self, src: int, ports: Sequence[int],
+                                payload: Payload) -> None:
+        """Batched fan-out on the general path.
+
+        The CONGEST check and size computation are still paid once, but
+        loss and delay are drawn per message — each edge of the fan-out
+        is an independent link.
+        """
+        size = payload.size_bits()
+        if self._congest_bits is not None and size > self._congest_bits:
+            raise CongestViolation(
+                f"payload {payload.kind()} is {size} bits "
+                f"(> CONGEST limit of {self._congest_bits})")
+        port_row = self._port_table[src]
+        peer_row = self._peer_table[src]
+        r = self._current_round
+        if self._fast_sends:
+            self.metrics.record_broadcast(src, payload.kind(), size,
+                                          len(ports))
+        for port in ports:
+            dst = port_row[port]
+            dst_port = peer_row[port]
+            lost = self._draw_loss(src, dst, r)
+            if not self._fast_sends:
+                self.metrics.on_send(Envelope(
+                    src=src, dst=dst, dst_port=dst_port, payload=payload,
+                    sent_round=r), crossed=not lost)
+            if lost:
+                self.metrics.messages_dropped += 1
+                continue
+            self._buffer_delivery(src, dst, dst_port, payload, r)
+
     def _submit_alarm(self, node: int, round_index: int) -> None:
         key = (round_index, node)
         if key not in self._alarm_set:
@@ -281,6 +447,56 @@ class Simulator:
                 best = r
         return best
 
+    def _next_event_round_model(self) -> Optional[int]:
+        """General-path event queue: O(Δ) scan of the delivery ring
+        plus alarm/wakeup heap peeks, plus the pending crash rounds.
+
+        Crash rounds are event rounds *while alarms or spontaneous
+        wakeups are pending*: applying a crash at its scheduled round
+        halts the victim and thereby prunes its alarms and its unspent
+        wakeup — a crashed node's far-future alarm or wakeup must not
+        keep an otherwise quiescent run alive.  With neither pending,
+        lazy application suffices (deliveries apply due crashes at
+        their own rounds), so a crash scheduled past quiescence
+        neither truncates the run nor executes empty rounds.
+        """
+        heap = self._alarm_heap
+        contexts = self._contexts
+        while heap and contexts[heap[0][1]]._halted:
+            key = heapq.heappop(heap)
+            self._alarm_set.discard(key)
+        # Discard wakeup rounds owed entirely to halted (e.g. crashed)
+        # nodes — they can never cause activity.
+        wakeups = self._wakeup_heap
+        pending = self._pending_wakeups
+        while wakeups:
+            r0 = wakeups[0]
+            nodes = pending.get(r0)
+            if nodes and not all(contexts[i]._halted for i in nodes):
+                break
+            heapq.heappop(wakeups)
+            pending.pop(r0, None)
+        best: Optional[int] = None
+        for slot in self._ring:
+            if slot is not None:
+                r = slot[0]
+                if best is None or r < best:
+                    best = r
+        if heap:
+            r = heap[0][0]
+            if best is None or r < best:
+                best = r
+        if wakeups:
+            r = wakeups[0]
+            if best is None or r < best:
+                best = r
+        crash_heap = self._crash_heap
+        if crash_heap and (heap or wakeups):
+            r = crash_heap[0][0]
+            if best is None or r < best:
+                best = r
+        return best
+
     def run(self, max_rounds: Optional[int] = None, *,
             raise_on_limit: bool = False) -> RunResult:
         """Execute until quiescence (or ``max_rounds``) and return the result.
@@ -308,6 +524,13 @@ class Simulator:
             self._execute_round(next_round)
             self.metrics.rounds_executed += 1
 
+        if self.model.is_synchronous:
+            # Fast-path delivered accounting, settled once instead of
+            # per send: without loss or crashes every sent message is
+            # delivered except those still buffered at truncation.
+            pending = sum(map(len, self._inboxes.values()))
+            self.metrics.messages_delivered = self.metrics.messages - pending
+
         return RunResult(
             network=self.network,
             statuses=[ctx.status for ctx in self._contexts],
@@ -326,6 +549,48 @@ class Simulator:
             self._delivery_round = None
         else:
             inboxes = {}
+        self._dispatch_round(r, inboxes)
+
+    def _execute_round_model(self, r: int) -> None:
+        """General-path round: ring-slot delivery, crash application,
+        dropped-message accounting; activations then dispatch exactly
+        as on the fast path."""
+        ring = self._ring
+        slot = ring[r % self._delta]
+        if slot is not None and slot[0] == r:
+            inboxes = slot[1]
+            delivered = slot[2]
+            ring[r % self._delta] = None
+        else:
+            inboxes = {}
+            delivered = 0
+
+        # Crash-stop faults due by now fire before anything else in the
+        # round: a node crashed at round c performs no action at c or
+        # later, and deliveries addressed to it die with it.
+        crash_heap = self._crash_heap
+        if crash_heap:
+            contexts = self._contexts
+            while crash_heap and crash_heap[0][0] <= r:
+                _, node = heapq.heappop(crash_heap)
+                contexts[node]._crash()
+                self._crashed[node] = True
+                self.metrics.crashed_nodes.append(node)
+        if inboxes and self.metrics.crashed_nodes:
+            crashed = self._crashed
+            for idx in [i for i in inboxes if crashed[i]]:
+                dead = len(inboxes.pop(idx))
+                delivered -= dead
+                self.metrics.messages_dropped += dead
+        self.metrics.messages_delivered += delivered
+        self._dispatch_round(r, inboxes)
+
+    def _dispatch_round(self, r: int, inboxes: Dict[int, List[Delivery]]) -> None:
+        """Shared tail of both round executors: drain due wakeups and
+        alarms, compute the active set, and run the activation loop.
+        Keeping this in one place pins the activation ordering (wakeup
+        code before inbox — Theorem 4.1's wakeup phase relies on it)
+        for the fast and modeled paths alike."""
         woken = self._pending_wakeups.pop(r, [])
         wakeups = self._wakeup_heap
         while wakeups and wakeups[0] <= r:

@@ -102,8 +102,14 @@ def _jsonable(value: Any) -> Any:
     return value
 
 
-def run_case(case: Dict[str, Any]) -> Dict[str, Any]:
-    """Execute one case and summarize everything observable about it."""
+def run_case(case: Dict[str, Any], model=None) -> Dict[str, Any]:
+    """Execute one case and summarize everything observable about it.
+
+    ``model`` forwards an execution model to the simulator; passing an
+    explicit default model (``SynchronousModel()``) must reproduce the
+    golden fixture bit for bit — that is the semantics-preservation
+    property tests/test_properties.py asserts.
+    """
     spec = _ensure_registry()[case["algorithm"]]
     topology = TOPOLOGIES[case["topology"]]()
     # Theorem 4.1 agents run for ~2m·2^ID rounds; sequential IDs keep the
@@ -122,7 +128,8 @@ def run_case(case: Dict[str, Any]) -> Dict[str, Any]:
               if case.get("wakeup") == "adversarial" else None)
     watch = {BARBELL5_BRIDGE} if case.get("watch_bridge") else None
     sim = Simulator(network, spec.factory, seed=case["seed"],
-                    knowledge=knowledge, wakeup=wakeup, watch_edges=watch,
+                    knowledge=knowledge, wakeup=wakeup, model=model,
+                    watch_edges=watch,
                     record_sends=bool(case.get("record_sends")),
                     congest_bits=case.get("congest_bits"))
     result = sim.run(max_rounds=case.get("max_rounds"))

@@ -254,6 +254,157 @@ class TestApiAndRunner:
         assert seen and "1 cells" in seen[0]
 
 
+MODEL_SPEC = ExperimentSpec(name="model", algorithms=["least-el"],
+                            graphs=["complete:12"], trials=2, seed=3,
+                            delay=["1", "uniform:2"], loss=[0, 0.05],
+                            crash=[0, 1])
+
+
+class TestModelAxes:
+    def test_model_axes_cross_into_grid(self):
+        cells = MODEL_SPEC.expand()
+        assert len(cells) == 2 * 2 * 2 * 2  # delay x loss x crash x trials
+        combos = {(c.delay, c.crash, c.loss) for c in cells}
+        assert combos == {(d, c, l)
+                          for d in (None, "uniform:2")
+                          for c in (None, "1")
+                          for l in (None, 0.05)}
+
+    def test_default_values_normalize_to_modelfree_cells(self):
+        # delay=1 / crash=0 / loss=0 mean "the paper's model": their
+        # cells must digest identically to cells from a spec that never
+        # mentions a model, so they share cache rows.
+        plain = ExperimentSpec(name="model", algorithms=["least-el"],
+                               graphs=["complete:12"], trials=2, seed=3)
+        defaulted = ExperimentSpec(name="model", algorithms=["least-el"],
+                                   graphs=["complete:12"], trials=2, seed=3,
+                                   delay=1, crash=0, loss=0.0)
+        assert ([c.digest() for c in plain.expand()] ==
+                [c.digest() for c in defaulted.expand()])
+
+    def test_model_is_part_of_cell_identity(self):
+        a = ExperimentSpec(name="m", algorithms=["least-el"],
+                           graphs=["ring:8"], delay="uniform:2").expand()[0]
+        b = ExperimentSpec(name="m", algorithms=["least-el"],
+                           graphs=["ring:8"], delay="uniform:4").expand()[0]
+        c = ExperimentSpec(name="m", algorithms=["least-el"],
+                           graphs=["ring:8"], delay="uniform:2",
+                           model_seed=5).expand()[0]
+        assert len({a.digest(), b.digest(), c.digest()}) == 3
+        assert a.seed != b.seed  # model perturbs the derived seed too
+
+    def test_inert_model_seed_keeps_modelfree_identity(self):
+        # With no adversary knob there is no model randomness to seed:
+        # --model-seed alone must not fork digests or derived seeds.
+        plain = ExperimentSpec(name="ms", algorithms=["least-el"],
+                               graphs=["ring:8"], trials=2, seed=3)
+        seeded = ExperimentSpec(name="ms", algorithms=["least-el"],
+                                graphs=["ring:8"], trials=2, seed=3,
+                                model_seed=5)
+        assert ([c.digest() for c in plain.expand()] ==
+                [c.digest() for c in seeded.expand()])
+        # ... but it does differentiate cells with an active knob.
+        lossy = ExperimentSpec(name="ms", algorithms=["least-el"],
+                               graphs=["ring:8"], trials=2, seed=3,
+                               loss=0.05)
+        lossy_seeded = ExperimentSpec(name="ms", algorithms=["least-el"],
+                                      graphs=["ring:8"], trials=2, seed=3,
+                                      loss=0.05, model_seed=5)
+        assert (lossy.expand()[0].digest() !=
+                lossy_seeded.expand()[0].digest())
+
+    def test_equivalent_axis_values_dedupe(self):
+        # delay=1 and "fixed:1" canonicalize identically; keeping both
+        # would double-count trials under one digest.
+        spec = ExperimentSpec(name="d", algorithms=["least-el"],
+                              graphs=["ring:8"], trials=1,
+                              delay=["1", "fixed:1"], loss=[0, 0.0])
+        cells = spec.expand()
+        assert len(cells) == 1
+        assert len({c.digest() for c in cells}) == 1
+
+    def test_malformed_model_specs_fail_at_spec_time(self):
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="m", delay="warp:9")
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="m", loss=1.5)
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="m", crash="at:oops")
+        with pytest.raises(ValueError):
+            ExperimentSpec(name="m", delay=[])
+
+    def test_rows_report_delivery_and_crash_columns(self):
+        metrics = run_sweep(MODEL_SPEC).metrics
+        for row in metrics:
+            assert {"messages", "messages_delivered", "messages_dropped",
+                    "crashes", "success", "success_surviving"} <= set(row)
+        lossy = [r for r in metrics if r["messages_dropped"] > 0]
+        assert lossy  # the loss/crash cells really dropped something
+
+    def test_parallel_identical_to_serial_with_models(self):
+        assert (run_sweep(MODEL_SPEC).metrics ==
+                run_sweep(MODEL_SPEC, workers=2).metrics)
+
+    def test_cache_hits_across_model_grid(self, tmp_path):
+        first = run_sweep(MODEL_SPEC, cache_dir=str(tmp_path))
+        assert (first.executed, first.cached) == (16, 0)
+        again = run_sweep(MODEL_SPEC, cache_dir=str(tmp_path))
+        assert (again.executed, again.cached) == (0, 16)
+        # A model-free sweep of the same config hits the delay=1/no-
+        # fault rows that the model grid already produced.
+        plain = ExperimentSpec(name="model", algorithms=["least-el"],
+                               graphs=["complete:12"], trials=2, seed=3)
+        sweep = run_sweep(plain, cache_dir=str(tmp_path))
+        assert (sweep.executed, sweep.cached) == (0, 2)
+
+    def test_group_labels_show_model_knobs(self):
+        labels = [g.label for g in run_sweep(MODEL_SPEC).groups()]
+        assert "least-el complete:12" in labels
+        assert any("delay=uniform:2" in l and "loss=0.05" in l
+                   for l in labels)
+
+    def test_to_trial_stats_bridges_surviving_successes(self):
+        sweep = run_sweep(ExperimentSpec(name="ts", algorithms=["least-el"],
+                                         graphs=["complete:12"], trials=4,
+                                         seed=3, crash="at:0@0"))
+        group = sweep.groups()[0]
+        stats = group.to_trial_stats()
+        assert (stats.surviving_success_rate ==
+                group.rates["success_surviving"])
+        # Fault-free groups: surviving rate equals the strict rate.
+        plain = run_sweep(ExperimentSpec(name="ts2", algorithms=["least-el"],
+                                         graphs=["complete:12"], trials=2,
+                                         seed=3)).groups()[0].to_trial_stats()
+        assert plain.surviving_successes == plain.successes
+
+    def test_non_simulation_tasks_reject_model_fields(self):
+        spec = ExperimentSpec(name="cc", task="clique-cycle",
+                              params={"instance": ["24:8"]}, loss=0.1)
+        with pytest.raises(ValueError, match="does not support: loss"):
+            execute_cell(spec.expand()[0])
+        spec = ExperimentSpec(name="bc", task="bridge-crossing",
+                              params={"half": ["14:24"]}, delay="uniform:2")
+        with pytest.raises(ValueError, match="does not support: delay"):
+            execute_cell(spec.expand()[0])
+
+    def test_cli_elect_rejects_out_of_range_crash_node_cleanly(self):
+        # ExplicitCrashes validates node indices only once the network
+        # size is known (inside run_trials); the CLI must still exit
+        # with a one-line message, not a traceback.
+        with pytest.raises(SystemExit, match="outside"):
+            main(["elect", "--graph", "ring:8", "--algorithm", "least-el",
+                  "--crash", "at:99@0"])
+
+    def test_cli_sweep_model_flags(self, capsys):
+        assert main(["sweep", "--algorithms", "least-el",
+                     "--graphs", "ring:8", "--trials", "1",
+                     "--delay", "1", "uniform:2", "--loss", "0", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "delay=uniform:2" in out
+        assert "loss=0.05" in out
+        assert "dropped" in out
+
+
 class TestGraphSpecs:
     def test_parse_graph_spec_errors_are_value_errors(self):
         with pytest.raises(ValueError):

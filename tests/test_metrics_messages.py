@@ -69,8 +69,10 @@ class TestMetrics:
 
     def test_summary_keys(self):
         m = Metrics()
-        assert set(m.summary()) == {"messages", "bits", "rounds",
-                                    "rounds_executed", "max_payload_bits"}
+        assert set(m.summary()) == {"messages", "messages_delivered",
+                                    "messages_dropped", "bits", "rounds",
+                                    "rounds_executed", "max_payload_bits",
+                                    "crashes"}
 
     def test_summary_distinguishes_span_from_work(self):
         # An event-driven run that jumps over empty rounds has a large

@@ -1,0 +1,434 @@
+"""The execution-model layer: delays, crash-stop faults, message loss.
+
+The default model must be invisible (bit-identical to passing no model
+at all — the paper's synchronous semantics), every adversary must be
+reproducible from ``(simulator seed, model seed)`` alone, and the
+sent/delivered/dropped accounting must balance under every policy mix.
+"""
+
+import pytest
+
+from repro.core import FloodMaxElection, KingdomElection, LeastElementElection
+from repro.graphs import Network, complete, ring
+from repro.sim import (
+    AdversarialDelay,
+    BernoulliLoss,
+    ExecutionModel,
+    ExplicitCrashes,
+    FixedDelay,
+    NoCrashes,
+    NoLoss,
+    RandomCrashes,
+    Simulator,
+    SynchronousModel,
+    UniformDelay,
+    UnitDelay,
+    Status,
+    make_model,
+)
+from repro.sim.models import (
+    make_crash,
+    make_delay,
+    make_loss,
+    normalize_crash,
+    normalize_delay,
+    normalize_loss,
+)
+from repro.sim.wakeup import ExplicitWakeup
+
+
+def run(topology, factory, *, seed=0, n_key=True, model=None, max_rounds=10 ** 6,
+        wakeup=None):
+    net = Network.build(topology, seed=seed)
+    knowledge = {"n": topology.num_nodes} if n_key else {}
+    sim = Simulator(net, factory, seed=seed, knowledge=knowledge,
+                    model=model, wakeup=wakeup)
+    return sim.run(max_rounds=max_rounds)
+
+
+def observable(result):
+    m = result.metrics
+    return {
+        "messages": m.messages,
+        "delivered": m.messages_delivered,
+        "dropped": m.messages_dropped,
+        "bits": m.bits,
+        "rounds": result.rounds,
+        "rounds_executed": m.rounds_executed,
+        "statuses": [s.value for s in result.statuses],
+        "leader": result.leader_uid,
+        "per_kind": dict(m.per_kind),
+        "crashed": list(m.crashed_nodes),
+    }
+
+
+class TestSpecParsing:
+    def test_delay_specs(self):
+        assert isinstance(make_delay(None), UnitDelay)
+        assert isinstance(make_delay(1), UnitDelay)
+        assert isinstance(make_delay("uniform:1"), UnitDelay)
+        assert isinstance(make_delay(4), FixedDelay)
+        assert isinstance(make_delay("fixed:3"), FixedDelay)
+        assert isinstance(make_delay("uniform:4"), UniformDelay)
+        assert isinstance(make_delay("adversarial:2"), AdversarialDelay)
+        assert make_delay("uniform:4").max_delay == 4
+        for bad in ("nope:4", "nope:1", "uniform", "fixed:0", "-2"):
+            with pytest.raises(ValueError):
+                make_delay(bad)
+
+    def test_crash_specs(self):
+        assert isinstance(make_crash(None), NoCrashes)
+        assert isinstance(make_crash(0), NoCrashes)
+        assert isinstance(make_crash("0"), NoCrashes)
+        assert isinstance(make_crash(3), RandomCrashes)
+        sched = make_crash("2:10")
+        assert isinstance(sched, RandomCrashes)
+        assert (sched.count, sched.max_round) == (2, 10)
+        explicit = make_crash("at:2@5,0@1")
+        assert isinstance(explicit, ExplicitCrashes)
+        import random
+        assert explicit.schedule(8, random.Random(0)) == {2: 5, 0: 1}
+        with pytest.raises(ValueError):
+            explicit.schedule(2, random.Random(0))  # node 2 out of range
+        for bad in ("x", "at:1", "1:2:3x", "-1"):
+            with pytest.raises(ValueError):
+                make_crash(bad)
+
+    def test_loss_specs(self):
+        assert isinstance(make_loss(None), NoLoss)
+        assert isinstance(make_loss(0), NoLoss)
+        assert isinstance(make_loss(0.25), BernoulliLoss)
+        assert make_loss("0.1").rate == 0.1
+        for bad in ("x", -0.1, 1.5):
+            with pytest.raises(ValueError):
+                make_loss(bad)
+
+    def test_normalization(self):
+        assert normalize_delay(1) is None
+        assert normalize_delay("fixed:1") is None
+        assert normalize_delay(4) == "fixed:4"
+        assert normalize_delay("uniform:4") == "uniform:4"
+        assert normalize_crash(0) is None
+        assert normalize_crash("3") == "3"
+        assert normalize_crash("at:2@5,0@1") == "at:0@1,2@5"
+        assert normalize_loss(0.0) is None
+        assert normalize_loss("0.05") == 0.05
+
+    def test_make_model_default_is_none(self):
+        # All-default knobs collapse to None so Simulator keeps its
+        # fast path and sweeps share cache rows with model-free runs.
+        assert make_model() is None
+        assert make_model(1, 0, 0.0) is None
+        assert make_model("uniform:2") is not None
+        # A model seed with no adversary knob is inert — no model.
+        assert make_model(model_seed=7) is None
+        assert make_model("uniform:2", model_seed=7) is not None
+
+    def test_synchronous_predicate(self):
+        assert SynchronousModel().is_synchronous
+        assert not SynchronousModel(3).is_synchronous
+        assert not ExecutionModel(loss=BernoulliLoss(0.1)).is_synchronous
+        assert not ExecutionModel(crash=RandomCrashes(1)).is_synchronous
+
+
+class TestDefaultModelParity:
+    def test_explicit_default_model_is_bit_identical(self):
+        for topology in (complete(12), ring(11)):
+            base = run(topology, LeastElementElection, seed=4)
+            for model in (SynchronousModel(), ExecutionModel()):
+                again = run(topology, LeastElementElection, seed=4,
+                            model=model)
+                assert observable(again) == observable(base)
+
+    def test_default_run_counts_every_message_delivered(self):
+        result = run(complete(10), LeastElementElection, seed=2)
+        m = result.metrics
+        assert m.messages > 0
+        assert m.messages_delivered == m.messages
+        assert m.messages_dropped == 0
+        assert m.crashed_nodes == []
+
+
+class TestDelays:
+    def test_fixed_delay_scales_rounds_exactly(self):
+        base = run(ring(16), LeastElementElection, seed=3)
+        for delta in (2, 4):
+            slow = run(ring(16), LeastElementElection, seed=3,
+                       model=SynchronousModel(delta))
+            assert slow.has_unique_leader
+            assert slow.leader_uid == base.leader_uid
+            # Fixed Δ is a pure time dilation of the wave algorithm:
+            # same causal structure, every hop Δ rounds instead of 1.
+            assert slow.rounds == delta * base.rounds
+
+    def test_uniform_delay_stays_within_bound_and_elects(self):
+        result = run(complete(16), LeastElementElection, seed=5,
+                     model=ExecutionModel(delay=UniformDelay(4)))
+        assert result.has_unique_leader
+        assert result.metrics.messages_delivered == result.messages
+
+    def test_adversarial_delay_is_deterministic(self):
+        model = lambda: ExecutionModel(delay=AdversarialDelay(3))
+        a = run(complete(12), KingdomElection, seed=1, n_key=False,
+                model=model())
+        b = run(complete(12), KingdomElection, seed=1, n_key=False,
+                model=model())
+        assert observable(a) == observable(b)
+
+    def test_out_of_bound_delay_policy_fails_loudly(self):
+        # A user DelayPolicy violating its own [1, Δ] bound would land
+        # in the wrong ring slot; the scheduler must reject it instead
+        # of silently delivering in another round.
+        from repro.sim import DelayPolicy
+        from repro.sim.errors import ModelViolation
+
+        class OffByOne(DelayPolicy):
+            max_delay = 3
+
+            def sample(self, src, dst, round_index, rng):
+                return 4
+
+        with pytest.raises(ModelViolation, match="outside"):
+            run(ring(4), FloodMaxElection, seed=0, n_key=True,
+                model=ExecutionModel(delay=OffByOne()))
+
+    def test_truncation_leaves_messages_in_flight(self):
+        # With Δ=4 a truncated run has sent messages that were neither
+        # delivered nor dropped.
+        result = run(ring(16), LeastElementElection, seed=3,
+                     model=SynchronousModel(4), max_rounds=8)
+        m = result.metrics
+        assert result.truncated
+        assert m.messages_delivered + m.messages_dropped < m.messages
+
+
+class TestLoss:
+    def test_accounting_balances(self):
+        result = run(complete(16), LeastElementElection, seed=7,
+                     model=ExecutionModel(loss=BernoulliLoss(0.1)))
+        m = result.metrics
+        assert m.messages_dropped > 0
+        # Quiescent run: every sent message was delivered or dropped.
+        assert not result.truncated
+        assert m.messages_delivered + m.messages_dropped == m.messages
+
+    def test_loss_is_charged_to_sender_complexity(self):
+        # Message complexity counts sends (the standard convention), so
+        # the lossy run's `messages` includes the dropped ones.
+        result = run(complete(16), FloodMaxElection, seed=7,
+                     model=ExecutionModel(loss=BernoulliLoss(0.2)))
+        m = result.metrics
+        assert m.messages == m.messages_delivered + m.messages_dropped
+        assert m.per_kind  # broadcast (multicast) path was exercised
+
+    def test_total_loss_delivers_nothing(self):
+        result = run(complete(8), FloodMaxElection, seed=1,
+                     model=ExecutionModel(loss=BernoulliLoss(1.0)))
+        m = result.metrics
+        assert m.messages > 0
+        assert m.messages_delivered == 0
+        assert m.messages_dropped == m.messages
+
+    def test_lost_messages_never_cross_watched_edges(self):
+        # Edge watches measure information reaching the other side; a
+        # message the link drops must not register as a crossing, even
+        # though it is charged to the sender's message complexity.
+        net = Network.build(ring(4), seed=1)
+        sim = Simulator(net, FloodMaxElection, seed=1, knowledge={"n": 4},
+                        model=ExecutionModel(loss=BernoulliLoss(1.0)),
+                        watch_edges={(0, 1)}, record_sends=True)
+        result = sim.run(max_rounds=10 ** 4)
+        m = result.metrics
+        assert m.messages > 0
+        assert m.first_watched_crossing() is None
+        # ... but the send log still records every send (send-time
+        # accounting: the message was transmitted, then lost).
+        assert len(m.send_log) == m.messages
+
+    def test_partial_loss_crossing_attribution(self):
+        # With reliable links the watch must still fire as before.
+        net = Network.build(ring(4), seed=1)
+        sim = Simulator(net, FloodMaxElection, seed=1, knowledge={"n": 4},
+                        model=ExecutionModel(delay=UniformDelay(2)),
+                        watch_edges={(0, 1)})
+        result = sim.run(max_rounds=10 ** 4)
+        assert result.metrics.first_watched_crossing() is not None
+
+    def test_delivery_to_crashed_node_still_counts_as_crossing(self):
+        # Pinned semantics: a crossing counts messages that *traverse*
+        # the watched edge. Only loss in transit suppresses it; a
+        # message arriving at a crash-stopped receiver crossed the
+        # bridge (it is separately counted in messages_dropped).
+        net = Network.build(ring(4), seed=1)
+        sim = Simulator(net, FloodMaxElection, seed=1, knowledge={"n": 4},
+                        model=ExecutionModel(crash=ExplicitCrashes({1: 1})),
+                        watch_edges={(0, 1)})
+        result = sim.run(max_rounds=10 ** 4)
+        m = result.metrics
+        assert m.messages_dropped > 0
+        assert m.first_watched_crossing() is not None
+
+
+class TestCrashes:
+    def test_crashed_node_never_acts(self):
+        result = run(complete(8), FloodMaxElection, seed=2,
+                     model=ExecutionModel(crash=ExplicitCrashes({3: 0})))
+        m = result.metrics
+        assert m.crashed_nodes == [3]
+        assert result.crashed_indices == [3]
+        assert m.per_node_sent[3] == 0
+        assert result.statuses[3] is Status.UNDECIDED
+
+    def test_deliveries_to_crashed_node_are_dropped(self):
+        result = run(complete(8), FloodMaxElection, seed=2,
+                     model=ExecutionModel(crash=ExplicitCrashes({3: 0})))
+        m = result.metrics
+        # Everyone broadcasts to node 3 at least once; all of it dies.
+        assert m.messages_dropped > 0
+        assert m.messages_delivered + m.messages_dropped == m.messages
+
+    def test_mid_run_crash_keeps_earlier_sends(self):
+        result = run(complete(8), FloodMaxElection, seed=2,
+                     model=ExecutionModel(crash=ExplicitCrashes({3: 2})))
+        assert result.metrics.per_node_sent[3] > 0  # acted before round 2
+        assert result.crashed_indices == [3]
+
+    def test_surviving_leader_semantics(self):
+        # flood-max on a clique elects the max UID; crashing a non-max
+        # node from round 0 leaves the survivors' election intact.
+        net = Network.build(complete(8), seed=2)
+        max_idx = max(range(8), key=net.id_of)
+        victim = (max_idx + 1) % 8
+        sim = Simulator(net, FloodMaxElection, seed=2, knowledge={"n": 8},
+                        model=ExecutionModel(
+                            crash=ExplicitCrashes({victim: 0})))
+        result = sim.run(max_rounds=10 ** 5)
+        assert not result.has_unique_leader          # victim is UNDECIDED
+        assert result.has_unique_surviving_leader    # survivors all decided
+
+    def test_crash_prunes_victims_pending_alarms(self):
+        # A crashed node's far-future alarm must not keep the run
+        # alive: the crash round is itself an event round, the victim
+        # is halted there, and its alarms are discarded — the run
+        # quiesces and records the crash.
+        from repro.sim import NodeProcess
+
+        class Sleeper(NodeProcess):
+            def on_start(self, ctx):
+                ctx.set_alarm_at(10 ** 8)
+
+        net = Network.build(ring(4), seed=0)
+        sim = Simulator(net, Sleeper, seed=0,
+                        model=ExecutionModel(crash=ExplicitCrashes({0: 2})))
+        result = sim.run(max_rounds=10 ** 6)
+        # The crash fires at its scheduled round even though no
+        # algorithmic event happens there; survivors legitimately keep
+        # their beyond-horizon alarms, so the run truncates with the
+        # crash recorded.
+        assert result.crashed_indices == [0]
+        assert result.truncated
+
+        # With every node crashed early, nothing survives to round 10^8.
+        sim2 = Simulator(Network.build(ring(4), seed=0), Sleeper, seed=0,
+                         model=ExecutionModel(crash=ExplicitCrashes(
+                             {i: 2 for i in range(4)})))
+        result2 = sim2.run(max_rounds=10 ** 6)
+        assert result2.crashed_indices == [0, 1, 2, 3]
+        assert not result2.truncated
+        assert result2.rounds <= 2
+
+    def test_crash_prunes_victims_pending_wakeup(self):
+        # A crashed never-started node's far-future spontaneous wakeup
+        # must not keep the run alive or mark it truncated.
+        result = run(ring(4), LeastElementElection, seed=0,
+                     model=ExecutionModel(
+                         crash=ExplicitCrashes({2: 0}),
+                         wakeup=ExplicitWakeup([0, 0, 10 ** 6, 0])),
+                     max_rounds=1000)
+        assert result.crashed_indices == [2]
+        assert not result.truncated
+        assert result.rounds < 1000
+
+    def test_crash_after_quiescence_does_not_truncate(self):
+        # A crash scheduled far past the election's end must neither
+        # mark the completed run truncated nor execute empty rounds —
+        # with no alarms pending, lazy crash application suffices.
+        result = run(ring(8), LeastElementElection, seed=1,
+                     model=ExecutionModel(
+                         crash=ExplicitCrashes({0: 10 ** 8})),
+                     max_rounds=1000)
+        assert not result.truncated
+        assert result.has_unique_leader
+        assert result.crashed_indices == []  # never fired before the end
+
+    def test_elect_leader_uses_surviving_condition(self):
+        # The one-call API must not reject a run whose only defect is
+        # a crashed node stuck UNDECIDED.
+        from repro import elect_leader
+
+        net = Network.build(complete(8), seed=2)
+        max_idx = max(range(8), key=net.id_of)
+        victim = (max_idx + 1) % 8
+        result = elect_leader(net, algorithm="flood-max", seed=2,
+                              model=ExecutionModel(
+                                  crash=ExplicitCrashes({victim: 0})))
+        assert result.crashed_indices == [victim]
+        assert not result.has_unique_leader
+
+    def test_run_trials_reports_surviving_rate(self):
+        from repro.analysis import run_trials
+
+        stats = run_trials(complete(12), FloodMaxElection, trials=6, seed=3,
+                           knowledge_keys=("n",),
+                           model=ExecutionModel(crash=RandomCrashes(1),
+                                                seed=1))
+        assert stats.surviving_successes >= stats.successes
+
+    def test_random_crashes_leave_a_survivor(self):
+        import random
+        sched = RandomCrashes(50).schedule(8, random.Random(0))
+        assert len(sched) == 7  # capped at n - 1
+
+    def test_crash_round_window(self):
+        import random
+        sched = RandomCrashes(3, max_round=5).schedule(20, random.Random(1))
+        assert len(sched) == 3
+        assert all(0 <= r <= 5 for r in sched.values())
+
+
+class TestDeterminism:
+    def test_reproducible_from_seed_and_model(self):
+        def go(model_seed):
+            return run(complete(20), LeastElementElection, seed=9,
+                       model=ExecutionModel(delay=UniformDelay(3),
+                                            loss=BernoulliLoss(0.05),
+                                            crash=RandomCrashes(2),
+                                            seed=model_seed))
+        assert observable(go(1)) == observable(go(1))
+        # A different model seed is a different adversary.
+        assert observable(go(1)) != observable(go(2))
+
+    def test_model_seed_does_not_touch_algorithm_coins(self):
+        # Same simulator seed + crash-free, loss-free fixed delay:
+        # the model seed changes nothing because no draw consumes it.
+        a = run(ring(12), LeastElementElection, seed=6,
+                model=SynchronousModel(2, seed=1))
+        b = run(ring(12), LeastElementElection, seed=6,
+                model=SynchronousModel(2, seed=99))
+        assert observable(a) == observable(b)
+
+
+class TestModelWakeup:
+    def test_model_carries_wakeup(self):
+        schedule = [0, 3] + [None] * 10
+        result = run(ring(12), LeastElementElection, seed=2,
+                     model=ExecutionModel(wakeup=ExplicitWakeup(schedule)))
+        assert result.wake_schedule == schedule
+
+    def test_explicit_wakeup_overrides_model(self):
+        schedule = [0] + [None] * 11
+        result = run(ring(12), LeastElementElection, seed=2,
+                     model=ExecutionModel(
+                         wakeup=ExplicitWakeup([0, 1] + [None] * 10)),
+                     wakeup=ExplicitWakeup(schedule))
+        assert result.wake_schedule == schedule

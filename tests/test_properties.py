@@ -2,13 +2,19 @@
 
 Random connected graphs, random seeds, adversarial ID assignments — the
 Section 2 definition must hold every time: exactly one ELECTED node,
-everyone else NON_ELECTED.
+everyone else NON_ELECTED.  The execution-model properties live here
+too: a Δ=1 no-fault model is bit-identical to the pre-refactor golden
+fixture, and every modeled adversary is a pure function of
+``(simulator seed, model)``.
 """
 
+import json
+import os
 import random
 
 from hypothesis import given, settings, strategies as st
 
+from parity_cases import build_cases, case_name, run_case
 from repro.core import (
     KingdomElection,
     LeastElementElection,
@@ -17,7 +23,22 @@ from repro.core import (
 from repro.graphs import Network, Topology, baswana_sen_spanner, verify_spanner_stretch
 from repro.graphs.dumbbell import DumbbellSampler
 from repro.graphs.ids import ExplicitIds
-from repro.sim import Simulator, Status
+from repro.sim import (
+    BernoulliLoss,
+    ExecutionModel,
+    RandomCrashes,
+    Simulator,
+    Status,
+    SynchronousModel,
+    UniformDelay,
+)
+
+_GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "data",
+                            "scheduler_parity_golden.json")
+with open(_GOLDEN_PATH, "r", encoding="utf-8") as _fh:
+    _GOLDEN = json.load(_fh)
+
+_PARITY_CASES = {case_name(c): c for c in build_cases()}
 
 
 @st.composite
@@ -129,3 +150,86 @@ class TestWaveInvariants:
                      knowledge={"n": topology.num_nodes})
         kinds = result.metrics.per_kind
         assert kinds.get("WaveResponseMsg", 0) <= kinds.get("WaveRankMsg", 0)
+
+
+class TestExecutionModelInvariants:
+    """The refactor's semantics-preservation and determinism contracts."""
+
+    @given(name=st.sampled_from(sorted(_GOLDEN)))
+    @settings(max_examples=30, deadline=None)
+    def test_default_model_matches_prerefactor_golden_fixture(self, name):
+        # A Δ=1 no-fault model, passed *explicitly*, must reproduce the
+        # fixture captured from the pre-refactor scheduler bit for bit
+        # — the model layer is invisible where the paper's claims live.
+        got = json.loads(json.dumps(run_case(_PARITY_CASES[name],
+                                             model=SynchronousModel())))
+        assert got == _GOLDEN[name]
+
+    @given(topology=connected_topologies(max_nodes=12),
+           seed=st.integers(0, 500),
+           delta=st.integers(1, 4),
+           loss=st.sampled_from([0.0, 0.05, 0.2]),
+           crashes=st.integers(0, 2),
+           model_seed=st.integers(0, 3))
+    @settings(max_examples=25, deadline=None)
+    def test_adversary_reproducible_from_seed_and_model(
+            self, topology, seed, delta, loss, crashes, model_seed):
+        # Delay draws, loss draws, and crash schedules derive from
+        # (simulator seed, model) alone: two independently built
+        # simulators replay the identical run.
+        def go():
+            model = ExecutionModel(
+                delay=UniformDelay(delta),
+                loss=BernoulliLoss(loss),
+                crash=RandomCrashes(crashes),
+                seed=model_seed)
+            net = Network.build(topology, seed=seed)
+            sim = Simulator(net, LeastElementElection, seed=seed,
+                            knowledge={"n": topology.num_nodes}, model=model)
+            result = sim.run(max_rounds=10 ** 5)
+            m = result.metrics
+            return (m.messages, m.messages_delivered, m.messages_dropped,
+                    m.bits, result.rounds, m.rounds_executed,
+                    list(m.crashed_nodes), [s.value for s in result.statuses],
+                    dict(m.per_kind))
+        assert go() == go()
+
+    @given(topology=connected_topologies(max_nodes=12),
+           seed=st.integers(0, 500),
+           delta=st.integers(1, 4),
+           loss=st.sampled_from([0.0, 0.1]),
+           crashes=st.integers(0, 2))
+    @settings(max_examples=25, deadline=None)
+    def test_sent_equals_delivered_plus_dropped_at_quiescence(
+            self, topology, seed, delta, loss, crashes):
+        # Every message a quiescent run sent was either delivered to a
+        # live node or dropped (lost in transit / dead recipient) —
+        # nothing leaks from the delivery ring.
+        model = ExecutionModel(delay=UniformDelay(delta),
+                               loss=BernoulliLoss(loss),
+                               crash=RandomCrashes(crashes), seed=1)
+        net = Network.build(topology, seed=seed)
+        sim = Simulator(net, LeastElementElection, seed=seed,
+                        knowledge={"n": topology.num_nodes}, model=model)
+        result = sim.run(max_rounds=10 ** 5)
+        m = result.metrics
+        if not result.truncated:
+            assert m.messages_delivered + m.messages_dropped == m.messages
+        else:
+            assert m.messages_delivered + m.messages_dropped <= m.messages
+
+    @given(topology=connected_topologies(max_nodes=12),
+           seed=st.integers(0, 500), delta=st.integers(2, 4))
+    @settings(max_examples=20, deadline=None)
+    def test_fixed_delay_preserves_wave_election(self, topology, seed, delta):
+        # Fixed Δ is a pure time dilation for the wave algorithm: the
+        # same unique leader emerges on every connected topology.
+        base = run(topology, LeastElementElection, seed,
+                   knowledge={"n": topology.num_nodes})
+        net = Network.build(topology, seed=seed)
+        sim = Simulator(net, LeastElementElection, seed=seed,
+                        knowledge={"n": topology.num_nodes},
+                        model=SynchronousModel(delta))
+        slow = sim.run(max_rounds=10 ** 6)
+        assert slow.statuses.count(Status.ELECTED) == 1
+        assert slow.leader_uid == base.leader_uid

@@ -8,6 +8,7 @@ standard loop used by the benchmarks and EXPERIMENTS.md.
 
 from __future__ import annotations
 
+import hashlib
 import statistics
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Union
@@ -16,6 +17,23 @@ from ..graphs.network import Network
 from ..graphs.topology import Topology
 from ..sim.process import NodeProcess
 from ..sim.scheduler import RunResult, Simulator
+
+
+def _trial_seed(base_seed: int, stream: str, trial: int) -> int:
+    """63-bit per-trial seed for one named stream (SHA-256 mixing).
+
+    Mirrors :func:`repro.experiments.spec.derive_seed` (implemented
+    locally to avoid a circular import: ``experiments.aggregate``
+    imports this module).  The old affine derivations
+    (``seed*7919 + t`` for the network, ``seed*104729 + t`` for the
+    simulator) both collapsed to ``t`` at the default ``seed=0`` —
+    correlating random-ID assignment with the algorithms' coin flips —
+    and their arithmetic progressions overlap across nearby base seeds.
+    Hashing the (stream, base seed, trial) triple gives independent,
+    non-overlapping streams for any inputs.
+    """
+    blob = f"repro-trials|{stream}|{base_seed}|{trial}".encode()
+    return int.from_bytes(hashlib.sha256(blob).digest()[:8], "big") >> 1
 
 
 @dataclass
@@ -83,7 +101,15 @@ def run_trials(topology: Topology,
     :class:`~repro.sim.models.ExecutionModel` applied to every trial
     (the per-trial simulator seed varies, so seeded delay/loss/crash
     draws differ across trials while staying reproducible).
+
+    Per-trial network and simulator seeds are derived through SHA-256
+    (see :func:`_trial_seed`), so the two randomness streams are
+    independent at every base seed and never overlap across base seeds.
     """
+    if trials < 1:
+        raise ValueError(
+            f"run_trials needs trials >= 1, got {trials} "
+            "(an empty trial set has no statistics to summarize)")
     auto: Dict[str, int] = {}
     if "n" in knowledge_keys:
         auto["n"] = topology.num_nodes
@@ -100,8 +126,9 @@ def run_trials(topology: Topology,
     surviving = 0
     results: List[RunResult] = []
     for t in range(trials):
-        network = Network.build(topology, seed=seed * 7919 + t, ids=ids)
-        sim = Simulator(network, factory, seed=seed * 104_729 + t,
+        network = Network.build(topology, seed=_trial_seed(seed, "network", t),
+                                ids=ids)
+        sim = Simulator(network, factory, seed=_trial_seed(seed, "sim", t),
                         knowledge=auto, model=model)
         result = sim.run(max_rounds=max_rounds)
         messages.append(result.messages)

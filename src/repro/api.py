@@ -46,6 +46,7 @@ def _registry() -> Dict[str, AlgorithmSpec]:
     from .core.least_el import LeastElementElection
     from .core.size_estimation import SizeEstimationElection
     from .core.spanner_le import SpannerElection
+    from .core.sublinear import SublinearElection
     from .core.trivial import TrivialSelfElection
 
     return {
@@ -82,6 +83,10 @@ def _registry() -> Dict[str, AlgorithmSpec]:
         "kingdom-known-d": AlgorithmSpec(
             KnownDiameterKingdomElection, needs=("D",),
             description="Section 4.3 simplified kingdom variant with known D."),
+        "sublinear": AlgorithmSpec(
+            SublinearElection, needs=("n",),
+            description="Referee sampling on cliques: O(√n·log^3/2 n) msgs, "
+                        "O(1) rounds, success w.h.p."),
         "trivial": AlgorithmSpec(
             TrivialSelfElection, needs=("n",),
             description="Intro example: self-elect w.p. 1/n; 0 messages, succ ≈ 1/e."),

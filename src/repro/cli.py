@@ -22,7 +22,13 @@ Graph specs are compact strings::
 
     ring:32          path:9        star:10        complete:20
     grid:5x6         torus:8x8     hypercube:4    regular:12:3
-    er:100:0.08      er:100:m400   lollipop:6:5
+    er:100:0.08      er:100:m400   lollipop:6:5   clique:16384
+
+``clique`` aliases ``complete``; cliques, rings, and full tori use
+implicit O(1)-memory topologies, so large-n specs are first-class::
+
+    python -m repro elect --graph clique:16384 --algorithm sublinear
+    python -m repro bench-sim --grid large --auto-knowledge D --repeats 1
 
 Examples::
 
@@ -231,6 +237,7 @@ def cmd_bench_sim(args: argparse.Namespace) -> int:
     try:
         rows = run_grid(grid, seed=args.seed, repeats=args.repeats,
                         max_rounds=args.max_rounds,
+                        auto_knowledge=tuple(args.auto_knowledge or ()),
                         progress=lambda msg: print(f"... {msg}",
                                                    file=sys.stderr))
     except (KeyError, ValueError) as exc:
@@ -328,14 +335,22 @@ def build_parser() -> argparse.ArgumentParser:
     bench = sub.add_parser(
         "bench-sim",
         help="measure simulator throughput and append it to BENCH_sim.json")
-    bench.add_argument("--grid", choices=["default", "tiny", "delay"],
+    bench.add_argument("--grid",
+                       choices=["default", "tiny", "delay", "large",
+                                "large-smoke"],
                        default="default",
-                       help="predefined measurement grid")
+                       help="predefined measurement grid ('large' is the "
+                            "implicit-topology n>=16k series; run it with "
+                            "--auto-knowledge D --repeats 1)")
     bench.add_argument("--point", action="append",
                        metavar="ALGORITHM@GRAPHSPEC[@DELAY]",
                        help="explicit grid point (repeatable); overrides --grid")
     bench.add_argument("--repeats", type=int, default=3,
                        help="simulations per point (best wall time kept)")
+    bench.add_argument("--auto-knowledge", nargs="+", metavar="KEY",
+                       choices=["n", "m", "D"],
+                       help="extra graph-derived knowledge granted to every "
+                            "point (e.g. D makes flood-max the O(D) baseline)")
     bench.add_argument("--seed", type=int, default=1)
     bench.add_argument("--max-rounds", type=int)
     bench.add_argument("--label", default="",

@@ -32,6 +32,7 @@ from .las_vegas import RestartingElection, attempt_period
 from .least_el import LeastElementElection
 from .size_estimation import SizeEstimationElection, sample_geometric
 from .spanner_le import SpannerElection
+from .sublinear import SublinearElection, expected_candidates, referee_count
 from .trivial import TrivialSelfElection
 from .waves import ExtinctionWave, Key, WaveRankMsg, WaveResponseMsg, WaveWinnerMsg
 
@@ -52,6 +53,7 @@ __all__ = [
     "RestartingElection",
     "SizeEstimationElection",
     "SpannerElection",
+    "SublinearElection",
     "TrivialSelfElection",
     "WaveRankMsg",
     "WaveResponseMsg",
@@ -60,8 +62,10 @@ __all__ = [
     "attempt_period",
     "candidate_probability",
     "constant_candidates",
+    "expected_candidates",
     "log_candidates",
     "optional_knowledge",
+    "referee_count",
     "require_knowledge",
     "sample_geometric",
 ]

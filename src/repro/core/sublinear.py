@@ -1,0 +1,145 @@
+"""Sublinear-message election on complete graphs (referee sampling).
+
+The paper's headline separation on cliques: flood-max-style baselines
+pay Θ(n²) messages because every node talks to every neighbor, while a
+randomized candidate/referee protocol elects a unique leader w.h.p. with
+``O(√n · log^{3/2} n)`` messages — *sublinear in n* (and vanishing
+relative to m = Θ(n²)).  This is the message bound the large-n series
+in ``BENCH_sim.json`` visualizes against flood-max.
+
+The protocol (complete graph, simultaneous wakeup, knowledge ``n``):
+
+1. **Candidacy.**  Each node independently becomes a *candidate* with
+   probability ``8 ln n / n`` (expected Θ(log n) candidates; at least
+   one exists with probability ``1 − n^{−8}``).  Non-candidates decide
+   NON_ELECTED immediately — this is *implicit* election (Section 1):
+   they know they are not the leader without any communication — and
+   keep listening as referees.
+2. **Probing.**  Every candidate draws a rank from ``[1, n^4]`` (the
+   key ``(rank, uid)`` is collision-free) and sends it to
+   ``s = ⌈√(n · ln n)⌉`` distinct random ports — its *referees*.
+3. **Refereeing.**  A referee collects the probe keys it receives
+   (plus its own key, if it is itself a candidate) and answers every
+   probe with the smallest key it has seen.
+4. **Decision.**  A candidate that hears any key smaller than its own
+   becomes NON_ELECTED; once all ``s`` verdicts are in and none beat
+   it, it elects itself.
+
+Any two referee sets of size ``√(n ln n)`` intersect with probability
+``≥ 1 − 1/n`` (birthday bound), so every non-minimal candidate shares a
+referee with the minimal one and is extinguished w.h.p.; union-bounding
+over the O(log²n) candidate pairs keeps the failure probability
+``O(log²n / n)``.  Total traffic is ``≤ 2 · #candidates · s``, i.e.
+``O(√n · log^{3/2} n)`` in expectation, with O(log n)-bit messages
+(CONGEST-compatible) and O(1) rounds.
+
+Caveats, stated loudly because the simulator will happily run anything:
+the guarantee needs the *complete* graph (random ports = uniform node
+sampling) and near-simultaneous wakeup (a candidate that probes after
+an earlier winner decided can slip through); under adversarial wakeup
+or message loss the success probability degrades and is reported
+honestly by the metrics.  Unlike the Section 4 algorithms this one is
+Monte Carlo: it may elect zero or two leaders with small probability.
+
+Knowledge: ``n``.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..graphs.ids import id_space_size
+from ..sim.message import Payload
+from ..sim.process import Delivery, NodeContext
+from ..sim.status import Status
+from .base import ElectionProcess, require_knowledge
+
+Key = Tuple[int, int]
+
+
+def expected_candidates(n: int) -> float:
+    """Candidacy rate numerator: 8·ln n candidates in expectation."""
+    return 8.0 * math.log(max(2, n))
+
+
+def referee_count(n: int) -> int:
+    """Referees per candidate: ⌈√(n·ln n)⌉ (pairwise-intersection bound)."""
+    return max(1, math.ceil(math.sqrt(n * math.log(max(2, n)))))
+
+
+@dataclass(frozen=True)
+class ProbeMsg(Payload):
+    """A candidate's key, sent to each of its sampled referees."""
+
+    rank: int
+    uid: int
+
+
+@dataclass(frozen=True)
+class VerdictMsg(Payload):
+    """A referee's answer: the smallest key it has seen so far."""
+
+    rank: int
+    uid: int
+
+
+class SublinearElection(ElectionProcess):
+    """O(√n·log^{3/2} n)-message election on complete graphs."""
+
+    def __init__(self) -> None:
+        self._key: Optional[Key] = None      # set iff we are a candidate
+        self._best_seen: Optional[Key] = None
+        self._verdicts = 0
+        self._referees = 0
+        self._beaten = False
+
+    # ------------------------------------------------------------------
+    def on_start(self, ctx: NodeContext) -> None:
+        n = require_knowledge(ctx, "n")
+        if ctx.degree == 0:
+            # Degenerate single-node network: trivially the leader.
+            ctx.elect()
+            ctx.output["leader_uid"] = ctx.uid
+            return
+        rng = ctx.rng
+        if rng.random() >= min(1.0, expected_candidates(n) / n):
+            ctx.set_non_elected()  # implicit election: never the leader
+            return
+        rank = rng.randrange(1, id_space_size(n) + 1)
+        self._key = (rank, ctx.uid)
+        self._best_seen = self._key
+        self._referees = min(ctx.degree, referee_count(n))
+        ports = rng.sample(range(ctx.degree), self._referees)
+        ctx.multicast(ports, ProbeMsg(rank, ctx.uid))
+
+    # ------------------------------------------------------------------
+    def on_round(self, ctx: NodeContext, inbox: List[Delivery]) -> None:
+        probes: List[Tuple[int, ProbeMsg]] = []
+        for port, payload in inbox:
+            if isinstance(payload, ProbeMsg):
+                probes.append((port, payload))
+            elif isinstance(payload, VerdictMsg) and self._key is not None:
+                self._verdicts += 1
+                if (payload.rank, payload.uid) < self._key:
+                    self._beaten = True
+        if probes:
+            best = self._best_seen
+            for _, msg in probes:
+                key = (msg.rank, msg.uid)
+                if best is None or key < best:
+                    best = key
+            self._best_seen = best
+            assert best is not None
+            reply = VerdictMsg(best[0], best[1])
+            # One verdict per probing port; distinct candidates probe
+            # through distinct ports, so the batch never collides.
+            ctx.multicast_soon([port for port, _ in probes], reply)
+        if (self._key is not None and ctx.status is Status.UNDECIDED
+                and self._verdicts >= self._referees):
+            if self._beaten:
+                ctx.set_non_elected()
+            else:
+                ctx.elect()
+                ctx.output["leader_uid"] = ctx.uid

@@ -49,11 +49,15 @@ class ResultCache:
         return os.path.join(self.root, f"{_safe_filename(experiment)}.jsonl")
 
     # ------------------------------------------------------------------
-    def _records(self, experiment: str) -> Dict[str, Dict[str, Any]]:
-        if experiment in self._loaded:
-            return self._loaded[experiment]
+    @staticmethod
+    def _scan_file(path: str) -> Dict[str, Dict[str, Any]]:
+        """Parse one JSONL cache file into ``key -> record``.
+
+        Blank and torn lines (an interrupted run's final write) are
+        skipped; duplicate keys keep the newest record (identical by
+        construction, since the cell pins all randomness).
+        """
         records: Dict[str, Dict[str, Any]] = {}
-        path = self.path_for(experiment)
         if os.path.exists(path):
             with open(path, "r", encoding="utf-8") as fh:
                 for line in fh:
@@ -67,6 +71,12 @@ class ResultCache:
                     key = record.get("key")
                     if isinstance(key, str) and "metrics" in record:
                         records[key] = record
+        return records
+
+    def _records(self, experiment: str) -> Dict[str, Dict[str, Any]]:
+        if experiment in self._loaded:
+            return self._loaded[experiment]
+        records = self._scan_file(self.path_for(experiment))
         self._loaded[experiment] = records
         return records
 
@@ -83,9 +93,43 @@ class ResultCache:
         record = {"key": cell.digest(), "cell": cell.to_json(),
                   "metrics": metrics}
         os.makedirs(self.root, exist_ok=True)
-        with open(self.path_for(cell.experiment), "a", encoding="utf-8") as fh:
+        path = self.path_for(cell.experiment)
+        # A torn final line (interrupted run, no trailing newline) must
+        # not swallow this append too: terminate the fragment first so
+        # only the already-lost record stays lost.
+        needs_newline = False
+        if os.path.exists(path) and os.path.getsize(path) > 0:
+            with open(path, "rb") as fh:
+                fh.seek(-1, os.SEEK_END)
+                needs_newline = fh.read(1) != b"\n"
+        with open(path, "a", encoding="utf-8") as fh:
+            if needs_newline:
+                fh.write("\n")
             fh.write(canonical_json(record) + "\n")
         self._records(cell.experiment)[record["key"]] = record
 
     def __len__(self) -> int:
-        return sum(len(recs) for recs in self._loaded.values())
+        """Distinct records stored under the cache root, on disk.
+
+        Every :meth:`put` writes through to disk before updating the
+        in-memory view, so the files are authoritative — this counts a
+        warm cache correctly even before any experiment is loaded (the
+        old implementation summed only lazily-loaded experiments and
+        reported 0 for a cold handle on a full cache directory).
+        """
+        if not os.path.isdir(self.root):
+            return 0
+        # put() writes through before updating _loaded, so the memory
+        # view of a loaded experiment is always in sync with its file —
+        # only files never loaded by this handle need a disk scan.
+        loaded_paths = {self.path_for(exp): recs
+                        for exp, recs in self._loaded.items()}
+        total = 0
+        for entry in sorted(os.listdir(self.root)):
+            if not entry.endswith(".jsonl"):
+                continue
+            path = os.path.join(self.root, entry)
+            recs = loaded_paths.get(path)
+            total += len(recs) if recs is not None else \
+                len(self._scan_file(path))
+        return total

@@ -42,7 +42,14 @@ from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 #: rows gained ``messages_delivered``/``messages_dropped``/``crashes``/
 #: ``success_surviving`` — v2 rows lack both the model key and the
 #: delivery columns, so they must never satisfy a v3 lookup.
-SCHEMA_VERSION = 3
+#:
+#: v4: ``Network.build`` auto-selects lazy analytic port tables for
+#: large dense implicit topologies (n > 2048, avg degree > 64), which
+#: draws a *different* (still deterministic) port permutation from the
+#: same seed than the materialized builder did — a v3 row for e.g.
+#: ``complete:4096`` no longer describes the network a v4 run would
+#: simulate, so it must never satisfy a v4 lookup.
+SCHEMA_VERSION = 4
 
 
 def canonical_json(obj: Any) -> str:

@@ -32,25 +32,39 @@ from .ids import (
     SequentialIds,
     id_space_size,
 )
-from .network import Network
+from .network import ImplicitNetwork, Network
 from .spanner import baswana_sen_spanner, verify_spanner_stretch
 from .specs import parse_graph_spec
-from .topology import Edge, Topology, normalize_edge, union_topology
+from .topology import (
+    CliqueTopology,
+    Edge,
+    ImplicitTopology,
+    RingTopology,
+    Topology,
+    TorusTopology,
+    normalize_edge,
+    union_topology,
+)
 
 __all__ = [
     "CliqueCycle",
     "CliqueCycleParams",
+    "CliqueTopology",
     "DisjointRandomIds",
     "DumbbellInstance",
     "DumbbellSampler",
     "Edge",
     "ExplicitIds",
     "IdAssigner",
+    "ImplicitNetwork",
+    "ImplicitTopology",
     "Network",
     "RandomIds",
     "ReversedIds",
+    "RingTopology",
     "SequentialIds",
     "Topology",
+    "TorusTopology",
     "barbell",
     "base_graph",
     "baswana_sen_spanner",

@@ -15,14 +15,15 @@ import itertools
 import random
 from typing import List, Optional, Tuple
 
-from .topology import Edge, Topology
+from .topology import (CliqueTopology, Edge, RingTopology, Topology,
+                       TorusTopology)
 
 
 def ring(n: int) -> Topology:
-    """Cycle C_n: m = n, D = floor(n/2)."""
+    """Cycle C_n: m = n, D = floor(n/2) (implicit O(1)-memory storage)."""
     if n < 3:
         raise ValueError("a ring needs at least 3 nodes")
-    return Topology(n, [(i, (i + 1) % n) for i in range(n)], name=f"ring-{n}")
+    return RingTopology(n)
 
 
 def path(n: int) -> Topology:
@@ -40,16 +41,25 @@ def star(n: int) -> Topology:
 
 
 def complete(n: int) -> Topology:
-    """Complete graph K_n: m = n(n-1)/2, D = 1."""
+    """Complete graph K_n: m = n(n-1)/2, D = 1 (implicit storage).
+
+    The adjacency is analytic, so ``complete(65536)`` costs a few
+    machine words; pair it with ``Network.build(..., lazy=True)`` (the
+    default at that scale) to keep port tables analytic too.
+    """
     if n < 2:
         raise ValueError("a complete graph needs at least 2 nodes")
-    return Topology(n, itertools.combinations(range(n), 2), name=f"complete-{n}")
+    return CliqueTopology(n)
 
 
 def grid(rows: int, cols: int, torus: bool = False) -> Topology:
     """2D grid (or torus): n = rows*cols, D = Θ(rows + cols)."""
     if rows < 1 or cols < 1 or rows * cols < 2:
         raise ValueError("grid needs at least 2 nodes")
+    if torus and rows > 2 and cols > 2:
+        # Full wrap-around on both axes: the implicit O(1)-memory torus
+        # (same edge set as the materialized construction below).
+        return TorusTopology(rows, cols)
     edges: List[Edge] = []
 
     def node(r: int, c: int) -> int:

@@ -18,10 +18,18 @@ network exclusively through ports and their own ID.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from .topology import Topology
 from .ids import IdAssigner, RandomIds
+
+#: ``Network.build(..., lazy=None)`` switches to analytic port tables
+#: automatically when an implicit topology is both large and dense —
+#: materialized tables for ``clique:16384`` alone would cost gigabytes.
+#: Sparse implicit graphs (rings, tori) stay materialized by default:
+#: their port tables are O(n) and flat-table indexing is faster.
+LAZY_AUTO_MIN_NODES = 2048
+LAZY_AUTO_MIN_AVG_DEGREE = 64
 
 
 class Network:
@@ -65,7 +73,8 @@ class Network:
     @classmethod
     def build(cls, topology: Topology, *, seed: int = 0,
               ids: Optional[IdAssigner] = None,
-              shuffle_ports: bool = True) -> "Network":
+              shuffle_ports: bool = True,
+              lazy: Optional[bool] = None) -> "Network":
         """Instantiate ``topology`` with IDs and port permutations.
 
         Parameters
@@ -78,12 +87,40 @@ class Network:
         shuffle_ports:
             When False, port *i* of node *u* leads to its *i*-th smallest
             neighbor — useful in unit tests that need predictable wiring.
+        lazy:
+            ``True`` builds an :class:`ImplicitNetwork` whose port
+            tables are analytic (O(n) memory regardless of density;
+            requires an implicit topology).  ``False`` forces the
+            materialized tables.  ``None`` (default) picks lazily only
+            for large, dense implicit topologies, so existing seeds on
+            small graphs keep their exact port permutations.  The two
+            backends draw *different* deterministic port mappings from
+            the same seed — materialized builds use uniform per-node
+            shuffles, lazy builds use per-node rotations (see the
+            :class:`ImplicitNetwork` caution).
         """
+        n = topology.num_nodes
         rng = random.Random(f"network:{seed}:{topology.name}")
         assigner = ids if ids is not None else RandomIds()
-        id_list = assigner.assign(topology.num_nodes, rng)
+        id_list = assigner.assign(n, rng)
+        if lazy is None:
+            lazy = (topology.is_implicit and n > LAZY_AUTO_MIN_NODES and
+                    2 * topology.num_edges > LAZY_AUTO_MIN_AVG_DEGREE * n)
+        if lazy:
+            if not topology.is_implicit:
+                raise ValueError(
+                    "lazy port tables require an implicit topology "
+                    f"(got materialized {topology.name!r})")
+            # One rotation offset per node is the whole port state: port
+            # p of u leads to sorted-neighbor (p + rot[u]) mod deg(u).
+            if shuffle_ports:
+                rot = [rng.randrange(topology.degree(u)) if topology.degree(u)
+                       else 0 for u in range(n)]
+            else:
+                rot = [0] * n
+            return ImplicitNetwork(topology, id_list, rot)
         ports: List[List[int]] = []
-        for u in range(topology.num_nodes):
+        for u in range(n):
             mapping = list(topology.neighbors(u))
             if shuffle_ports:
                 rng.shuffle(mapping)
@@ -142,6 +179,186 @@ class Network:
         """Flat ``[node][port] -> receiver port`` table (hot-path view)."""
         return self._peer_ports
 
+    # ------------------------------------------------------------------
+    # Broadcast-aggregation hooks (see Simulator's aggregated path)
+    # ------------------------------------------------------------------
+    def inbound_ports(self, index: int):
+        """Mapping-like ``[src] -> local port of index leading to src``."""
+        return self._port_of_neighbor[index]
+
+    def expand_broadcasts(self, index: int, records: Sequence[Tuple[int, Any]],
+                          make: Callable[[int, Any], Any]) -> List[Any]:
+        """Expand buffered full-broadcast records into ``index``'s inbox.
+
+        ``records`` is a sequence of ``(src, payload)`` pairs on a
+        complete graph (every ``src != index`` is a neighbor); ``make``
+        is the delivery constructor, passed in by the scheduler to keep
+        this module free of simulator imports.  Returns one delivery per
+        foreign record, in record order.
+        """
+        row = self._port_of_neighbor[index]
+        return [make(row[src], payload)
+                for src, payload in records if src != index]
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"Network({self._topology.name!r}, n={self.num_nodes}, "
+                f"m={self.num_edges})")
+
+
+class _LazyPortRow:
+    """One node's analytic ``port -> neighbor`` (or peer-port) view."""
+
+    __slots__ = ("_fn", "_node", "_degree")
+
+    def __init__(self, fn: Callable[[int, int], int], node: int,
+                 degree: int) -> None:
+        self._fn = fn
+        self._node = node
+        self._degree = degree
+
+    def __getitem__(self, port: int) -> int:
+        if not 0 <= port < self._degree:
+            raise IndexError(f"port {port} out of range [0, {self._degree})")
+        return self._fn(self._node, port)
+
+    def __len__(self) -> int:
+        return self._degree
+
+    def __iter__(self):
+        fn, node = self._fn, self._node
+        return (fn(node, p) for p in range(self._degree))
+
+
+class _LazyPortTable:
+    """Analytic stand-in for the flat ``[node][port]`` tuple tables."""
+
+    __slots__ = ("_fn", "_network", "_rows")
+
+    def __init__(self, network: "ImplicitNetwork",
+                 fn: Callable[[int, int], int]) -> None:
+        self._network = network
+        self._fn = fn
+        self._rows: Dict[int, _LazyPortRow] = {}
+
+    def __getitem__(self, node: int) -> _LazyPortRow:
+        row = self._rows.get(node)
+        if row is None:
+            row = self._rows[node] = _LazyPortRow(
+                self._fn, node, self._network.degree(node))
+        return row
+
+    def __len__(self) -> int:
+        return self._network.num_nodes
+
+
+class _LazyInboundRow:
+    """Analytic ``[src] -> local port`` view for one receiver."""
+
+    __slots__ = ("_network", "_node")
+
+    def __init__(self, network: "ImplicitNetwork", node: int) -> None:
+        self._network = network
+        self._node = node
+
+    def __getitem__(self, src: int) -> int:
+        return self._network.port_to_neighbor(self._node, src)
+
+
+class ImplicitNetwork(Network):
+    """A network whose port tables are closed-form functions.
+
+    Built by :meth:`Network.build` with ``lazy=True`` over an implicit
+    topology.  The only per-node state is the ID vector and one port
+    *rotation* offset: port ``p`` of node ``u`` leads to its
+    ``(p + rot[u]) mod deg(u)``-th smallest neighbor.  Rotations are
+    seeded, so instances stay deterministic and ports stay scrambled
+    relative to node indices, at O(n) memory for any density — a
+    ``clique:16384`` network costs ~400 KB instead of the ~4 GB its
+    materialized port/peer tables would need.
+
+    .. caution::
+       Rotations span only ``deg`` of the ``deg!`` possible port
+       permutations per node: consecutive ports lead to cyclically
+       consecutive neighbors.  Every port mapping is still a legal
+       instantiation of the paper's model (Section 3.1 quantifies over
+       *arbitrary* port mappings), and algorithms that sample ports via
+       ``ctx.rng`` are unaffected — but an experiment whose statistics
+       depend on port wirings being *uniformly random permutations*
+       (e.g. a port-wiring lower-bound sweep) must use the materialized
+       builder (``lazy=False``), which shuffles each node's map.
+    """
+
+    def __init__(self, topology: Topology, ids: Sequence[int],
+                 rotations: Sequence[int]) -> None:
+        n = topology.num_nodes
+        if len(ids) != n:
+            raise ValueError(f"need {n} IDs, got {len(ids)}")
+        if len(set(ids)) != n:
+            raise ValueError("node IDs must be unique")
+        if len(rotations) != n:
+            raise ValueError(f"need {n} port rotations, got {len(rotations)}")
+        for u, r in enumerate(rotations):
+            if topology.degree(u) and not 0 <= r < topology.degree(u):
+                raise ValueError(f"rotation {r} of node {u} out of range")
+        self._topology = topology
+        self._ids = tuple(ids)
+        self._id_to_index = {uid: i for i, uid in enumerate(self._ids)}
+        self._rot = list(rotations)
+        self._is_clique = bool(topology.is_complete)
+        self._out_table = _LazyPortTable(self, self._out_port)
+        self._peer_table = _LazyPortTable(self, self.peer_port)
+
+    # -- analytic port arithmetic --------------------------------------
+    def _out_port(self, index: int, port: int) -> int:
+        topo = self._topology
+        deg = topo.degree(index)
+        return topo.neighbor_at(index, (port + self._rot[index]) % deg)
+
+    def degree(self, index: int) -> int:
+        return self._topology.degree(index)
+
+    def neighbor_via_port(self, index: int, port: int) -> int:
+        deg = self._topology.degree(index)
+        if not 0 <= port < deg:
+            raise IndexError(f"port {port} out of range [0, {deg})")
+        return self._out_port(index, port)
+
+    def port_to_neighbor(self, index: int, neighbor: int) -> int:
+        topo = self._topology
+        rank = topo.neighbor_rank(index, neighbor)
+        return (rank - self._rot[index]) % topo.degree(index)
+
+    def peer_port(self, index: int, port: int) -> int:
+        neighbor = self.neighbor_via_port(index, port)
+        return self.port_to_neighbor(neighbor, index)
+
+    @property
+    def port_table(self):
+        return self._out_table
+
+    @property
+    def peer_port_table(self):
+        return self._peer_table
+
+    def inbound_ports(self, index: int) -> _LazyInboundRow:
+        return _LazyInboundRow(self, index)
+
+    def expand_broadcasts(self, index: int, records: Sequence[Tuple[int, Any]],
+                          make: Callable[[int, Any], Any]) -> List[Any]:
+        if self._is_clique:
+            # Inlined clique arithmetic: the receiver-side port of the
+            # (src -> index) edge is (rank(src) - rot[index]) mod (n-1)
+            # with rank(src) = src - [src > index].  This loop is the
+            # large-n hot path (one iteration per delivered message).
+            rot = self._rot[index]
+            nm1 = self.num_nodes - 1
+            v = index
+            return [make((s - (s > v) - rot) % nm1, payload)
+                    for s, payload in records if s != v]
+        row = self.inbound_ports(index)
+        return [make(row[src], payload)
+                for src, payload in records if src != index]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"ImplicitNetwork({self._topology.name!r}, n={self.num_nodes}, "
                 f"m={self.num_edges})")

@@ -7,9 +7,14 @@ so that a configuration is hashable, picklable, and printable::
     ring:32          path:9        star:10        complete:20
     grid:5x6         torus:8x8     hypercube:4    regular:12:3
     er:100:0.08      er:100:m400   lollipop:6:5   barbell:8:4
+    clique:16384     torus:128x128
 
 ``regular`` and ``er`` draw random graphs; their ``seed`` argument pins
 the draw so a spec string plus a seed is a complete description.
+
+``clique`` is an alias for ``complete``; cliques, rings, and full tori
+are backed by implicit (O(1)-memory analytic) topologies, so large-n
+specs like ``clique:16384`` are cheap to construct and to simulate.
 """
 
 from __future__ import annotations
@@ -49,7 +54,7 @@ def parse_graph_spec(spec: str, seed: int = 0) -> Topology:
             return path(int(parts[1]))
         if kind == "star":
             return star(int(parts[1]))
-        if kind == "complete":
+        if kind in ("complete", "clique"):
             return complete(int(parts[1]))
         if kind in ("grid", "torus"):
             rows, cols = parts[1].lower().split("x")

@@ -7,14 +7,45 @@ simulation runtime; those concerns live in :mod:`repro.graphs.network`.
 The paper's model (Section 2) assumes an undirected connected graph
 ``G = (V, E)``.  All generators in :mod:`repro.graphs.generators` return
 instances of this class.
+
+Storage backends
+----------------
+The class now has a pluggable storage layer, because the paper's claims
+are *asymptotic* and reproducing them means running cliques at
+n = 16384 and beyond:
+
+* **Materialized (CSR).**  :class:`Topology` itself stores the graph as
+  flat compressed-sparse-row arrays (``array('l')`` index pointers +
+  neighbor indices), roughly an order of magnitude smaller than the old
+  tuple-of-tuples adjacency.  Canonical edge tuples are built lazily
+  and cached only when something actually asks for :attr:`edges`.
+* **Implicit.**  :class:`CliqueTopology`, :class:`RingTopology`, and
+  :class:`TorusTopology` store *nothing* per edge: adjacency, degree,
+  ``has_edge``, and the diameter are all O(1) closed-form answers.  A
+  ``clique:65536`` costs a few machine words instead of the ~2 GiB its
+  2^31 materialized half-edges would need.
+
+Every graph algorithm on the base class (BFS, bridges, eccentricity,
+...) is written against the small storage interface — ``degree``,
+``neighbors``, ``neighbor_at``, ``neighbor_rank``, ``iter_edges`` — so
+implicit subclasses inherit them unchanged.
 """
 
 from __future__ import annotations
 
+from array import array
+from bisect import bisect_left
 from collections import deque
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import (Dict, FrozenSet, Iterable, Iterator, List, Optional,
+                    Sequence, Set, Tuple)
 
 Edge = Tuple[int, int]
+
+#: Ceiling on lazily materializing the full edge tuple of an implicit
+#: topology.  ``clique:16384`` has ~1.3e8 edges; building that tuple by
+#: accident (a stray ``.edges`` on a hot path) would stall the process
+#: for minutes, so it fails loudly instead.  Use :meth:`iter_edges`.
+EDGE_MATERIALIZE_LIMIT = 20_000_000
 
 
 def normalize_edge(u: int, v: int) -> Edge:
@@ -38,6 +69,12 @@ class Topology:
         Optional human-readable label used in reports and benchmarks.
     """
 
+    #: True for analytic (non-materialized) storage subclasses.
+    is_implicit = False
+    #: True when the graph is a complete graph by construction; the
+    #: scheduler's broadcast-aggregation fast path keys off this.
+    is_complete = False
+
     def __init__(self, num_nodes: int, edges: Iterable[Edge], name: str = "graph") -> None:
         if num_nodes <= 0:
             raise ValueError("a topology needs at least one node")
@@ -54,14 +91,25 @@ class Topology:
             edge_set.add(e)
             adjacency[e[0]].append(e[1])
             adjacency[e[1]].append(e[0])
-        for nbrs in adjacency:
+        # Flat CSR: indptr[u] .. indptr[u+1] delimit u's sorted neighbors.
+        indptr = array("l", [0] * (num_nodes + 1))
+        indices = array("l", [0] * (2 * len(edge_set)))
+        pos = 0
+        for u, nbrs in enumerate(adjacency):
             nbrs.sort()
-        self._adjacency: Tuple[Tuple[int, ...], ...] = tuple(tuple(a) for a in adjacency)
-        self._edges: Tuple[Edge, ...] = tuple(sorted(edge_set))
-        self._edge_set: FrozenSet[Edge] = frozenset(edge_set)
+            indptr[u] = pos
+            for v in nbrs:
+                indices[pos] = v
+                pos += 1
+        indptr[num_nodes] = pos
+        self._indptr = indptr
+        self._indices = indices
+        self._m = len(edge_set)
+        self._edge_cache: Optional[Tuple[Edge, ...]] = None
+        self._diameter: Optional[int] = None
 
     # ------------------------------------------------------------------
-    # Basic accessors
+    # Basic accessors (the storage interface)
     # ------------------------------------------------------------------
     @property
     def name(self) -> str:
@@ -73,24 +121,64 @@ class Topology:
 
     @property
     def num_edges(self) -> int:
-        return len(self._edges)
+        return self._m
+
+    def _check_edge_materialization(self) -> None:
+        """Fail loudly before an O(m) edge materialization at a size
+        where it would stall the process for minutes (or OOM)."""
+        if self.num_edges > EDGE_MATERIALIZE_LIMIT:
+            raise ValueError(
+                f"refusing to materialize {self.num_edges} edges of "
+                f"{self._name!r}; iterate iter_edges() instead")
 
     @property
     def edges(self) -> Tuple[Edge, ...]:
-        """All edges in canonical sorted order."""
-        return self._edges
+        """All edges in canonical sorted order (built lazily, cached)."""
+        if self._edge_cache is None:
+            self._check_edge_materialization()
+            self._edge_cache = tuple(self.iter_edges())
+        return self._edge_cache
+
+    def iter_edges(self) -> Iterator[Edge]:
+        """Yield edges in canonical sorted order without materializing."""
+        indptr, indices = self._indptr, self._indices
+        for u in range(self._n):
+            for k in range(indptr[u], indptr[u + 1]):
+                v = indices[k]
+                if v > u:
+                    yield (u, v)
 
     def neighbors(self, u: int) -> Tuple[int, ...]:
         """Sorted neighbor indices of node ``u``."""
-        return self._adjacency[u]
+        return tuple(self._indices[self._indptr[u]:self._indptr[u + 1]])
 
     def degree(self, u: int) -> int:
-        return len(self._adjacency[u])
+        return self._indptr[u + 1] - self._indptr[u]
+
+    def neighbor_at(self, u: int, k: int) -> int:
+        """The ``k``-th smallest neighbor of ``u`` (0-based)."""
+        i = self._indptr[u] + k
+        if not self._indptr[u] <= i < self._indptr[u + 1]:
+            raise IndexError(f"node {u} has no neighbor #{k}")
+        return self._indices[i]
+
+    def neighbor_rank(self, u: int, v: int) -> int:
+        """Rank of ``v`` among ``u``'s sorted neighbors (inverse of
+        :meth:`neighbor_at`); raises ``ValueError`` on non-neighbors."""
+        lo, hi = self._indptr[u], self._indptr[u + 1]
+        k = bisect_left(self._indices, v, lo, hi)
+        if k == hi or self._indices[k] != v:
+            raise ValueError(f"{v} is not a neighbor of {u}")
+        return k - lo
 
     def has_edge(self, u: int, v: int) -> bool:
         if u == v:
             return False
-        return normalize_edge(u, v) in self._edge_set
+        if not (0 <= u < self._n and 0 <= v < self._n):
+            return False
+        lo, hi = self._indptr[u], self._indptr[u + 1]
+        k = bisect_left(self._indices, v, lo, hi)
+        return k < hi and self._indices[k] == v
 
     def __iter__(self) -> Iterator[int]:
         return iter(range(self._n))
@@ -106,11 +194,12 @@ class Topology:
         dist: List[Optional[int]] = [None] * self._n
         dist[source] = 0
         queue = deque([source])
+        neighbors = self.neighbors
         while queue:
             u = queue.popleft()
             base = dist[u]
             assert base is not None
-            for v in self._adjacency[u]:
+            for v in neighbors(u):
                 if dist[v] is None:
                     dist[v] = base + 1
                     queue.append(v)
@@ -132,10 +221,15 @@ class Topology:
         return max(d for d in dist if d is not None)
 
     def diameter(self) -> int:
-        """Exact diameter via all-sources BFS (O(n·m)); fine at bench scale."""
-        if not self.is_connected():
-            raise ValueError("diameter undefined on a disconnected graph")
-        return max(self.eccentricity(u) for u in range(self._n))
+        """Exact diameter via all-sources BFS (O(n·m)), memoized on the
+        instance — topologies are immutable, so ``knowledge_keys=("D",)``
+        callers outside the experiment engine's cell cache pay the BFS
+        sweep once instead of per call."""
+        if self._diameter is None:
+            if not self.is_connected():
+                raise ValueError("diameter undefined on a disconnected graph")
+            self._diameter = max(self.eccentricity(u) for u in range(self._n))
+        return self._diameter
 
     def diameter_estimate(self) -> int:
         """Cheap 2-approximation: double-sweep BFS lower bound.
@@ -165,6 +259,8 @@ class Topology:
         parent: List[int] = [-1] * self._n
         out: List[Edge] = []
         timer = 0
+        degree = self.degree
+        neighbor_at = self.neighbor_at
         for root in range(self._n):
             if disc[root] != -1:
                 continue
@@ -173,9 +269,9 @@ class Topology:
             timer += 1
             while stack:
                 u, i = stack[-1]
-                if i < len(self._adjacency[u]):
+                if i < degree(u):
                     stack[-1] = (u, i + 1)
-                    v = self._adjacency[u][i]
+                    v = neighbor_at(u, i)
                     if disc[v] == -1:
                         parent[v] = u
                         disc[v] = low[v] = timer
@@ -193,20 +289,249 @@ class Topology:
         return out
 
     def subgraph_without_edge(self, u: int, v: int, name: Optional[str] = None) -> "Topology":
-        """Copy of this topology with edge ``(u, v)`` removed."""
+        """Copy of this topology with edge ``(u, v)`` removed.
+
+        Materializes (the copy is a plain CSR topology), so it is
+        refused past ``EDGE_MATERIALIZE_LIMIT`` like :attr:`edges`.
+        """
         e = normalize_edge(u, v)
-        if e not in self._edge_set:
+        if not self.has_edge(u, v):
             raise ValueError(f"edge {e} not present")
-        remaining = [edge for edge in self._edges if edge != e]
+        self._check_edge_materialization()
+        remaining = [edge for edge in self.iter_edges() if edge != e]
         return Topology(self._n, remaining, name=name or f"{self._name}-minus-{e}")
 
     def relabeled(self, offset: int) -> List[Edge]:
         """Edge list with every index shifted by ``offset``.
 
         Helper for compositions such as the dumbbell construction, which
-        places two copies of an open graph side by side.
+        places two copies of an open graph side by side.  Materializes,
+        so it is refused past ``EDGE_MATERIALIZE_LIMIT``.
         """
-        return [(u + offset, v + offset) for (u, v) in self._edges]
+        self._check_edge_materialization()
+        return [(u + offset, v + offset) for (u, v) in self.iter_edges()]
+
+
+# ----------------------------------------------------------------------
+# Implicit (analytic, O(1)-memory) storage backends
+# ----------------------------------------------------------------------
+class ImplicitTopology(Topology):
+    """Base for topologies whose structure is a closed-form function.
+
+    Subclasses override the storage interface (``degree``,
+    ``neighbor_at``, ``neighbor_rank``, ``has_edge``, ``num_edges``) with
+    O(1) arithmetic and the distance queries (``diameter``,
+    ``eccentricity``) with analytic answers; every generic algorithm on
+    :class:`Topology` keeps working through that interface.
+    """
+
+    is_implicit = True
+
+    def __init__(self, num_nodes: int, name: str) -> None:
+        if num_nodes <= 0:
+            raise ValueError("a topology needs at least one node")
+        self._n = num_nodes
+        self._name = name
+        self._edge_cache = None
+        self._diameter = None
+
+    # Subclass responsibility --------------------------------------------
+    def degree(self, u: int) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def neighbor_at(self, u: int, k: int) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def neighbor_rank(self, u: int, v: int) -> int:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    # Generic implementations over the analytic interface ----------------
+    def neighbors(self, u: int) -> Tuple[int, ...]:
+        if not 0 <= u < self._n:
+            raise IndexError(f"node {u} out of range")
+        return tuple(self.neighbor_at(u, k) for k in range(self.degree(u)))
+
+    def iter_edges(self) -> Iterator[Edge]:
+        for u in range(self._n):
+            for k in range(self.degree(u)):
+                v = self.neighbor_at(u, k)
+                if v > u:
+                    yield (u, v)
+
+    def is_connected(self) -> bool:
+        return True
+
+    def bfs_distances(self, source: int) -> List[Optional[int]]:
+        # Generic BFS works but allocates a neighbor tuple per node;
+        # fine at test scale, never on the large-n hot path.
+        dist: List[Optional[int]] = [None] * self._n
+        dist[source] = 0
+        queue = deque([source])
+        while queue:
+            u = queue.popleft()
+            base = dist[u]
+            assert base is not None
+            for v in self.neighbors(u):
+                if dist[v] is None:
+                    dist[v] = base + 1
+                    queue.append(v)
+        return dist
+
+
+class CliqueTopology(ImplicitTopology):
+    """Complete graph K_n with O(1) memory: every pair is an edge."""
+
+    is_complete = True
+
+    def __init__(self, num_nodes: int, name: Optional[str] = None) -> None:
+        if num_nodes < 2:
+            raise ValueError("a complete graph needs at least 2 nodes")
+        super().__init__(num_nodes, name or f"complete-{num_nodes}")
+
+    @property
+    def num_edges(self) -> int:
+        return self._n * (self._n - 1) // 2
+
+    def degree(self, u: int) -> int:
+        if not 0 <= u < self._n:
+            raise IndexError(f"node {u} out of range")
+        return self._n - 1
+
+    def neighbor_at(self, u: int, k: int) -> int:
+        if not 0 <= k < self._n - 1:
+            raise IndexError(f"node {u} has no neighbor #{k}")
+        return k + (k >= u)
+
+    def neighbor_rank(self, u: int, v: int) -> int:
+        if u == v or not 0 <= v < self._n:
+            raise ValueError(f"{v} is not a neighbor of {u}")
+        return v - (v > u)
+
+    def has_edge(self, u: int, v: int) -> bool:
+        return (u != v and 0 <= u < self._n and 0 <= v < self._n)
+
+    def eccentricity(self, source: int) -> int:
+        return 1
+
+    def diameter(self) -> int:
+        return 1
+
+    def diameter_estimate(self) -> int:
+        return 1
+
+
+class RingTopology(ImplicitTopology):
+    """Cycle C_n with O(1) memory: u's neighbors are u±1 mod n."""
+
+    def __init__(self, num_nodes: int, name: Optional[str] = None) -> None:
+        if num_nodes < 3:
+            raise ValueError("a ring needs at least 3 nodes")
+        super().__init__(num_nodes, name or f"ring-{num_nodes}")
+
+    @property
+    def num_edges(self) -> int:
+        return self._n
+
+    def degree(self, u: int) -> int:
+        if not 0 <= u < self._n:
+            raise IndexError(f"node {u} out of range")
+        return 2
+
+    def neighbors(self, u: int) -> Tuple[int, ...]:
+        if not 0 <= u < self._n:
+            raise IndexError(f"node {u} out of range")
+        a, b = (u - 1) % self._n, (u + 1) % self._n
+        return (a, b) if a < b else (b, a)
+
+    def neighbor_at(self, u: int, k: int) -> int:
+        if not 0 <= k < 2:
+            raise IndexError(f"node {u} has no neighbor #{k}")
+        return self.neighbors(u)[k]
+
+    def neighbor_rank(self, u: int, v: int) -> int:
+        nbrs = self.neighbors(u)
+        if v == nbrs[0]:
+            return 0
+        if v == nbrs[1]:
+            return 1
+        raise ValueError(f"{v} is not a neighbor of {u}")
+
+    def has_edge(self, u: int, v: int) -> bool:
+        if u == v or not (0 <= u < self._n and 0 <= v < self._n):
+            return False
+        return (u - v) % self._n in (1, self._n - 1)
+
+    def eccentricity(self, source: int) -> int:
+        return self._n // 2
+
+    def diameter(self) -> int:
+        return self._n // 2
+
+    def diameter_estimate(self) -> int:
+        return self._n // 2
+
+
+class TorusTopology(ImplicitTopology):
+    """2D torus (rows × cols, both ≥ 3) with O(1) memory.
+
+    Node ``(r, c)`` is index ``r * cols + c``; its four neighbors wrap
+    around both axes.  Matches the edge set of
+    :func:`repro.graphs.generators.grid` with ``torus=True``.
+    """
+
+    def __init__(self, rows: int, cols: int, name: Optional[str] = None) -> None:
+        if rows < 3 or cols < 3:
+            raise ValueError("an implicit torus needs rows >= 3 and cols >= 3")
+        super().__init__(rows * cols, name or f"torus-{rows}x{cols}")
+        self.rows = rows
+        self.cols = cols
+
+    @property
+    def num_edges(self) -> int:
+        return 2 * self._n
+
+    def degree(self, u: int) -> int:
+        if not 0 <= u < self._n:
+            raise IndexError(f"node {u} out of range")
+        return 4
+
+    def neighbors(self, u: int) -> Tuple[int, ...]:
+        if not 0 <= u < self._n:
+            raise IndexError(f"node {u} out of range")
+        rows, cols = self.rows, self.cols
+        r, c = divmod(u, cols)
+        four = [((r - 1) % rows) * cols + c,
+                ((r + 1) % rows) * cols + c,
+                r * cols + (c - 1) % cols,
+                r * cols + (c + 1) % cols]
+        four.sort()
+        return tuple(four)
+
+    def neighbor_at(self, u: int, k: int) -> int:
+        if not 0 <= k < 4:
+            raise IndexError(f"node {u} has no neighbor #{k}")
+        return self.neighbors(u)[k]
+
+    def neighbor_rank(self, u: int, v: int) -> int:
+        nbrs = self.neighbors(u)
+        try:
+            return nbrs.index(v)
+        except ValueError:
+            raise ValueError(f"{v} is not a neighbor of {u}") from None
+
+    def has_edge(self, u: int, v: int) -> bool:
+        if u == v or not (0 <= u < self._n and 0 <= v < self._n):
+            return False
+        return v in self.neighbors(u)
+
+    def eccentricity(self, source: int) -> int:
+        return self.rows // 2 + self.cols // 2
+
+    def diameter(self) -> int:
+        return self.rows // 2 + self.cols // 2
+
+    def diameter_estimate(self) -> int:
+        return self.diameter()
 
 
 def union_topology(parts: Sequence[Topology],

@@ -55,16 +55,43 @@ DELAY_GRID: Tuple[Tuple[str, ...], ...] = (
     ("least-el", "complete:128", "uniform:4"),
 )
 
+#: Large-n series (implicit topologies + lazy port tables + broadcast
+#: aggregation): the scale where the paper's asymptotic separation is
+#: visible.  Run with ``--auto-knowledge D --repeats 1``: flood-max
+#: without the true diameter would spin n-1 empty alarm rounds, and
+#: granting D (analytic for implicit topologies) is the O(D)-baseline
+#: reading of Table 1.  Flood-max pays Θ(n²) messages per election
+#: while the sublinear referee protocol pays O(√n·log^{3/2} n) — at
+#: n = 16384 that is ~2.7e8 vs ~6e4, the headline divergence.
+LARGE_GRID: Tuple[Tuple[str, ...], ...] = (
+    ("sublinear", "clique:4096"),
+    ("sublinear", "clique:16384"),
+    ("flood-max", "clique:4096"),
+    ("flood-max", "clique:16384"),
+    ("least-el", "torus:128x128"),
+)
+
+#: CI-sized slice of the large-n series: completes in a couple of
+#: minutes on shared runners, guarding the implicit path end to end.
+LARGE_SMOKE_GRID: Tuple[Tuple[str, ...], ...] = (
+    ("sublinear", "clique:4096"),
+    ("flood-max", "clique:4096"),
+    ("least-el", "torus:64x64"),
+)
+
 GRIDS: Dict[str, Tuple[Tuple[str, ...], ...]] = {
     "default": DEFAULT_GRID,
     "tiny": TINY_GRID,
     "delay": DELAY_GRID,
+    "large": LARGE_GRID,
+    "large-smoke": LARGE_SMOKE_GRID,
 }
 
 
 def measure_point(algorithm: str, graph: str, delay: Optional[str] = None, *,
                   seed: int = 1, repeats: int = 3,
-                  max_rounds: Optional[int] = None) -> Dict[str, Any]:
+                  max_rounds: Optional[int] = None,
+                  auto_knowledge: Sequence[str] = ()) -> Dict[str, Any]:
     """Time one (algorithm, graph[, delay]) point; return its row.
 
     ``repeats`` independent simulations are run on the same network and
@@ -72,7 +99,9 @@ def measure_point(algorithm: str, graph: str, delay: Optional[str] = None, *,
     minimum over repeats estimates the noise floor).  ``delay`` is an
     execution-model delay spec (``fixed:Δ``/``uniform:Δ``/...); Δ>1
     measures the general ring-buffer path instead of the flat fast
-    path.
+    path.  ``auto_knowledge`` grants extra graph-derived parameters
+    ("n"/"m"/"D") beyond the algorithm's registry needs — the large-n
+    grids grant ``D`` so flood-max runs as the O(D) baseline.
     """
     from ..api import _auto_knowledge, _ensure_registry
     from ..graphs.network import Network
@@ -87,7 +116,8 @@ def measure_point(algorithm: str, graph: str, delay: Optional[str] = None, *,
     spec = registry[algorithm]
     topology = parse_graph_spec(graph, seed=seed)
     network = Network.build(topology, seed=seed)
-    knowledge = _auto_knowledge(network, spec.needs, None)
+    knowledge = _auto_knowledge(network, spec.needs + tuple(auto_knowledge),
+                                None)
 
     best_wall: Optional[float] = None
     result = None
@@ -107,6 +137,7 @@ def measure_point(algorithm: str, graph: str, delay: Optional[str] = None, *,
         "algorithm": algorithm,
         "graph": graph,
         "delay": delay,
+        "knowledge": sorted(knowledge),
         "n": network.num_nodes,
         "m": network.num_edges,
         "seed": seed,
@@ -125,6 +156,7 @@ def measure_point(algorithm: str, graph: str, delay: Optional[str] = None, *,
 
 def run_grid(grid: Sequence[Tuple[str, ...]], *, seed: int = 1,
              repeats: int = 3, max_rounds: Optional[int] = None,
+             auto_knowledge: Sequence[str] = (),
              progress=None) -> List[Dict[str, Any]]:
     rows = []
     for point in grid:
@@ -134,7 +166,8 @@ def run_grid(grid: Sequence[Tuple[str, ...]], *, seed: int = 1,
             suffix = f" delay={delay}" if delay else ""
             progress(f"bench {algorithm} on {graph}{suffix} ...")
         rows.append(measure_point(algorithm, graph, delay, seed=seed,
-                                  repeats=repeats, max_rounds=max_rounds))
+                                  repeats=repeats, max_rounds=max_rounds,
+                                  auto_knowledge=auto_knowledge))
     return rows
 
 

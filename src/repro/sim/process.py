@@ -50,8 +50,12 @@ class NodeContext:
         # One-message-per-port-per-round bookkeeping: the set holds the
         # ports used in round ``_sent_round`` and is reset lazily when
         # the round advances (bounded memory, no per-send tuple keys).
+        # ``_sent_all`` is the O(1) shortcut for a full broadcast: it
+        # claims every port without populating the set, so broadcasting
+        # on a clique costs O(1) instead of O(degree) bookkeeping.
         self._sent_round = -1
         self._sent_ports: set = set()
+        self._sent_all = False
         self._outbox: list = []
         #: Free-form per-node outputs collected into the RunResult
         #: (estimates, received-broadcast flags, phase counts, ...).
@@ -102,7 +106,8 @@ class NodeContext:
         if self._round != self._sent_round:
             self._sent_round = self._round
             self._sent_ports.clear()
-        elif port in self._sent_ports:
+            self._sent_all = False
+        elif self._sent_all or port in self._sent_ports:
             raise ModelViolation(
                 f"node {self._index} sent twice on port {port} in round {self._round}")
         self._sent_ports.add(port)
@@ -127,7 +132,8 @@ class NodeContext:
         if not 0 <= port < self._degree:
             raise InvalidPort(f"node {self._index}: port {port} out of range "
                               f"[0, {self._degree})")
-        if self._round == self._sent_round and port in self._sent_ports:
+        if self._round == self._sent_round and (self._sent_all or
+                                                port in self._sent_ports):
             self._outbox.append((port, payload))
             self._sim._submit_alarm(self._index, self._round + 1)
         else:
@@ -154,7 +160,9 @@ class NodeContext:
         if self._round != self._sent_round:
             self._sent_round = self._round
             self._sent_ports.clear()
+            self._sent_all = False
         sent = self._sent_ports
+        sent_all = self._sent_all
         degree = self._degree
         claimed = 0
         try:
@@ -163,7 +171,7 @@ class NodeContext:
                     raise InvalidPort(
                         f"node {self._index}: port {port} out of range "
                         f"[0, {degree})")
-                if port in sent:
+                if sent_all or port in sent:
                     raise ModelViolation(
                         f"node {self._index} sent twice on port {port} "
                         f"in round {self._round}")
@@ -178,17 +186,38 @@ class NodeContext:
         """Send ``payload`` on every port except those in ``exclude``.
 
         Batched fast path: the whole fan-out is submitted in one
-        scheduler call (one CONGEST check, one metrics update).
+        scheduler call (one CONGEST check, one metrics update).  A full
+        broadcast from a node that has not sent yet this round claims
+        all its ports in O(1) (no per-port set bookkeeping) and reaches
+        the scheduler as a single submission, which the aggregated
+        delivery path stores as one record instead of deg(v) inbox
+        appends.
         """
         if exclude:
             skip = set(exclude)
             ports = [p for p in range(self._degree) if p not in skip]
-        else:
-            ports = list(range(self._degree))
-        if not ports:
+            if not ports:
+                return
+            self._claim_ports(ports)
+            self._sim._submit_multicast(self._index, ports, payload)
             return
-        self._claim_ports(ports)
-        self._sim._submit_multicast(self._index, ports, payload)
+        if self._degree == 0:
+            return
+        if self._halted:
+            raise ModelViolation(f"halted node {self._index} tried to send")
+        if self._round != self._sent_round:
+            self._sent_round = self._round
+            self._sent_ports.clear()
+            self._sent_all = False
+        if self._sent_all or self._sent_ports:
+            # Some port is already used: fall back to per-port claiming
+            # so the double-send diagnostics match the unbatched path.
+            ports = list(range(self._degree))
+            self._claim_ports(ports)
+            self._sim._submit_multicast(self._index, ports, payload)
+            return
+        self._sent_all = True
+        self._sim._submit_broadcast(self._index, payload)
 
     def multicast(self, ports: Sequence[int], payload: Payload) -> None:
         """Send ``payload`` on each of the given distinct ports at once.
@@ -220,14 +249,16 @@ class NodeContext:
         if self._round != self._sent_round:
             self._sent_round = self._round
             self._sent_ports.clear()
+            self._sent_all = False
         sent = self._sent_ports
+        sent_all = self._sent_all
         try:
             for port in ports:
                 if not 0 <= port < degree:
                     raise InvalidPort(
                         f"node {self._index}: port {port} out of range "
                         f"[0, {degree})")
-                if port in sent:
+                if sent_all or port in sent:
                     later.append(port)
                 else:
                     sent.add(port)

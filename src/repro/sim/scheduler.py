@@ -227,8 +227,38 @@ class Simulator:
         self._port_table = network.port_table
         self._peer_table = network.peer_port_table
 
-        if not self.model.is_synchronous:
+        # Broadcast aggregation (complete graphs, default model): a full
+        # broadcast is buffered as one (src, payload) record instead of
+        # deg(src) inbox appends, and receivers' inboxes are expanded
+        # lazily one node at a time during dispatch.  On a clique this
+        # halves per-message work and caps buffered delivery state at
+        # O(n) records instead of O(n^2) Delivery objects.
+        self._aggregate = (self.model.is_synchronous and self._fast_sends
+                           and bool(getattr(network.topology, "is_complete",
+                                            False)))
+        if self._aggregate:
+            self._init_aggregated_path()
+        elif not self.model.is_synchronous:
             self._init_model_path(n)
+
+    def _init_aggregated_path(self) -> None:
+        """Switch this instance onto the clique broadcast-aggregation path.
+
+        Like :meth:`_init_model_path`, the hot methods are rebound as
+        instance attributes so the plain fast path stays branch-free.
+        Point sends carry a *mark* (the number of broadcast records
+        buffered at submission time) so lazy expansion can interleave
+        broadcast-derived deliveries with point deliveries in exact
+        submission order — the golden parity suite holds bit for bit.
+        """
+        #: dst -> ([Delivery, ...], [mark, ...]) for point/partial sends.
+        self._point_box: Dict[int, Tuple[List[Delivery], List[int]]] = {}
+        #: One (src, payload) record per full broadcast, in send order.
+        self._bcast_records: List[Tuple[int, Payload]] = []
+        self._submit_send = self._submit_send_agg            # type: ignore[method-assign]
+        self._submit_multicast = self._submit_multicast_agg  # type: ignore[method-assign]
+        self._submit_broadcast = self._submit_broadcast_agg  # type: ignore[method-assign]
+        self._execute_round = self._execute_round_agg        # type: ignore[method-assign]
 
     def _init_model_path(self, n: int) -> None:
         """Switch this instance onto the general (modeled) path.
@@ -322,6 +352,77 @@ class Simulator:
                 if box is None:
                     box = inboxes[dst] = []
                 box.append(Delivery(dst_port, payload))
+        self._delivery_round = self._current_round + 1
+
+    def _submit_broadcast(self, src: int, payload: Payload) -> None:
+        """Full fan-out of one payload over every port of ``src``.
+
+        The default implementation delegates to :meth:`_submit_multicast`
+        (whatever variant the execution model bound), preserving the
+        exact per-port submission order of an explicit ``ports`` list;
+        the aggregated path rebinds this to record-keeping.
+        """
+        self._submit_multicast(src, range(self.network.degree(src)), payload)
+
+    # ------------------------------------------------------------------
+    # Aggregated path (complete graphs, default model): full broadcasts
+    # are buffered as one record each; receivers' inboxes are expanded
+    # lazily during dispatch.  Bound over the fast-path methods by
+    # _init_aggregated_path.
+    # ------------------------------------------------------------------
+    def _submit_send_agg(self, src: int, port: int, payload: Payload) -> None:
+        size = payload.size_bits()
+        if self._congest_bits is not None and size > self._congest_bits:
+            raise CongestViolation(
+                f"payload {payload.kind()} is {size} bits "
+                f"(> CONGEST limit of {self._congest_bits})")
+        dst = self._port_table[src][port]
+        dst_port = self._peer_table[src][port]
+        self.metrics.record_send(src, dst, payload.kind(), size,
+                                 self._current_round)
+        entry = self._point_box.get(dst)
+        if entry is None:
+            entry = self._point_box[dst] = ([], [])
+        entry[0].append(Delivery(dst_port, payload))
+        entry[1].append(len(self._bcast_records))
+        self._delivery_round = self._current_round + 1
+
+    def _submit_multicast_agg(self, src: int, ports: Sequence[int],
+                              payload: Payload) -> None:
+        size = payload.size_bits()
+        if self._congest_bits is not None and size > self._congest_bits:
+            raise CongestViolation(
+                f"payload {payload.kind()} is {size} bits "
+                f"(> CONGEST limit of {self._congest_bits})")
+        count = len(ports)
+        if count == self.network.degree(src):
+            # All ports (claim_ports guarantees distinctness): this is a
+            # full broadcast regardless of port order — one record.
+            self._bcast_records.append((src, payload))
+        else:
+            port_row = self._port_table[src]
+            peer_row = self._peer_table[src]
+            box = self._point_box
+            mark = len(self._bcast_records)
+            for port in ports:
+                dst = port_row[port]
+                entry = box.get(dst)
+                if entry is None:
+                    entry = box[dst] = ([], [])
+                entry[0].append(Delivery(peer_row[port], payload))
+                entry[1].append(mark)
+        self.metrics.record_broadcast(src, payload.kind(), size, count)
+        self._delivery_round = self._current_round + 1
+
+    def _submit_broadcast_agg(self, src: int, payload: Payload) -> None:
+        size = payload.size_bits()
+        if self._congest_bits is not None and size > self._congest_bits:
+            raise CongestViolation(
+                f"payload {payload.kind()} is {size} bits "
+                f"(> CONGEST limit of {self._congest_bits})")
+        self._bcast_records.append((src, payload))
+        self.metrics.record_broadcast(src, payload.kind(), size,
+                                      self.network.degree(src))
         self._delivery_round = self._current_round + 1
 
     # ------------------------------------------------------------------
@@ -528,7 +629,13 @@ class Simulator:
             # Fast-path delivered accounting, settled once instead of
             # per send: without loss or crashes every sent message is
             # delivered except those still buffered at truncation.
-            pending = sum(map(len, self._inboxes.values()))
+            if self._aggregate:
+                degree = self.network.degree
+                pending = (sum(len(e[0]) for e in self._point_box.values())
+                           + sum(degree(src)
+                                 for src, _ in self._bcast_records))
+            else:
+                pending = sum(map(len, self._inboxes.values()))
             self.metrics.messages_delivered = self.metrics.messages - pending
 
         return RunResult(
@@ -550,6 +657,20 @@ class Simulator:
         else:
             inboxes = {}
         self._dispatch_round(r, inboxes)
+
+    def _execute_round_agg(self, r: int) -> None:
+        """Aggregated-path round: hand the point box + broadcast records
+        to the lazy dispatcher; fresh buffers for sends made during r."""
+        if self._delivery_round == r:
+            points = self._point_box
+            records = self._bcast_records
+            self._point_box = {}
+            self._bcast_records = []
+            self._delivery_round = None
+        else:
+            points = {}
+            records = []
+        self._dispatch_round_agg(r, points, records)
 
     def _execute_round_model(self, r: int) -> None:
         """General-path round: ring-slot delivery, crash application,
@@ -632,6 +753,111 @@ class Simulator:
                 processes[idx].on_start(ctx)
             if inbox or idx in fired:
                 processes[idx].on_round(ctx, inbox)
+
+    def _dispatch_round_agg(self, r: int,
+                            points: Dict[int, Tuple[List[Delivery], List[int]]],
+                            records: List[Tuple[int, Payload]]) -> None:
+        """Aggregated-path dispatcher: same activation semantics and
+        ordering as :meth:`_dispatch_round`, but each receiver's inbox
+        is expanded from the broadcast records *on demand*, right before
+        its activation, and discarded after — peak delivery state is one
+        inbox plus the records, never the full O(Σ deg) expansion.
+
+        On a clique, one broadcast record reaches every node but its
+        sender, so with two or more distinct senders the active set is
+        all of V; with one sender it is V minus that sender (unless a
+        point send, wakeup, or alarm targets it too).
+        """
+        woken = self._pending_wakeups.pop(r, [])
+        wakeups = self._wakeup_heap
+        while wakeups and wakeups[0] <= r:
+            heapq.heappop(wakeups)
+
+        fired: Set[int] = set()
+        heap = self._alarm_heap
+        while heap and heap[0][0] <= r:
+            key = heapq.heappop(heap)
+            self._alarm_set.discard(key)
+            fired.add(key[1])
+
+        n = self.network.num_nodes
+        skip: Optional[int] = None
+        if records:
+            srcs = {src for src, _ in records}
+            if len(srcs) == 1:
+                (sole,) = srcs
+                if (sole not in points and sole not in fired
+                        and sole not in woken):
+                    skip = sole
+            active: Sequence[int] = range(n)
+            count = n - (skip is not None)
+        else:
+            if woken or fired:
+                active = sorted(set(woken) | points.keys() | fired)
+            else:
+                active = sorted(points)
+            count = len(active)
+        if points or records:
+            # Message deliveries mark activity even if receivers are halted.
+            self.metrics.on_activity(r)
+        self.metrics.activations += count
+
+        contexts = self._contexts
+        processes = self._processes
+        started = self._started
+        expand = self.network.expand_broadcasts
+        for idx in active:
+            if idx == skip:
+                continue
+            ctx = contexts[idx]
+            if ctx._halted:
+                continue
+            ctx._round = r
+            if ctx._outbox:
+                ctx._flush_outbox()
+            entry = points.get(idx)
+            if records:
+                if entry is None:
+                    inbox = expand(idx, records, Delivery)
+                else:
+                    inbox = self._merge_inbox(idx, entry, records)
+            else:
+                inbox = entry[0] if entry is not None else []
+            if not started[idx]:
+                # A sleeping node woken by a message runs its wakeup code
+                # before processing the inbox (Theorem 4.1's wakeup phase
+                # relies on this ordering).
+                started[idx] = True
+                self.metrics.on_activity(r)
+                processes[idx].on_start(ctx)
+            if inbox or idx in fired:
+                processes[idx].on_round(ctx, inbox)
+
+    def _merge_inbox(self, idx: int,
+                     entry: Tuple[List[Delivery], List[int]],
+                     records: List[Tuple[int, Payload]]) -> List[Delivery]:
+        """Interleave one receiver's point deliveries with its broadcast
+        expansions by submission order.
+
+        ``entry`` holds the point deliveries plus, per delivery, the
+        number of broadcast records buffered when it was submitted — a
+        point delivery with mark ``k`` was sent after records
+        ``0 .. k-1`` and before record ``k``.
+        """
+        pts, marks = entry
+        inbound = self.network.inbound_ports(idx)
+        out: List[Delivery] = []
+        pi = 0
+        npts = len(pts)
+        for ri, (src, payload) in enumerate(records):
+            while pi < npts and marks[pi] <= ri:
+                out.append(pts[pi])
+                pi += 1
+            if src != idx:
+                out.append(Delivery(inbound[src], payload))
+        if pi < npts:
+            out.extend(pts[pi:])
+        return out
 
     # ------------------------------------------------------------------
     # Introspection helpers (tests / experiments)

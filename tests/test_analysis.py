@@ -62,6 +62,45 @@ class TestStats:
                            knowledge_keys=("n",), keep_results=True)
         assert len(stats.results) == 2
 
+    def test_zero_trials_rejected(self):
+        with pytest.raises(ValueError, match="trials >= 1"):
+            run_trials(ring(6), LeastElementElection, trials=0)
+        with pytest.raises(ValueError, match="trials >= 1"):
+            run_trials(ring(6), LeastElementElection, trials=-3)
+
+
+class TestTrialSeedDerivation:
+    """Regression: the affine seed maps (seed*7919+t / seed*104729+t)
+    both collapsed to plain ``t`` at the default ``seed=0``, so network
+    randomness (ID assignment, port shuffles) and simulator randomness
+    (node coins, wakeup) came from *identical* streams."""
+
+    def test_network_and_sim_streams_differ_at_seed_zero(self):
+        from repro.analysis.stats import _trial_seed
+
+        for t in range(5):
+            net = _trial_seed(0, "network", t)
+            sim = _trial_seed(0, "sim", t)
+            assert net != sim
+            assert net != t and sim != t  # the old collapsed values
+
+    def test_streams_do_not_overlap_across_base_seeds(self):
+        from repro.analysis.stats import _trial_seed
+
+        seen = {_trial_seed(base, stream, t)
+                for base in range(4) for stream in ("network", "sim")
+                for t in range(8)}
+        assert len(seen) == 4 * 2 * 8  # affine maps collide here
+
+    def test_run_trials_still_deterministic(self):
+        a = run_trials(ring(8), LeastElementElection, trials=3,
+                       knowledge_keys=("n",))
+        b = run_trials(ring(8), LeastElementElection, trials=3,
+                       knowledge_keys=("n",))
+        assert a.messages == b.messages
+        assert a.rounds == b.rounds
+        assert a.successes == b.successes
+
 
 class TestFitting:
     def test_power_law_recovers_exponent(self):

@@ -141,6 +141,38 @@ class TestCache:
         assert record["cell"]["experiment"] == "unit"
         assert record["metrics"]["success"] is True
 
+    def test_len_counts_warm_on_disk_cache(self, tmp_path):
+        sweep = run_sweep(SPEC, cache_dir=str(tmp_path))
+        assert sweep.executed == 12
+        # A *fresh* handle has loaded nothing into memory yet; __len__
+        # must still see every record written by the earlier run.
+        cold = ResultCache(str(tmp_path))
+        assert len(cold) == 12
+        # Re-running the sweep adds duplicate lines (append-only); the
+        # count stays at the number of distinct records.
+        run_sweep(SPEC, cache_dir=str(tmp_path))
+        assert len(ResultCache(str(tmp_path))) == 12
+        assert len(ResultCache(str(tmp_path / "nowhere"))) == 0
+
+    def test_torn_final_line_recovers_prior_records(self, tmp_path):
+        """A truncated last JSONL line (interrupted sweep) must be
+        skipped on load while every prior record is served as a hit."""
+        run_sweep(SPEC, cache_dir=str(tmp_path))
+        cache = ResultCache(str(tmp_path))
+        path = cache.path_for("unit")
+        with open(path) as fh:
+            whole = fh.readlines()
+        # Tear the final record mid-JSON, as a killed process would.
+        with open(path, "w") as fh:
+            fh.writelines(whole[:-1])
+            fh.write(whole[-1][: len(whole[-1]) // 2])
+        assert len(ResultCache(str(tmp_path))) == 11
+        sweep = run_sweep(SPEC, cache_dir=str(tmp_path))
+        assert (sweep.executed, sweep.cached) == (1, 11)
+        # The re-run healed the file: everything is a hit again.
+        again = run_sweep(SPEC, cache_dir=str(tmp_path))
+        assert (again.executed, again.cached) == (0, 12)
+
 
 class TestTasks:
     def test_elect_metrics_shape(self):

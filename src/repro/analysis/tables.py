@@ -1,181 +1,38 @@
 """Reproduction of the paper's Table 1 (the complete bounds table).
 
-:func:`reproduce_table1` runs one canonical workload per Table 1 row and
-renders the paper's claimed bound next to the measured quantity.  The
-measured columns are *shapes*, not absolute constants: e.g. for an
-O(m·log log n)-message algorithm we report messages/m, which the claim
-says should be ≈ log log n.
+Table 1 is the *summary section* of the claim-verification report: the
+claim registry (:mod:`repro.report.claims`) is the single source of
+rows, claimed bounds and knowledge columns, and the report runner
+re-derives every measured column through the parallel, cached
+experiment engine.  :func:`reproduce_table1` is the thin wrapper that
+runs the registry at a chosen grid and renders the aligned text table —
+``repro table1`` on the command line, ``EXPERIMENTS.md`` records the
+captured Markdown twin.
 
-Scales are chosen so the whole table regenerates in well under a minute;
-``benchmarks/bench_table1_summary.py`` ties it into the bench suite and
-EXPERIMENTS.md records a captured copy.
+Because the measurements flow through the shared result cache, a warm
+``repro table1`` (or one following ``repro report``) performs **no
+simulation work** — it re-renders cached cells.
 """
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass
-from typing import Callable, List, Optional
-
-from ..core.candidate_le import CandidateElection, constant_candidates, log_candidates
-from ..core.clustering import ClusteringElection
-from ..core.dfs_agent import DfsAgentElection
-from ..core.kingdom import KingdomElection, KnownDiameterKingdomElection
-from ..core.las_vegas import RestartingElection
-from ..core.least_el import LeastElementElection
-from ..core.size_estimation import SizeEstimationElection
-from ..core.spanner_le import SpannerElection
-from ..graphs.generators import erdos_renyi, grid
-from ..graphs.ids import SequentialIds
-from ..lower_bounds.bridge_crossing import crossing_experiment
-from ..lower_bounds.time_bound import completion_time_experiment, truncation_experiment
-from .stats import run_trials
+from typing import Callable, Optional
 
 
-@dataclass
-class TableRow:
-    result: str
-    claimed_time: str
-    claimed_messages: str
-    knowledge: str
-    measured: str
-
-    def render(self, widths: List[int]) -> str:
-        cells = [self.result, self.claimed_time, self.claimed_messages,
-                 self.knowledge, self.measured]
-        return " | ".join(c.ljust(w) for c, w in zip(cells, widths))
-
-
-HEADER = TableRow("Result", "Time (paper)", "Messages (paper)", "Knows",
-                  "Measured (this reproduction)")
-
-
-def reproduce_table1(*, n: int = 64, trials: int = 5, seed: int = 1,
+def reproduce_table1(*, grid: str = "smoke", seed: int = 0,
+                     cache_dir: Optional[str] = None,
+                     workers: int = 1,
                      progress: Optional[Callable[[str], None]] = None) -> str:
-    """Regenerate every row of Table 1 at laptop scale; returns the text."""
+    """Re-derive every row of Table 1 and return the rendered text.
 
-    def note(msg: str) -> None:
-        if progress:
-            progress(msg)
+    ``grid`` selects the claim registry's experiment scale (``smoke`` is
+    the CI-sized grid; ``full`` the larger one); ``cache_dir`` shares
+    the claim-report result cache, making repeat renders free.
+    """
+    # Imported lazily: repro.report pulls analysis.fitting through this
+    # package's __init__, so a module-level import would be circular.
+    from ..report import run_report, summary_table
 
-    rows: List[TableRow] = [HEADER]
-    topo = erdos_renyi(n, target_edges=4 * n, seed=seed)
-    m, d = topo.num_edges, topo.diameter()
-    base = f"ER n={n} m={m} D={d}: "
-
-    # ------------------------------------------------------------- lower
-    note("Theorem 3.1 (message lower bound)")
-    bc = crossing_experiment(24, 60, LeastElementElection, trials=trials,
-                             seed=seed)
-    rows.append(TableRow(
-        "Thm 3.1 (LB)", "-", "Omega(m)", "n,m,D",
-        f"dumbbell m1={bc.m1}: {bc.mean_messages_before_crossing:.0f} msgs "
-        f"before bridge crossing ({bc.mean_messages_before_crossing / bc.m1:.1f}x m1)"))
-
-    note("Theorem 3.13 (time lower bound)")
-    tr = truncation_experiment(32, 16, LeastElementElection,
-                               fractions=[0.25, 6.0], trials=trials, seed=seed)
-    ct = completion_time_experiment(32, 16, LeastElementElection,
-                                    trials=trials, seed=seed)
-    early, late = tr.points[0], tr.points[-1]
-    rows.append(TableRow(
-        "Thm 3.13 (LB)", "Omega(D)", "-", "n,m,D",
-        f"clique-cycle D'={tr.num_cliques}: success {early.unique_leader_rate:.2f} "
-        f"at T={early.horizon} vs {late.unique_leader_rate:.2f} at T={late.horizon}; "
-        f"full run {ct.mean_rounds:.0f} rounds = {ct.rounds_over_diameter:.1f}x D"))
-
-    # ---------------------------------------------------------- randomized
-    note("Theorem 4.4 (general f)")
-    st = run_trials(topo, lambda: CandidateElection(lambda k: 2.0),
-                    trials=trials, seed=seed, knowledge_keys=("n",))
-    rows.append(TableRow(
-        "Thm 4.4 (f=2)", "O(D)", "O(m min(log f, D))", "n",
-        base + f"{st.rounds.mean:.0f} rounds ({st.rounds.mean / d:.1f}x D), "
-        f"{st.messages.mean / m:.1f} msgs/m, success {st.success_rate:.2f}"))
-
-    note("Theorem 4.4(A)")
-    st = run_trials(topo, lambda: CandidateElection(log_candidates),
-                    trials=trials, seed=seed, knowledge_keys=("n",))
-    rows.append(TableRow(
-        "Thm 4.4(A)", "O(D)", "O(m min(loglog n, D))", "n",
-        base + f"{st.rounds.mean:.0f} rounds, {st.messages.mean / m:.1f} msgs/m "
-        f"(loglog n = {math.log(math.log(n)):.1f}), success {st.success_rate:.2f}"))
-
-    note("Theorem 4.4(B)")
-    st = run_trials(topo, lambda: CandidateElection(constant_candidates(0.1)),
-                    trials=trials, seed=seed, knowledge_keys=("n",))
-    rows.append(TableRow(
-        "Thm 4.4(B)", "O(D)", "O(m)", "n",
-        base + f"{st.rounds.mean:.0f} rounds, {st.messages.mean / m:.1f} msgs/m, "
-        f"success {st.success_rate:.2f} (>= 0.9 claimed)"))
-
-    note("Corollary 4.2 (spanner)")
-    dense = erdos_renyi(n, target_edges=int(n ** 1.6), seed=seed)
-    dm = dense.num_edges
-    st = run_trials(dense, lambda: SpannerElection(k=3),
-                    trials=trials, seed=seed, knowledge_keys=("n",))
-    rows.append(TableRow(
-        "Cor 4.2", "O(D)", "O(m), m > n^(1+eps)", "n",
-        f"dense ER m={dm}: {st.rounds.mean:.0f} rounds, "
-        f"{st.messages.mean / dm:.1f} msgs/m, success {st.success_rate:.2f}"))
-
-    note("Corollary 4.5 (no knowledge)")
-    st = run_trials(topo, SizeEstimationElection, trials=trials, seed=seed)
-    rows.append(TableRow(
-        "Cor 4.5", "O(D)", "O(m min(log n, D)) whp", "-",
-        base + f"{st.rounds.mean:.0f} rounds, {st.messages.mean / m:.1f} msgs/m, "
-        f"success {st.success_rate:.2f} (Las Vegas: 1)"))
-
-    note("Corollary 4.6 (knows n and D)")
-    st = run_trials(topo, RestartingElection, trials=trials, seed=seed,
-                    knowledge_keys=("n", "D"))
-    rows.append(TableRow(
-        "Cor 4.6", "O(D) exp.", "O(m) exp.", "n,D",
-        base + f"{st.rounds.mean:.0f} rounds ({st.rounds.mean / d:.1f}x D), "
-        f"{st.messages.mean / m:.1f} msgs/m, success {st.success_rate:.2f}"))
-
-    note("Theorem 4.7 (clustering)")
-    st = run_trials(topo, ClusteringElection, trials=trials, seed=seed,
-                    knowledge_keys=("n",))
-    budget = m + n * math.log2(n)
-    rows.append(TableRow(
-        "Thm 4.7", "O(D log n)", "O(m + n log n)", "n",
-        base + f"{st.rounds.mean:.0f} rounds ({st.rounds.mean / (d * math.log2(n)):.2f}x "
-        f"D log n), {st.messages.mean / budget:.1f}x (m + n log n), "
-        f"success {st.success_rate:.2f}"))
-
-    # -------------------------------------------------------- deterministic
-    note("Theorem 4.10 (kingdom)")
-    st = run_trials(topo, KingdomElection, trials=trials, seed=seed)
-    rows.append(TableRow(
-        "Thm 4.10", "O(D log n)", "O(m log n)", "-",
-        base + f"{st.rounds.mean:.0f} rounds ({st.rounds.mean / (d * math.log2(n)):.2f}x "
-        f"D log n), {st.messages.mean / (m * math.log2(n)):.2f}x m log n, "
-        f"success {st.success_rate:.2f}"))
-
-    st = run_trials(topo, KnownDiameterKingdomElection, trials=trials,
-                    seed=seed, knowledge_keys=("D",))
-    rows.append(TableRow(
-        "Thm 4.10 (D known)", "O(D log n)", "O(m log n)", "D",
-        base + f"{st.rounds.mean:.0f} rounds, "
-        f"{st.messages.mean / (m * math.log2(n)):.2f}x m log n, "
-        f"success {st.success_rate:.2f}"))
-
-    note("Theorem 4.1 (deterministic O(m))")
-    small = grid(6, 6)
-    sm = small.num_edges
-    st = run_trials(small, DfsAgentElection, trials=trials, seed=seed,
-                    ids=SequentialIds(start=2), max_rounds=10 ** 9)
-    rows.append(TableRow(
-        "Thm 4.1", "unbounded", "O(m)", "-",
-        f"grid 6x6 m={sm}: {st.messages.mean / sm:.1f} msgs/m "
-        f"(<= 8 claimed shape), {st.rounds.mean:.0f} rounds "
-        f"(exp. in min ID), success {st.success_rate:.2f}"))
-
-    widths = [max(len(getattr(r, f)) for r in rows)
-              for f in ("result", "claimed_time", "claimed_messages",
-                        "knowledge", "measured")]
-    lines = [rows[0].render(widths),
-             "-+-".join("-" * w for w in widths)]
-    lines.extend(r.render(widths) for r in rows[1:])
-    return "\n".join(lines)
+    report = run_report(grid=grid, seed=seed, cache_dir=cache_dir,
+                        workers=workers, progress=progress)
+    return summary_table(report, markdown=False)

@@ -25,13 +25,29 @@ from .sim.wakeup import WakeupModel
 
 
 class AlgorithmSpec:
-    """Registry entry: how to build a process and what it must know."""
+    """Registry entry: how to build a process and what it must know.
+
+    Besides the factory and knowledge requirements, every entry carries
+    the paper's claimed bounds (``result`` / ``time`` / ``messages``),
+    so ``repro list`` and the claim-verification report
+    (:mod:`repro.report`) render Table 1's columns from one source.
+    """
 
     def __init__(self, factory: Callable[[], NodeProcess],
-                 needs: tuple = (), description: str = "") -> None:
+                 needs: tuple = (), description: str = "", *,
+                 result: str = "", time: str = "",
+                 messages: str = "") -> None:
         self.factory = factory
         self.needs = needs
         self.description = description
+        self.result = result
+        self.time = time
+        self.messages = messages
+
+    @property
+    def knowledge(self) -> str:
+        """Table 1's "Knows" column, rendered from ``needs``."""
+        return ",".join(self.needs) if self.needs else "-"
 
 
 def _registry() -> Dict[str, AlgorithmSpec]:
@@ -52,44 +68,59 @@ def _registry() -> Dict[str, AlgorithmSpec]:
     return {
         "flood-max": AlgorithmSpec(
             FloodMaxElection, needs=("n",),
-            description="O(D)-time baseline (Peleg [20]); floods the max ID."),
+            description="O(D)-time baseline (Peleg [20]); floods the max ID.",
+            result="Peleg [20]", time="O(D)", messages="O(m·min(n, D))"),
         "dfs-agent": AlgorithmSpec(
             DfsAgentElection, needs=(),
-            description="Theorem 4.1: deterministic O(m) messages, unbounded time."),
+            description="Theorem 4.1: deterministic O(m) messages, unbounded time.",
+            result="Thm 4.1", time="unbounded", messages="O(m)"),
         "least-el": AlgorithmSpec(
             LeastElementElection, needs=("n",),
-            description="Least-element lists [11]: O(D) time, O(m log n) messages."),
+            description="Least-element lists [11]: O(D) time, O(m log n) messages.",
+            result="LE lists [11]", time="O(D)", messages="O(m log n)"),
         "candidate": AlgorithmSpec(
             lambda: CandidateElection(log_candidates), needs=("n",),
-            description="Theorem 4.4(A): f=Θ(log n) candidates; O(m log log n) msgs."),
+            description="Theorem 4.4(A): f=Θ(log n) candidates; O(m log log n) msgs.",
+            result="Thm 4.4(A)", time="O(D)", messages="O(m·min(loglog n, D))"),
         "candidate-constant": AlgorithmSpec(
             lambda: CandidateElection(constant_candidates(0.05)), needs=("n",),
-            description="Theorem 4.4(B): f=Θ(1); O(m) messages, success 1-ε."),
+            description="Theorem 4.4(B): f=Θ(1); O(m) messages, success 1-ε.",
+            result="Thm 4.4(B)", time="O(D)", messages="O(m)"),
         "size-estimation": AlgorithmSpec(
             SizeEstimationElection, needs=(),
-            description="Corollary 4.5: no knowledge; Las Vegas via n-estimation."),
+            description="Corollary 4.5: no knowledge; Las Vegas via n-estimation.",
+            result="Cor 4.5", time="O(D)", messages="O(m·min(log n, D)) whp"),
         "las-vegas": AlgorithmSpec(
             RestartingElection, needs=("n", "D"),
-            description="Corollary 4.6: knows n and D; expected O(D)/O(m)."),
+            description="Corollary 4.6: knows n and D; expected O(D)/O(m).",
+            result="Cor 4.6", time="O(D) exp.", messages="O(m) exp."),
         "spanner": AlgorithmSpec(
             SpannerElection, needs=("n",),
-            description="Corollary 4.2: Baswana-Sen spanner + election; O(m) msgs on dense graphs."),
+            description="Corollary 4.2: Baswana-Sen spanner + election; O(m) msgs on dense graphs.",
+            result="Cor 4.2", time="O(D)", messages="O(m), m > n^(1+eps)"),
         "clustering": AlgorithmSpec(
             ClusteringElection, needs=("n",),
-            description="Theorem 4.7 / Algorithm 1: O(D log n) time, O(m + n log n) msgs."),
+            description="Theorem 4.7 / Algorithm 1: O(D log n) time, O(m + n log n) msgs.",
+            result="Thm 4.7", time="O(D log n)", messages="O(m + n log n)"),
         "kingdom": AlgorithmSpec(
             KingdomElection, needs=(),
-            description="Theorem 4.10 / Algorithm 2: deterministic O(D log n)/O(m log n)."),
+            description="Theorem 4.10 / Algorithm 2: deterministic O(D log n)/O(m log n).",
+            result="Thm 4.10", time="O(D log n)", messages="O(m log n)"),
         "kingdom-known-d": AlgorithmSpec(
             KnownDiameterKingdomElection, needs=("D",),
-            description="Section 4.3 simplified kingdom variant with known D."),
+            description="Section 4.3 simplified kingdom variant with known D.",
+            result="Thm 4.10 (D known)", time="O(D log n)",
+            messages="O(m log n)"),
         "sublinear": AlgorithmSpec(
             SublinearElection, needs=("n",),
             description="Referee sampling on cliques: O(√n·log^3/2 n) msgs, "
-                        "O(1) rounds, success w.h.p."),
+                        "O(1) rounds, success w.h.p.",
+            result="Sublinear (clique)", time="O(1)",
+            messages="O(√n·log^3/2 n)"),
         "trivial": AlgorithmSpec(
             TrivialSelfElection, needs=("n",),
-            description="Intro example: self-elect w.p. 1/n; 0 messages, succ ≈ 1/e."),
+            description="Intro example: self-elect w.p. 1/n; 0 messages, succ ≈ 1/e.",
+            result="Intro example", time="0", messages="0"),
     }
 
 

@@ -3,11 +3,17 @@
 Commands
 --------
 ``list``
-    Show every algorithm in the registry with its paper result.
+    Show every algorithm in the registry with its claimed paper bounds.
 ``elect``
     Run one election (or several trials) on a generated graph.
+``report``
+    Run the claim-verification report: every registered paper claim
+    re-derived through the cached experiment engine, checked against
+    its claimed bound shape, and rendered as ``EXPERIMENTS.md`` +
+    ``report.json`` (exit status 1 if any claim diverged).
 ``table1``
-    Regenerate the paper's Table 1 at a chosen scale.
+    Regenerate the paper's Table 1 — the report's summary section —
+    from the same claim registry and result cache.
 ``lower-bound``
     Run the Theorem 3.1 (messages) or Theorem 3.13 (time) experiment.
 ``sweep``
@@ -33,7 +39,8 @@ implicit O(1)-memory topologies, so large-n specs are first-class::
 Examples::
 
     python -m repro elect --graph er:100:0.08 --algorithm least-el --trials 5
-    python -m repro table1 --n 64 --trials 5
+    python -m repro report --grid smoke --seed 0
+    python -m repro table1 --grid smoke
     python -m repro lower-bound messages --sweep 14:24 20:48 28:96
     python -m repro sweep --algorithms least-el kingdom \
         --graphs ring:64 er:100:0.08 --trials 10 --workers 4 \
@@ -67,9 +74,20 @@ def cmd_list(args: argparse.Namespace) -> int:
     from .api import _ensure_registry
 
     registry = _ensure_registry()
-    width = max(len(name) for name in registry)
-    for name in sorted(registry):
-        print(f"{name.ljust(width)}  {registry[name].description}")
+    names = sorted(registry)
+    columns = [("algorithm", names),
+               ("result", [registry[n].result for n in names]),
+               ("time", [registry[n].time for n in names]),
+               ("messages", [registry[n].messages for n in names]),
+               ("knows", [registry[n].knowledge for n in names])]
+    widths = [max(len(header), *(len(v) for v in values))
+              for header, values in columns]
+    print("  ".join(h.ljust(w) for (h, _), w in zip(columns, widths))
+          + "  description")
+    for i, name in enumerate(names):
+        cells = [values[i] for _, values in columns]
+        print("  ".join(c.ljust(w) for c, w in zip(cells, widths))
+              + f"  {registry[name].description}")
     return 0
 
 
@@ -119,11 +137,57 @@ def cmd_elect(args: argparse.Namespace) -> int:
 def cmd_table1(args: argparse.Namespace) -> int:
     from .analysis import reproduce_table1
 
-    table = reproduce_table1(n=args.n, trials=args.trials, seed=args.seed,
+    table = reproduce_table1(grid=args.grid, seed=args.seed,
+                             cache_dir=args.cache_dir, workers=args.workers,
                              progress=lambda msg: print(f"... {msg}",
                                                         file=sys.stderr))
     print(table)
     return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from .report import CLAIMS, run_report, summary_table, write_report
+
+    if args.list:
+        width = max(len(cid) for cid in CLAIMS)
+        for cid, claim in CLAIMS.items():
+            print(f"{cid.ljust(width)}  {claim.result}: {claim.statement}")
+        return 0
+
+    try:
+        report = run_report(grid=args.grid, seed=args.seed,
+                            cache_dir=args.cache_dir, workers=args.workers,
+                            claim_ids=args.claims,
+                            progress=lambda msg: print(f"... {msg}",
+                                                       file=sys.stderr))
+    except KeyError as exc:
+        raise SystemExit(exc.args[0] if exc.args else str(exc))
+
+    out_dir = args.out
+    if out_dir is None:
+        # Only the canonical run — full registry, smoke grid — may
+        # write to the default destination (the current directory,
+        # normally the repo root): a --claims-filtered or --grid full
+        # run would otherwise silently overwrite the committed artifact
+        # with one CI's regression gate cannot be compared against.
+        if args.claims or args.grid != "smoke" or args.seed != 0:
+            out_dir = ""
+            print("note: non-canonical run (claim filter, non-smoke "
+                  "grid, or non-zero seed); not writing EXPERIMENTS.md/"
+                  "report.json (pass --out to write)", file=sys.stderr)
+        else:
+            out_dir = "."
+    if out_dir:
+        paths = write_report(report, out_dir)
+        for path in paths:
+            print(f"wrote {path}", file=sys.stderr)
+
+    print(summary_table(report))
+    v = report.verdicts
+    print(f"claims: {v['verified']} verified, {v['diverged']} diverged, "
+          f"{v['skipped']} skipped; cells: {report.cells} total, "
+          f"{report.executed} executed, {report.cached} cached")
+    return 1 if v["diverged"] else 0
 
 
 def cmd_lower_bound(args: argparse.Namespace) -> int:
@@ -279,10 +343,40 @@ def build_parser() -> argparse.ArgumentParser:
     elect.add_argument("--model-seed", type=int, default=0,
                        help="seed of the model's adversary randomness")
 
-    table1 = sub.add_parser("table1", help="regenerate the paper's Table 1")
-    table1.add_argument("--n", type=int, default=64)
-    table1.add_argument("--trials", type=int, default=5)
-    table1.add_argument("--seed", type=int, default=1)
+    table1 = sub.add_parser(
+        "table1", help="regenerate the paper's Table 1 (the report's "
+                       "summary section)")
+    table1.add_argument("--grid", choices=["smoke", "full"], default="smoke",
+                        help="claim-registry experiment scale")
+    table1.add_argument("--seed", type=int, default=0)
+    table1.add_argument("--workers", type=int, default=1)
+    table1.add_argument("--cache-dir", default=".repro-cache",
+                        help="shared report result cache; a warm run does "
+                             "no simulation work ('' to disable)")
+
+    rep = sub.add_parser(
+        "report", help="run the claim-verification report "
+                       "(EXPERIMENTS.md + report.json)")
+    rep.add_argument("--grid", choices=["smoke", "full"], default="smoke",
+                     help="experiment scale per claim (smoke = CI-sized)")
+    rep.add_argument("--seed", type=int, default=0,
+                     help="base seed; the whole report is deterministic "
+                          "from it")
+    rep.add_argument("--claims", nargs="+", metavar="ID",
+                     help="verify only these claim ids (others are "
+                          "reported as skipped); see --list")
+    rep.add_argument("--list", action="store_true",
+                     help="list registered claims and exit")
+    rep.add_argument("--out", default=None,
+                     help="directory for EXPERIMENTS.md and report.json "
+                          "(default: current directory for canonical "
+                          "full-registry smoke runs, no write otherwise; "
+                          "'' to skip writing)")
+    rep.add_argument("--workers", type=int, default=1,
+                     help="worker processes (results identical to serial)")
+    rep.add_argument("--cache-dir", default=".repro-cache",
+                     help="on-disk result cache; re-runs are free "
+                          "('' to disable)")
 
     lb = sub.add_parser("lower-bound", help="run a Section 3 experiment")
     lb.add_argument("which", choices=["messages", "time"])
@@ -367,6 +461,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "list": cmd_list,
         "elect": cmd_elect,
         "table1": cmd_table1,
+        "report": cmd_report,
         "lower-bound": cmd_lower_bound,
         "sweep": cmd_sweep,
         "bench-sim": cmd_bench_sim,

@@ -11,9 +11,15 @@ One module per paper result:
 * :mod:`~repro.core.spanner_le` — Corollary 4.2 (dense graphs).
 * :mod:`~repro.core.clustering` — Theorem 4.7 / Algorithm 1.
 * :mod:`~repro.core.kingdom` — Theorem 4.10 / Algorithm 2 (+ known-D).
+* :mod:`~repro.core.sublinear` — sublinear-message cliques (headline).
 * :mod:`~repro.core.trivial` — the introduction's 1/n example.
 * :mod:`~repro.core.broadcast` — flooding broadcast (Corollary 3.12).
 * :mod:`~repro.core.waves` — the shared extinction-wave engine.
+
+Every module's docstring leads with a uniform "Paper claim" block
+(result, claimed time/message bounds, knowledge assumptions); the same
+bounds are carried by the :class:`repro.api.AlgorithmSpec` registry and
+surfaced by ``repro list``.
 """
 
 from .base import ElectionProcess, optional_knowledge, require_knowledge

@@ -1,5 +1,12 @@
 """Flooding broadcast — the problem of Corollary 3.12.
 
+Paper claim
+-----------
+:Result:    Corollary 3.12 (universal broadcast, lower-bound witness)
+:Time:      source eccentricity ≤ D
+:Messages:  ≤ 2m
+:Knowledge: source_uid
+
 A single *source* must convey a message to all (or, in the weaker
 majority-broadcast variant, more than half) of the nodes.  Flooding is
 the canonical universal solution: the source sends to all neighbors;

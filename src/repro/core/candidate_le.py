@@ -1,5 +1,12 @@
 """Theorem 4.4: candidate-based least-element election.
 
+Paper claim
+-----------
+:Result:    Theorem 4.4 (variants (A) and (B))
+:Time:      O(D)
+:Messages:  O(m · min(log f(n), D)) expected
+:Knowledge: n
+
 Each node independently becomes a *candidate* with probability
 ``f(n)/n`` for a tunable ``f(n) <= n`` with ``f(n) ∈ Ω(1)``; candidates
 draw a random rank from ``[1, n^4]`` and flood it; the smallest rank

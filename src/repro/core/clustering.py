@@ -1,5 +1,12 @@
 """Theorem 4.7 / Algorithm 1: the clustering election.
 
+Paper claim
+-----------
+:Result:    Theorem 4.7 / Algorithm 1
+:Time:      O(D log n)
+:Messages:  O(m + n log n)
+:Knowledge: n
+
 Three phases (knowledge: ``n``):
 
 * **Phase 1 — cluster construction.**  Each node becomes a candidate

@@ -1,5 +1,12 @@
 """Theorem 4.1: deterministic O(m)-message election, unbounded time.
 
+Paper claim
+-----------
+:Result:    Theorem 4.1
+:Time:      unbounded (≈ O(m · 2^i_min) rounds)
+:Messages:  O(m), deterministic
+:Knowledge: none (tolerates adversarial wakeup)
+
 The paper generalizes Frederickson–Lynch's ring algorithm [8]: every
 node launches an *annexing agent* carrying its ID that performs a depth-
 first traversal of the whole graph, but an agent with ID ``i`` takes one

@@ -1,5 +1,12 @@
 """Flood-max: the classical O(D)-time leader election baseline.
 
+Paper claim
+-----------
+:Result:    Peleg [20] baseline (witnesses the tightness of Thm 3.13)
+:Time:      O(D)
+:Messages:  O(m · min(n, D))
+:Knowledge: n (or D, for the exact horizon)
+
 Peleg [20] ("Time-optimal leader election in general networks", JPDC
 1990) gives an O(D)-round election; the paper cites it as the witness
 that the Ω(D) lower bound of Theorem 3.13 is tight.  The textbook

@@ -1,5 +1,12 @@
 """Theorem 4.10 / Algorithm 2: the "Double-Win Growing Kingdom" election.
 
+Paper claim
+-----------
+:Result:    Theorem 4.10 / Algorithm 2
+:Time:      O(D log n)
+:Messages:  O(m log n), deterministic
+:Knowledge: none (D for the known-D variant)
+
 Deterministic election in which leader candidates grow BFS *kingdoms*
 phase by phase, with a 4-stage election per phase (the paper's ELECT /
 ACK / CONFIRM / VICTOR messages).  The double-win idea: a candidate

@@ -1,5 +1,12 @@
 """Corollary 4.6: Las Vegas election with knowledge of n and D.
 
+Paper claim
+-----------
+:Result:    Corollary 4.6
+:Time:      O(D) expected
+:Messages:  O(m) expected
+:Knowledge: n and D
+
 Run the Theorem 4.4 Monte Carlo election with a constant expected
 number of candidates (``f(n) = Θ(1)``), and let every node restart it
 with fresh coins whenever a known-safe deadline of Θ(D) rounds passes

@@ -1,5 +1,12 @@
 """The least-element-list election of Khan et al. [11] (Section 4.2).
 
+Paper claim
+-----------
+:Result:    Least-element lists [11] (Section 4.2)
+:Time:      O(D)
+:Messages:  O(m log n) w.h.p.
+:Knowledge: n (rank domain only)
+
 Every node is a candidate: it draws a random rank from ``[1, n^4]`` and
 floods it; a node forwards each strict improvement of its least-element
 list exactly once and echoes everything else.  The unique global-minimum

@@ -1,5 +1,12 @@
 """Corollary 4.5: leader election with **no** global knowledge.
 
+Paper claim
+-----------
+:Result:    Corollary 4.5
+:Time:      O(D)
+:Messages:  O(m · min(log n, D)) w.h.p.
+:Knowledge: none (Las Vegas)
+
 Protocol (Section 4.2):
 
 * **Phase 1 — size estimation.**  Every node flips a fair coin until it

@@ -1,5 +1,12 @@
 """Corollary 4.2: spanner-based election for dense graphs.
 
+Paper claim
+-----------
+:Result:    Corollary 4.2
+:Time:      O(D)
+:Messages:  O(m) expected, for m > n^(1+ε)
+:Knowledge: n
+
 For ``m > n^(1+ε)`` the paper combines the distributed Baswana–Sen
 spanner construction [6] (O(k²) rounds, O(km) messages, expected
 ``n^(1+1/k)`` edges for constant ``k ≈ 2/ε``) with the least-element

@@ -1,5 +1,12 @@
 """Sublinear-message election on complete graphs (referee sampling).
 
+Paper claim
+-----------
+:Result:    Sublinear-message election on cliques (headline separation)
+:Time:      O(1)
+:Messages:  O(√n · log^{3/2} n) w.h.p.
+:Knowledge: n (complete graph)
+
 The paper's headline separation on cliques: flood-max-style baselines
 pay Θ(n²) messages because every node talks to every neighbor, while a
 randomized candidate/referee protocol elects a unique leader w.h.p. with

@@ -1,5 +1,12 @@
 """The introduction's zero-message Monte Carlo algorithm.
 
+Paper claim
+-----------
+:Result:    Introduction's 1/n example
+:Time:      0 rounds
+:Messages:  0 messages
+:Knowledge: n
+
 Section 1: *"Each node elects itself as leader with probability 1/n."*
 The probability of exactly one leader is ``n · (1/n) · (1 - 1/n)^(n-1) ≈
 1/e ≈ 0.368`` — a constant-probability election with **zero** messages

@@ -1,5 +1,12 @@
 """Echo-with-extinction wave: the engine behind the Section 4.2 algorithms.
 
+Paper claim
+-----------
+:Result:    Engine behind Section 4.2 (Lemma 4.3's |le_v| bound)
+:Time:      O(D) per wave
+:Messages:  one response per rank message
+:Knowledge: inherited from the instantiating algorithm
+
 The least-element-list election of [11] and all its Theorem 4.4 /
 Corollary 4.2 / 4.5 / 4.6 descendants share one communication pattern:
 

@@ -20,6 +20,10 @@ Built-in tasks
     One Theorem 3.1 dumbbell trial (``half`` = ``"n:m"`` param): sample
     from Ψ, run the cell's algorithm with bridges watched, report the
     messages sent before the first crossing.
+``truncated-elect``
+    One Theorem 3.13 trial: run the cell's algorithm on the Figure 1
+    clique-cycle (``instance`` = ``"n:d"``) but stop after
+    ``frac × D'`` rounds; report whether a unique leader existed.
 
 Custom tasks register with :func:`register_task`, or live anywhere
 importable and are referenced as ``"package.module:function"``.
@@ -296,4 +300,67 @@ def bridge_crossing_task(cell: CellSpec) -> Dict[str, Any]:
         "total_messages": trial.total_messages,
         "rounds": trial.rounds,
         "success": bool(trial.solved),
+    }
+
+
+@lru_cache(maxsize=64)
+def _clique_cycle_and_diameter(n: int, d: int):
+    """Per-process memo: the Figure 1 construction is deterministic in
+    (n, d), so all trials share one build and one O(n·m) diameter BFS
+    (mirrors :func:`_topology_and_diameter` for graph-spec cells)."""
+    from ..graphs.clique_cycle import CliqueCycle
+
+    cc = CliqueCycle(n, d)
+    return cc, cc.topology.diameter()
+
+
+@register_task("truncated-elect")
+def truncated_elect_task(cell: CellSpec) -> Dict[str, Any]:
+    """One Theorem 3.13 truncation trial on the Figure 1 clique-cycle.
+
+    Params: ``instance`` = ``"n:d"`` (the construction's target size and
+    arc count) and ``frac`` — the run is cut off after
+    ``max(1, int(frac · D'))`` rounds, where ``D'`` is the number of
+    cliques (the graph's Θ(diameter)).  The theorem predicts a unique
+    leader is unlikely while ``frac`` is a small constant and routine
+    once ``frac·D'`` clears the diameter.
+    """
+    from ..api import _ensure_registry
+
+    _reject_unsupported(cell, graph=cell.graph,
+                        auto_knowledge=cell.auto_knowledge, ids=cell.ids,
+                        wakeup=cell.wakeup, congest_bits=cell.congest_bits,
+                        max_rounds=cell.max_rounds,
+                        delay=cell.delay, crash=cell.crash, loss=cell.loss,
+                        model_seed=cell.model_seed or None)
+    _reject_unknown_params(cell, allowed=("instance", "frac"))
+    registry = _ensure_registry()
+    algorithm = cell.algorithm or "least-el"
+    if algorithm not in registry:
+        raise KeyError(f"unknown algorithm {algorithm!r}")
+    n, d = _split_pair(_require_param(cell, "instance"), "instance")
+    frac = float(_require_param(cell, "frac"))
+    if frac <= 0:
+        raise ValueError(f"frac param must be positive, got {frac!r}")
+    cc, diameter = _clique_cycle_and_diameter(n, d)
+    d_prime = cc.params.num_cliques
+    horizon = max(1, int(frac * d_prime))
+    network = Network.build(cc.topology, seed=cell.seed)
+    knowledge = dict(cell.knowledge_dict)
+    knowledge.setdefault("n", network.num_nodes)
+    knowledge.setdefault("D", diameter)
+    sim = Simulator(network, registry[algorithm].factory, seed=cell.seed,
+                    knowledge=knowledge)
+    result = sim.run(max_rounds=horizon)
+    return {
+        "n": network.num_nodes,
+        "m": network.num_edges,
+        "D": diameter,
+        "d_prime": d_prime,
+        "horizon": horizon,
+        "messages": result.messages,
+        "rounds": result.rounds,
+        "leaders": result.num_leaders,
+        "success": bool(result.has_unique_leader),
+        "truncated": bool(result.truncated),
     }

@@ -1,0 +1,60 @@
+"""Claim-verification report pipeline (the reproduction artifact).
+
+One command — ``repro report`` — re-derives every registered paper
+claim through the parallel, cached experiment engine, checks each
+measurement against the claimed bound shape, and emits the reproduction
+artifact: ``EXPERIMENTS.md`` (human-readable, with the re-derived Table
+1 as its summary) and ``report.json`` (machine-readable verdicts).
+
+Layers:
+
+* :mod:`~repro.report.checks` — bound checks over
+  :mod:`repro.analysis.fitting` (exponents, ratio bands, doubling
+  ratios, success thresholds), total on degenerate data.
+* :mod:`~repro.report.claims` — the declarative claim registry: one
+  :class:`Claim` per Table 1 row / lower bound / the sublinear
+  headline, each binding an ``ExperimentSpec`` grid to its checks.
+* :mod:`~repro.report.runner` — :class:`ReportRunner`: executes claims
+  through one shared cached :class:`repro.experiments.Runner` and
+  collects ``verified`` / ``diverged`` / ``skipped`` verdicts.
+* :mod:`~repro.report.render` — deterministic Markdown/JSON rendering
+  (byte-identical across runs from the same seed).
+
+Extending the report is registration, not plumbing::
+
+    from repro.report import Claim, register_claim
+
+    register_claim(Claim(id="my-claim", ..., build_spec=..., evaluate=...))
+"""
+
+from .checks import (CheckResult, band_check, doubling_check,
+                     exponent_check, rate_check, value_check)
+from .claims import CLAIMS, Claim, Evidence, get_claims, register_claim
+from .render import render_json, render_markdown, summary_table, write_report
+from .runner import (DIVERGED, SKIPPED, VERIFIED, ClaimReport, Report,
+                     ReportRunner, run_report)
+
+__all__ = [
+    "CLAIMS",
+    "CheckResult",
+    "Claim",
+    "ClaimReport",
+    "DIVERGED",
+    "Evidence",
+    "Report",
+    "ReportRunner",
+    "SKIPPED",
+    "VERIFIED",
+    "band_check",
+    "doubling_check",
+    "exponent_check",
+    "get_claims",
+    "rate_check",
+    "register_claim",
+    "render_json",
+    "render_markdown",
+    "run_report",
+    "summary_table",
+    "value_check",
+    "write_report",
+]

@@ -1,0 +1,108 @@
+"""Bound checks: the paper's asymptotic claims as pass/fail predicates.
+
+Every claim in the registry (:mod:`repro.report.claims`) reduces its
+measurements to a list of :class:`CheckResult` rows — one per verifiable
+*shape*: a power-law exponent within a tolerance window
+(:func:`exponent_check`), a bounded cost/x ratio band
+(:func:`band_check`), doubling ratios of a geometric sweep
+(:func:`doubling_check`), a plain scalar bound (:func:`value_check`), or
+a success-probability threshold (:func:`rate_check`).
+
+All helpers are total: degenerate inputs (single-point series, zero or
+negative costs, empty sweeps) yield a *failed* check carrying the
+underlying error message, never an exception — a fabricated diverging
+series must surface as ``diverged`` in the report, not as a crash.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional, Sequence
+
+from ..analysis.fitting import doubling_ratios, power_law_fit, ratio_band
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """One verified (or refuted) facet of a paper claim."""
+
+    name: str       #: what was checked, e.g. "messages vs n exponent"
+    claimed: str    #: the paper's side, e.g. "≈ 2 (Θ(n²) flooding)"
+    measured: str   #: this reproduction's side, e.g. "exponent 1.98"
+    passed: bool
+
+    def to_json(self) -> Dict[str, Any]:
+        return {"name": self.name, "claimed": self.claimed,
+                "measured": self.measured, "passed": bool(self.passed)}
+
+
+def _failed(name: str, claimed: str, exc: Exception) -> CheckResult:
+    return CheckResult(name=name, claimed=claimed,
+                       measured=f"unmeasurable ({exc})", passed=False)
+
+
+def exponent_check(name: str, xs: Sequence[float], ys: Sequence[float], *,
+                   low: float, high: float, claimed: str) -> CheckResult:
+    """Power-law exponent of ``ys`` against ``xs`` within ``[low, high]``."""
+    try:
+        fit = power_law_fit(xs, ys)
+    except (ValueError, ZeroDivisionError) as exc:
+        return _failed(name, claimed, exc)
+    return CheckResult(
+        name=name, claimed=claimed,
+        measured=f"exponent {fit.exponent:.2f} (R²={fit.r_squared:.2f})",
+        passed=low <= fit.exponent <= high)
+
+
+def band_check(name: str, xs: Sequence[float], ys: Sequence[float], *,
+               max_ratio: float, claimed: str,
+               max_spread: Optional[float] = None) -> CheckResult:
+    """``ys/xs`` stays a bounded band: every ratio ≤ ``max_ratio`` and,
+    when ``max_spread`` is given, max/min ≤ ``max_spread`` (flatness)."""
+    try:
+        band = ratio_band(xs, ys)
+    except (ValueError, ZeroDivisionError) as exc:
+        return _failed(name, claimed, exc)
+    passed = band.max_ratio <= max_ratio
+    measured = (f"ratio {band.min_ratio:.2f}..{band.max_ratio:.2f} "
+                f"(mean {band.mean_ratio:.2f})")
+    if max_spread is not None:
+        measured += f", spread {band.spread:.2f}"
+        passed = passed and band.spread <= max_spread
+    return CheckResult(name=name, claimed=claimed, measured=measured,
+                       passed=passed)
+
+
+def doubling_check(name: str, ys: Sequence[float], *,
+                   low: float, high: float, claimed: str) -> CheckResult:
+    """Every consecutive ratio of a geometric sweep within ``[low, high]``."""
+    ratios = doubling_ratios(ys)
+    if not ratios:
+        return _failed(name, claimed,
+                       ValueError("no consecutive positive points"))
+    measured = "ratios " + ", ".join(f"{r:.2f}" for r in ratios)
+    return CheckResult(name=name, claimed=claimed, measured=measured,
+                       passed=all(low <= r <= high for r in ratios))
+
+
+def value_check(name: str, value: float, *, claimed: str,
+                at_least: Optional[float] = None,
+                at_most: Optional[float] = None,
+                fmt: str = "{:.2f}") -> CheckResult:
+    """A plain scalar bound (``at_least ≤ value ≤ at_most``)."""
+    if at_least is None and at_most is None:
+        raise ValueError("value_check needs at_least and/or at_most")
+    if value != value:  # NaN compares false everywhere; fail loudly
+        return _failed(name, claimed, ValueError("measured value is NaN"))
+    passed = ((at_least is None or value >= at_least)
+              and (at_most is None or value <= at_most))
+    return CheckResult(name=name, claimed=claimed,
+                       measured=fmt.format(value), passed=passed)
+
+
+def rate_check(name: str, rate: float, *, claimed: str,
+               at_least: Optional[float] = None,
+               at_most: Optional[float] = None) -> CheckResult:
+    """A success-probability threshold, rendered as a rate."""
+    return value_check(name, rate, claimed=claimed, at_least=at_least,
+                       at_most=at_most, fmt="rate {:.2f}")

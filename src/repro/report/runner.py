@@ -1,0 +1,211 @@
+"""Claim execution: run every registered claim, collect verdicts.
+
+:class:`ReportRunner` drives the claim registry through the parallel,
+cached experiment engine (:mod:`repro.experiments`): one
+:class:`~repro.experiments.Runner` — hence one on-disk
+:class:`~repro.experiments.ResultCache` — is shared by every claim, so a
+re-run of an unchanged report executes zero simulations and the whole
+pipeline is deterministic from ``(grid, seed)`` alone.
+
+Verdicts
+--------
+``verified``
+    Every bound check of the claim passed.
+``diverged``
+    At least one check failed, or the claim's evaluation itself raised —
+    a broken measurement is a divergence to report, never a crash that
+    takes the rest of the report down.
+``skipped``
+    The claim has no spec for the requested grid, or was excluded by a
+    ``--claims`` filter.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..experiments import GroupStats, Runner
+from .checks import CheckResult
+from .claims import CLAIMS, Claim, Evidence, get_claims
+
+VERIFIED = "verified"
+DIVERGED = "diverged"
+SKIPPED = "skipped"
+
+
+@dataclass
+class ClaimReport:
+    """One claim's outcome: verdict, evidence, and cache accounting."""
+
+    claim: Claim
+    verdict: str
+    evidence: Optional[Evidence] = None
+    skip_reason: str = ""
+    groups: List[GroupStats] = field(default_factory=list)
+    cells: int = 0
+    executed: int = 0
+    cached: int = 0
+
+    @property
+    def checks(self) -> List[CheckResult]:
+        return self.evidence.checks if self.evidence else []
+
+    @property
+    def headline(self) -> str:
+        if self.evidence is not None:
+            return self.evidence.headline
+        return self.skip_reason or "-"
+
+    def to_json(self) -> Dict[str, Any]:
+        """Serializable record — deliberately free of cache/run counters
+        that differ between a cold and a warm run, so the rendered
+        report is byte-identical whenever the measurements are."""
+        return {
+            "id": self.claim.id,
+            "result": self.claim.result,
+            "statement": self.claim.statement,
+            "claimed_time": self.claim.claimed_time,
+            "claimed_messages": self.claim.claimed_messages,
+            "knowledge": self.claim.knowledge,
+            "verdict": self.verdict,
+            "headline": self.headline,
+            "cells": self.cells,
+            "checks": [c.to_json() for c in self.checks],
+        }
+
+
+@dataclass
+class Report:
+    """Everything one report run produced."""
+
+    grid: str
+    seed: int
+    claims: List[ClaimReport] = field(default_factory=list)
+
+    @property
+    def verdicts(self) -> Dict[str, int]:
+        counts = {VERIFIED: 0, DIVERGED: 0, SKIPPED: 0}
+        for cr in self.claims:
+            counts[cr.verdict] += 1
+        return counts
+
+    @property
+    def executed(self) -> int:
+        """Cells actually simulated this run (0 on a warm cache)."""
+        return sum(cr.executed for cr in self.claims)
+
+    @property
+    def cached(self) -> int:
+        return sum(cr.cached for cr in self.claims)
+
+    @property
+    def cells(self) -> int:
+        return sum(cr.cells for cr in self.claims)
+
+    def to_json(self) -> Dict[str, Any]:
+        from ..experiments.spec import SCHEMA_VERSION
+
+        return {
+            "pipeline": "repro.report",
+            "grid": self.grid,
+            "seed": self.seed,
+            "cell_schema_version": SCHEMA_VERSION,
+            "verdicts": self.verdicts,
+            "claims": [cr.to_json() for cr in self.claims],
+        }
+
+
+class ReportRunner:
+    """Runs the claim registry and assembles a :class:`Report`.
+
+    Parameters mirror the experiment engine: ``cache_dir`` enables the
+    shared on-disk result cache (re-runs and the Table 1 summary then
+    cost no simulation work), ``workers`` fans cells out over processes
+    with bit-identical results.
+    """
+
+    def __init__(self, *, grid: str = "smoke", seed: int = 0,
+                 cache_dir: Optional[str] = None, workers: int = 1,
+                 progress: Optional[Callable[[str], None]] = None) -> None:
+        self.grid = grid
+        self.seed = seed
+        self.progress = progress or (lambda msg: None)
+        self._runner = Runner(cache_dir=cache_dir, workers=workers)
+
+    # ------------------------------------------------------------------
+    def run(self, claim_ids: Optional[Sequence[str]] = None) -> Report:
+        """Execute the selected claims (all, by default) and report.
+
+        With a ``claim_ids`` filter, unselected claims still appear in
+        the report as ``skipped`` — the rendered artifact always covers
+        the full registry, so a filtered run can never masquerade as a
+        complete verification.
+        """
+        selected = {c.id for c in get_claims(claim_ids)}
+        report = Report(grid=self.grid, seed=self.seed)
+        for claim in CLAIMS.values():
+            if claim.id not in selected:
+                report.claims.append(ClaimReport(
+                    claim=claim, verdict=SKIPPED,
+                    skip_reason="excluded by claim filter"))
+                continue
+            report.claims.append(self._run_claim(claim))
+        return report
+
+    # ------------------------------------------------------------------
+    def _run_claim(self, claim: Claim) -> ClaimReport:
+        # Any exception from a claim's own code — spec construction,
+        # sweep execution, or evaluation — surfaces as a divergence of
+        # that claim, never as an abort of the remaining claims.
+        try:
+            spec = claim.build_spec(self.grid, self.seed)
+        except Exception as exc:  # noqa: BLE001
+            return self._diverged(claim, "spec construction", exc)
+        if spec is None:
+            return ClaimReport(
+                claim=claim, verdict=SKIPPED,
+                skip_reason=f"no spec for grid {self.grid!r}")
+        self.progress(f"claim {claim.id}: running {spec.name}")
+        sweep = None
+        try:
+            sweep = self._runner.run(spec, progress=self.progress)
+            groups = sweep.groups()
+            evidence = claim.evaluate(groups)
+        except Exception as exc:  # noqa: BLE001
+            stage = "evaluation" if sweep is not None else "sweep"
+            return self._diverged(claim, stage, exc, sweep=sweep)
+        verdict = VERIFIED if evidence.passed else DIVERGED
+        return ClaimReport(
+            claim=claim, verdict=verdict, evidence=evidence, groups=groups,
+            cells=sweep.cells, executed=sweep.executed, cached=sweep.cached)
+
+    @staticmethod
+    def _diverged(claim: Claim, stage: str, exc: Exception,
+                  sweep: Any = None) -> ClaimReport:
+        """A crashed claim as a diverged report row.
+
+        Sweep accounting is preserved when the sweep itself succeeded,
+        so the report does not misrepresent how much simulation work
+        happened before the claim's code broke."""
+        return ClaimReport(
+            claim=claim, verdict=DIVERGED,
+            evidence=Evidence(
+                headline=f"{stage} failed: {exc}",
+                checks=[CheckResult(
+                    name=f"claim {stage}", claimed="completes",
+                    measured=f"{type(exc).__name__}: {exc}",
+                    passed=False)]),
+            cells=sweep.cells if sweep is not None else 0,
+            executed=sweep.executed if sweep is not None else 0,
+            cached=sweep.cached if sweep is not None else 0)
+
+
+def run_report(*, grid: str = "smoke", seed: int = 0,
+               cache_dir: Optional[str] = None, workers: int = 1,
+               claim_ids: Optional[Sequence[str]] = None,
+               progress: Optional[Callable[[str], None]] = None) -> Report:
+    """One-call report: build a :class:`ReportRunner` and run it."""
+    runner = ReportRunner(grid=grid, seed=seed, cache_dir=cache_dir,
+                          workers=workers, progress=progress)
+    return runner.run(claim_ids)

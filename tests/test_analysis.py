@@ -139,13 +139,69 @@ class TestFitting:
         assert doubling_ratios([1, 2, 4]) == [2.0, 2.0]
 
 
+class TestFittingEdgeCases:
+    """Degenerate series the claim-report checks must survive."""
+
+    def test_single_point_fit_rejected(self):
+        with pytest.raises(ValueError, match="at least two points"):
+            power_law_fit([7], [3])
+
+    def test_zero_and_negative_ys_rejected(self):
+        with pytest.raises(ValueError, match="positive data"):
+            power_law_fit([1, 2, 4], [3, 0, 12])
+        with pytest.raises(ValueError, match="positive data"):
+            power_law_fit([1, 2, 4], [3, -1, 12])
+        with pytest.raises(ValueError, match="positive data"):
+            power_law_fit([1, -2, 4], [3, 6, 12])
+
+    def test_equal_xs_rejected(self):
+        with pytest.raises(ValueError, match="all equal"):
+            power_law_fit([5, 5, 5], [1, 2, 3])
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError, match="equal length"):
+            power_law_fit([1, 2], [1, 2, 3])
+        with pytest.raises(ValueError):
+            ratio_band([1, 2], [1, 2, 3])
+
+    def test_constant_series_fit(self):
+        # A perfectly flat series is a legal power law with exponent 0.
+        fit = power_law_fit([1, 2, 4, 8], [5, 5, 5, 5])
+        assert fit.exponent == pytest.approx(0.0, abs=1e-12)
+        assert fit.r_squared == 1.0
+
+    def test_constant_series_doubling_ratios(self):
+        assert doubling_ratios([3, 3, 3, 3]) == [1.0, 1.0, 1.0]
+
+    def test_doubling_ratios_skip_nonpositive_anchors(self):
+        # A zero (or negative) anchor point contributes no ratio rather
+        # than dividing by zero.
+        assert doubling_ratios([0, 5, 10]) == [2.0]
+        assert doubling_ratios([0, 0]) == []
+        assert doubling_ratios([4]) == []
+
+    def test_ratio_band_empty_and_nonpositive(self):
+        with pytest.raises(ValueError, match="non-empty"):
+            ratio_band([], [])
+        with pytest.raises(ValueError, match="no positive x"):
+            ratio_band([0, 0], [1, 2])
+        band = ratio_band([0, 2], [9, 4])  # zero-x point is dropped
+        assert band.min_ratio == band.max_ratio == pytest.approx(2.0)
+
+    def test_ratio_band_spread_with_zero_min(self):
+        band = ratio_band([1, 2], [0, 4])
+        assert band.min_ratio == 0.0
+        assert band.spread == math.inf
+
+
 class TestTable1:
-    def test_reproduces_all_rows(self):
+    def test_reproduces_all_rows(self, tmp_path):
         from repro.analysis import reproduce_table1
 
-        text = reproduce_table1(n=32, trials=2, seed=2)
+        text = reproduce_table1(grid="smoke", seed=0,
+                                cache_dir=str(tmp_path / "cache"))
         for token in ["Thm 3.1", "Thm 3.13", "Thm 4.4", "Thm 4.4(A)",
                       "Thm 4.4(B)", "Cor 4.2", "Cor 4.5", "Cor 4.6",
-                      "Thm 4.7", "Thm 4.10", "Thm 4.1"]:
+                      "Thm 4.7", "Thm 4.10", "Thm 4.1", "Sublinear"]:
             assert token in text
-        assert "Measured" in text
+        assert "Measured" in text and "Verdict" in text

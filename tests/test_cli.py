@@ -63,11 +63,65 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Theorem 3.13" in out
 
-    def test_table1_small(self, capsys):
-        code = main(["table1", "--n", "32", "--trials", "1"])
+    def test_table1_renders_from_claim_registry(self, capsys, tmp_path):
+        code = main(["table1", "--grid", "smoke",
+                     "--cache-dir", str(tmp_path / "cache")])
         assert code == 0
         out = capsys.readouterr().out
         assert "Thm 4.10" in out
+        assert "Verdict" in out
+
+    def test_list_shows_claimed_bounds(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "O(m log n)" in out and "messages" in out
+
+
+class TestReportCommand:
+    def test_list_claims(self, capsys):
+        assert main(["report", "--list"]) == 0
+        out = capsys.readouterr().out
+        assert "headline-sublinear" in out
+        assert "thm-3.1-message-lb" in out
+
+    def test_filtered_report_writes_artifacts(self, capsys, tmp_path):
+        out_dir = tmp_path / "out"
+        code = main(["report", "--grid", "smoke", "--seed", "0",
+                     "--claims", "intro-trivial",
+                     "--cache-dir", str(tmp_path / "cache"),
+                     "--out", str(out_dir)])
+        assert code == 0
+        printed = capsys.readouterr().out
+        assert "1 verified" in printed
+        assert "skipped" in printed
+
+        import json
+
+        doc = json.loads((out_dir / "report.json").read_text())
+        by_id = {c["id"]: c for c in doc["claims"]}
+        assert by_id["intro-trivial"]["verdict"] == "verified"
+        assert by_id["headline-sublinear"]["verdict"] == "skipped"
+        markdown = (out_dir / "EXPERIMENTS.md").read_text()
+        assert "intro-trivial" in markdown
+        assert "Table 1" in markdown
+
+    def test_filtered_report_default_does_not_overwrite(self, capsys,
+                                                        tmp_path,
+                                                        monkeypatch):
+        # Without an explicit --out, a --claims-filtered run must not
+        # clobber the committed artifact with a mostly-skipped one.
+        monkeypatch.chdir(tmp_path)
+        code = main(["report", "--claims", "intro-trivial",
+                     "--cache-dir", str(tmp_path / "cache")])
+        assert code == 0
+        assert not (tmp_path / "EXPERIMENTS.md").exists()
+        assert not (tmp_path / "report.json").exists()
+        assert "not writing" in capsys.readouterr().err
+
+    def test_unknown_claim_exits(self):
+        with pytest.raises(SystemExit):
+            main(["report", "--claims", "no-such-claim", "--out", "",
+                  "--cache-dir", ""])
 
 
 class TestBenchSim:

@@ -12,6 +12,7 @@ Usage:  python examples/quickstart.py
 from repro import elect_leader, run_algorithm
 from repro.graphs import Network, erdos_renyi
 from repro.core import LeastElementElection
+from repro.obs import RecordingTracer
 from repro.sim import Simulator
 
 
@@ -44,6 +45,15 @@ def main() -> None:
         r = run_algorithm(topology, name, seed=7)
         print(f"\n{name:12s} rounds={r.rounds:5d} messages={r.messages:6d} "
               f"unique_leader={r.has_unique_leader}")
+
+    # --- observe a run: structured trace + per-round timeline -----------
+    tracer = RecordingTracer()
+    traced = run_algorithm(topology, "least-el", seed=7,
+                           tracer=tracer, timeline=True)
+    kinds = sorted({e["ev"] for e in tracer.events})
+    print(f"\ntraced run: {len(tracer.events)} events ({', '.join(kinds)})")
+    print("per-round message volume:")
+    print(traced.timeline.render(width=48))
 
 
 if __name__ == "__main__":

@@ -92,7 +92,8 @@ def run_trials(topology: Topology,
                max_rounds: Optional[int] = None,
                ids=None,
                model=None,
-               keep_results: bool = False) -> TrialStats:
+               keep_results: bool = False,
+               tracer=None) -> TrialStats:
     """Run ``trials`` independent simulations (fresh network instance and
     coins per trial) and aggregate messages/rounds/success.
 
@@ -101,6 +102,9 @@ def run_trials(topology: Topology,
     :class:`~repro.sim.models.ExecutionModel` applied to every trial
     (the per-trial simulator seed varies, so seeded delay/loss/crash
     draws differ across trials while staying reproducible).
+    ``tracer`` (a :class:`repro.obs.Tracer`) observes trial 0 only —
+    one representative trace instead of ``trials`` interleaved streams
+    — and never changes any trial's outcome.
 
     Per-trial network and simulator seeds are derived through SHA-256
     (see :func:`_trial_seed`), so the two randomness streams are
@@ -129,7 +133,8 @@ def run_trials(topology: Topology,
         network = Network.build(topology, seed=_trial_seed(seed, "network", t),
                                 ids=ids)
         sim = Simulator(network, factory, seed=_trial_seed(seed, "sim", t),
-                        knowledge=auto, model=model)
+                        knowledge=auto, model=model,
+                        tracer=tracer if t == 0 else None)
         result = sim.run(max_rounds=max_rounds)
         messages.append(result.messages)
         rounds.append(result.rounds)

@@ -14,7 +14,7 @@ wiring per Table 1's "Knowledge" column.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Optional, Union
+from typing import TYPE_CHECKING, Callable, Dict, Mapping, Optional, Union
 
 from .graphs.network import Network
 from .graphs.topology import Topology
@@ -22,6 +22,9 @@ from .sim.models import ExecutionModel
 from .sim.process import NodeProcess
 from .sim.scheduler import RunResult, Simulator
 from .sim.wakeup import WakeupModel
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .obs.trace import Tracer
 
 
 class AlgorithmSpec:
@@ -163,13 +166,19 @@ def run_algorithm(graph: Union[Topology, Network], algorithm: str, *,
                   knowledge: Optional[Mapping[str, int]] = None,
                   wakeup: Optional[WakeupModel] = None,
                   model: Optional[ExecutionModel] = None,
-                  max_rounds: Optional[int] = None) -> RunResult:
+                  max_rounds: Optional[int] = None,
+                  tracer: Optional["Tracer"] = None,
+                  timeline: bool = False) -> RunResult:
     """Run a named algorithm on ``graph`` and return the full result.
 
     Knowledge required by the algorithm (per Table 1) is computed from
     the graph automatically unless supplied explicitly.  ``model``
     selects the execution model (delays, crash faults, message loss);
     the default is the paper's synchronous fault-free model.
+    ``tracer`` (a :class:`repro.obs.Tracer`) streams structured events
+    and ``timeline=True`` records the per-round time series
+    (``result.timeline``); both observe without perturbing — a traced
+    run is bit-identical to an untraced one.
     """
     registry = _ensure_registry()
     if algorithm not in registry:
@@ -179,7 +188,8 @@ def run_algorithm(graph: Union[Topology, Network], algorithm: str, *,
     network = make_network(graph, seed=seed)
     sim = Simulator(network, spec.factory, seed=seed,
                     knowledge=_auto_knowledge(network, spec.needs, knowledge),
-                    wakeup=wakeup, model=model)
+                    wakeup=wakeup, model=model,
+                    tracer=tracer, timeline=timeline)
     return sim.run(max_rounds=max_rounds)
 
 
@@ -188,7 +198,9 @@ def elect_leader(graph: Union[Topology, Network], *,
                  knowledge: Optional[Mapping[str, int]] = None,
                  wakeup: Optional[WakeupModel] = None,
                  model: Optional[ExecutionModel] = None,
-                 max_rounds: Optional[int] = None) -> RunResult:
+                 max_rounds: Optional[int] = None,
+                 tracer: Optional["Tracer"] = None,
+                 timeline: bool = False) -> RunResult:
     """One-call leader election; raises if no unique leader emerged.
 
     The check is the crash-tolerant one (`has_unique_surviving_leader`):
@@ -199,7 +211,8 @@ def elect_leader(graph: Union[Topology, Network], *,
     from .sim.errors import ElectionFailure
 
     result = run_algorithm(graph, algorithm, seed=seed, knowledge=knowledge,
-                           wakeup=wakeup, model=model, max_rounds=max_rounds)
+                           wakeup=wakeup, model=model, max_rounds=max_rounds,
+                           tracer=tracer, timeline=timeline)
     if not result.has_unique_surviving_leader:
         crashed = result.crashed_indices
         crash_note = f", crashed: {crashed}" if crashed else ""
@@ -214,6 +227,7 @@ def run_sweep(spec=None, *,
               cache_dir: Optional[str] = None,
               workers: int = 1,
               progress: Optional[Callable[[str], None]] = None,
+              on_cell: Optional[Callable[[int, int], None]] = None,
               **spec_kwargs):
     """Run a declarative experiment sweep (see :mod:`repro.experiments`).
 
@@ -237,4 +251,4 @@ def run_sweep(spec=None, *,
     elif spec_kwargs:
         raise TypeError("pass either a spec object or spec kwargs, not both")
     return _run_sweep(spec, cache_dir=cache_dir, workers=workers,
-                      progress=progress)
+                      progress=progress, on_cell=on_cell)

@@ -23,6 +23,18 @@ Commands
 ``bench-sim``
     Measure simulator throughput (events/sec, messages/sec) on a fixed
     grid and append the numbers to the ``BENCH_sim.json`` trajectory.
+``timeline``
+    Run one observed election and render its per-round time series
+    (messages sent/delivered/dropped, status census) as sparklines,
+    JSON, or CSV — or rebuild the same view from a saved ``--trace``
+    JSONL file.
+
+Global flags: ``-v``/``--verbose`` turns on DEBUG logging with
+timestamps, ``-q``/``--quiet`` drops the ``...`` progress chatter;
+``elect --trace events.jsonl`` records a structured execution trace
+(``--trace-chrome trace.json`` for the chrome://tracing view), and
+``sweep``/``report`` accept ``--progress`` for a live done/total
+status line.
 
 Graph specs are compact strings::
 
@@ -55,6 +67,13 @@ from typing import List, Optional
 
 from .graphs import Topology
 from .graphs.specs import parse_graph_spec
+from .obs.log import configure_logging, get_logger
+
+log = get_logger("cli")
+
+#: ``progress=`` callback the subcommands hand to the engines: routed
+#: through logging so ``-q`` silences it and ``-v`` timestamps it.
+_log_progress = lambda msg: log.info("%s", msg)  # noqa: E731
 
 
 def parse_graph(spec: str, seed: int = 0) -> Topology:
@@ -112,15 +131,35 @@ def cmd_elect(args: argparse.Namespace) -> int:
             model.crash.schedule(topology.num_nodes, random.Random(0))
     except ValueError as exc:
         raise SystemExit(str(exc))
+    tracer = None
+    if args.trace or args.trace_chrome:
+        from .obs import ChromeTracer, JsonlTracer, TeeTracer
+
+        sinks = []
+        if args.trace:
+            sinks.append(JsonlTracer(args.trace))
+        if args.trace_chrome:
+            sinks.append(ChromeTracer(args.trace_chrome))
+        tracer = sinks[0] if len(sinks) == 1 else TeeTracer(*sinks)
+        if args.trials > 1:
+            log.info("tracing trial 0 only (of %d trials)", args.trials)
     print(f"graph: {topology.name}  n={topology.num_nodes} "
           f"m={topology.num_edges} D={topology.diameter()}")
     if model is not None:
         knobs = {k: v for k, v in model.describe().items()
                  if v not in (None, 0)}
         print("model: " + " ".join(f"{k}={v}" for k, v in knobs.items()))
-    stats = run_trials(topology, spec.factory, trials=args.trials,
-                       seed=args.seed, knowledge_keys=spec.needs,
-                       max_rounds=args.max_rounds, model=model)
+    try:
+        stats = run_trials(topology, spec.factory, trials=args.trials,
+                           seed=args.seed, knowledge_keys=spec.needs,
+                           max_rounds=args.max_rounds, model=model,
+                           tracer=tracer)
+    finally:
+        if tracer is not None:
+            tracer.close()
+            for path in (args.trace, args.trace_chrome):
+                if path:
+                    log.info("trace written to %s", path)
     print(f"algorithm: {args.algorithm}  ({spec.description})")
     print(f"trials:    {stats.trials}")
     print(f"success:   {stats.success_rate:.2f}")
@@ -139,8 +178,7 @@ def cmd_table1(args: argparse.Namespace) -> int:
 
     table = reproduce_table1(grid=args.grid, seed=args.seed,
                              cache_dir=args.cache_dir, workers=args.workers,
-                             progress=lambda msg: print(f"... {msg}",
-                                                        file=sys.stderr))
+                             progress=_log_progress)
     print(table)
     return 0
 
@@ -154,14 +192,23 @@ def cmd_report(args: argparse.Namespace) -> int:
             print(f"{cid.ljust(width)}  {claim.result}: {claim.statement}")
         return 0
 
+    progress_line = None
+    on_cell = None
+    if getattr(args, "progress", False):
+        from .obs import ProgressLine
+
+        progress_line = ProgressLine("report")
+        on_cell = progress_line.update
     try:
         report = run_report(grid=args.grid, seed=args.seed,
                             cache_dir=args.cache_dir, workers=args.workers,
                             claim_ids=args.claims,
-                            progress=lambda msg: print(f"... {msg}",
-                                                       file=sys.stderr))
+                            progress=_log_progress, on_cell=on_cell)
     except KeyError as exc:
         raise SystemExit(exc.args[0] if exc.args else str(exc))
+    finally:
+        if progress_line is not None:
+            progress_line.finish()
 
     out_dir = args.out
     if out_dir is None:
@@ -244,6 +291,13 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         except ValueError:
             raise SystemExit(f"bad --knowledge {entry!r}; expected key=int")
 
+    progress_line = None
+    on_cell = None
+    if args.progress:
+        from .obs import ProgressLine
+
+        progress_line = ProgressLine(args.name)
+        on_cell = progress_line.update
     try:
         sweep = run_sweep(
             name=args.name, task=args.task,
@@ -256,11 +310,14 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             delay=args.delay, crash=args.crash, loss=args.loss,
             model_seed=args.model_seed,
             cache_dir=args.cache_dir, workers=args.workers,
-            progress=lambda msg: print(f"... {msg}", file=sys.stderr))
+            progress=_log_progress, on_cell=on_cell)
     except (KeyError, ValueError, SimulationError) as exc:
         # str(KeyError) is the repr of its argument; unwrap for a clean
         # one-line message.
         raise SystemExit(exc.args[0] if exc.args else str(exc))
+    finally:
+        if progress_line is not None:
+            progress_line.finish()
 
     groups = sweep.groups()
     width = max((len(g.label) for g in groups), default=5)
@@ -276,8 +333,15 @@ def cmd_sweep(args: argparse.Namespace) -> int:
         rounds = f"{g.mean('rounds'):.1f}" if "rounds" in g.metrics else "-"
         print(f"{g.label.ljust(width)} {g.cells:>5} {success:>8} "
               f"{messages:>10} {dropped:>8} {rounds:>8}")
-    print(f"cells: {sweep.cells} total, {sweep.executed} executed, "
-          f"{sweep.cached} cached")
+    if sweep.cells and sweep.executed == 0:
+        # A fully cache-served sweep used to be easy to misread as "did
+        # nothing": say so explicitly on stdout.
+        print(f"all {sweep.cells} cells served from cache (0 executed)")
+    else:
+        print(f"cells: {sweep.cells} total, {sweep.executed} executed, "
+              f"{sweep.cached} cached")
+    if sweep.telemetry is not None:
+        log.info("%s", sweep.telemetry.summary())
     return 0
 
 
@@ -302,16 +366,67 @@ def cmd_bench_sim(args: argparse.Namespace) -> int:
         rows = run_grid(grid, seed=args.seed, repeats=args.repeats,
                         max_rounds=args.max_rounds,
                         auto_knowledge=tuple(args.auto_knowledge or ()),
-                        progress=lambda msg: print(f"... {msg}",
-                                                   file=sys.stderr))
+                        profile=args.profile,
+                        progress=_log_progress)
     except (KeyError, ValueError) as exc:
         raise SystemExit(exc.args[0] if exc.args else str(exc))
 
     print(format_rows(rows))
+    if args.profile:
+        for row in rows:
+            prof = row.get("profile")
+            if prof:
+                parts = " ".join(
+                    f"{k}={prof[k]:.3f}s"
+                    for k in ("scheduler", "algorithm", "metrics",
+                              "model", "other"))
+                print(f"profile {row['algorithm']}@{row['graph']}: {parts} "
+                      f"(total {prof['total_s']:.3f}s)")
     snap = snapshot(rows, label=args.label)
     if args.out:
         append_snapshot(args.out, snap)
         print(f"appended snapshot to {args.out}")
+    return 0
+
+
+def cmd_timeline(args: argparse.Namespace) -> int:
+    import json as _json
+
+    from .obs import Timeline
+
+    if args.from_trace:
+        from .obs import read_trace
+
+        try:
+            events = read_trace(args.from_trace)
+        except (OSError, ValueError) as exc:
+            raise SystemExit(str(exc))
+        timeline = Timeline.from_trace(events)
+        label = args.from_trace
+    else:
+        if not args.graph:
+            raise SystemExit("timeline needs --graph (or --from-trace PATH)")
+        from .api import run_algorithm
+        from .sim.models import make_model
+
+        topology = parse_graph(args.graph, seed=args.seed)
+        try:
+            model = make_model(args.delay, args.crash, args.loss,
+                               model_seed=args.model_seed)
+            result = run_algorithm(topology, args.algorithm, seed=args.seed,
+                                   model=model, max_rounds=args.max_rounds,
+                                   timeline=True)
+        except (KeyError, ValueError) as exc:
+            raise SystemExit(exc.args[0] if exc.args else str(exc))
+        timeline = result.timeline
+        label = f"{args.algorithm}@{args.graph} seed={args.seed}"
+    assert timeline is not None
+    if args.json:
+        print(_json.dumps(timeline.to_json(), indent=1))
+    elif args.csv:
+        sys.stdout.write(timeline.to_csv())
+    else:
+        print(timeline.render(width=args.width, label=label))
     return 0
 
 
@@ -321,6 +436,11 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro",
         description="Universal leader election (Kutten et al., PODC'13/JACM'15) "
                     "— reproduction toolkit")
+    parser.add_argument("-v", "--verbose", action="count", default=0,
+                        help="DEBUG logging with timestamps (repeatable)")
+    parser.add_argument("-q", "--quiet", action="count", default=0,
+                        help="suppress '...' progress chatter "
+                             "(warnings still shown)")
     sub = parser.add_subparsers(dest="command", required=True)
 
     sub.add_parser("list", help="list available algorithms")
@@ -342,6 +462,12 @@ def build_parser() -> argparse.ArgumentParser:
                        help="per-message loss probability in [0, 1]")
     elect.add_argument("--model-seed", type=int, default=0,
                        help="seed of the model's adversary randomness")
+    elect.add_argument("--trace", metavar="PATH",
+                       help="write a JSONL execution trace of trial 0 "
+                            "(see repro.obs; replayable/validatable)")
+    elect.add_argument("--trace-chrome", metavar="PATH",
+                       help="write a chrome://tracing / Perfetto trace "
+                            "of trial 0")
 
     table1 = sub.add_parser(
         "table1", help="regenerate the paper's Table 1 (the report's "
@@ -377,6 +503,9 @@ def build_parser() -> argparse.ArgumentParser:
     rep.add_argument("--cache-dir", default=".repro-cache",
                      help="on-disk result cache; re-runs are free "
                           "('' to disable)")
+    rep.add_argument("--progress", action="store_true",
+                     help="live done/total status line per claim sweep "
+                          "(plain checkpoint lines without a TTY)")
 
     lb = sub.add_parser("lower-bound", help="run a Section 3 experiment")
     lb.add_argument("which", choices=["messages", "time"])
@@ -425,6 +554,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="worker processes (results identical to serial)")
     sweep.add_argument("--cache-dir",
                        help="on-disk result cache; re-runs are free")
+    sweep.add_argument("--progress", action="store_true",
+                       help="live done/total status line with ETA "
+                            "(plain checkpoint lines without a TTY)")
 
     bench = sub.add_parser(
         "bench-sim",
@@ -451,12 +583,45 @@ def build_parser() -> argparse.ArgumentParser:
                        help="free-form tag stored with the snapshot")
     bench.add_argument("--out", default="BENCH_sim.json",
                        help="trajectory file to append to ('' to skip writing)")
+    bench.add_argument("--profile", action=argparse.BooleanOptionalAction,
+                       default=False,
+                       help="one extra cProfile run per point, recorded as "
+                            "scheduler/algorithm/metrics/model buckets "
+                            "(wall numbers stay unprofiled)")
+
+    timeline = sub.add_parser(
+        "timeline",
+        help="render an election's per-round time series (repro.obs)")
+    timeline.add_argument("--graph",
+                          help="graph spec to simulate, e.g. clique:256")
+    timeline.add_argument("--algorithm", default="least-el")
+    timeline.add_argument("--seed", type=int, default=0)
+    timeline.add_argument("--max-rounds", type=int, default=10 ** 7)
+    timeline.add_argument("--delay",
+                          help="message delay: Δ | fixed:Δ | uniform:Δ | "
+                               "adversarial:Δ")
+    timeline.add_argument("--crash",
+                          help="crash-stop faults: COUNT[:MAX_ROUND] | "
+                               "at:NODE@ROUND,...")
+    timeline.add_argument("--loss", type=float,
+                          help="per-message loss probability in [0, 1]")
+    timeline.add_argument("--model-seed", type=int, default=0)
+    timeline.add_argument("--from-trace", metavar="PATH",
+                          help="rebuild the timeline from a saved JSONL "
+                               "trace instead of simulating")
+    timeline.add_argument("--width", type=int, default=60,
+                          help="sparkline width in cells")
+    timeline.add_argument("--json", action="store_true",
+                          help="emit the rows as JSON instead of sparklines")
+    timeline.add_argument("--csv", action="store_true",
+                          help="emit the rows as CSV instead of sparklines")
 
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
+    configure_logging(args.verbose - args.quiet)
     handlers = {
         "list": cmd_list,
         "elect": cmd_elect,
@@ -465,6 +630,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "lower-bound": cmd_lower_bound,
         "sweep": cmd_sweep,
         "bench-sim": cmd_bench_sim,
+        "timeline": cmd_timeline,
     }
     return handlers[args.command](args)
 

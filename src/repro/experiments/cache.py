@@ -44,6 +44,12 @@ class ResultCache:
     def __init__(self, root: str) -> None:
         self.root = root
         self._loaded: Dict[str, Dict[str, Dict[str, Any]]] = {}
+        #: Memoized len(); None until first computed, then maintained
+        #: incrementally by put() instead of rescanning the cache root.
+        self._len: Optional[int] = None
+        self._hits = 0
+        self._misses = 0
+        self._appends = 0
 
     def path_for(self, experiment: str) -> str:
         return os.path.join(self.root, f"{_safe_filename(experiment)}.jsonl")
@@ -85,7 +91,9 @@ class ResultCache:
         """Return the cached metrics for ``cell``, or None on a miss."""
         record = self._records(cell.experiment).get(cell.digest())
         if record is None:
+            self._misses += 1
             return None
+        self._hits += 1
         return record["metrics"]
 
     def put(self, cell: CellSpec, metrics: Dict[str, Any]) -> None:
@@ -106,7 +114,18 @@ class ResultCache:
             if needs_newline:
                 fh.write("\n")
             fh.write(canonical_json(record) + "\n")
-        self._records(cell.experiment)[record["key"]] = record
+        records = self._records(cell.experiment)
+        if self._len is not None and record["key"] not in records:
+            self._len += 1
+        records[record["key"]] = record
+        self._appends += 1
+
+    def stats(self) -> Dict[str, int]:
+        """Lookup/write counters for this handle's lifetime:
+        ``hits`` (get served), ``misses`` (get empty), ``appends``
+        (records written by :meth:`put`)."""
+        return {"hits": self._hits, "misses": self._misses,
+                "appends": self._appends}
 
     def __len__(self) -> int:
         """Distinct records stored under the cache root, on disk.
@@ -116,8 +135,20 @@ class ResultCache:
         warm cache correctly even before any experiment is loaded (the
         old implementation summed only lazily-loaded experiments and
         reported 0 for a cold handle on a full cache directory).
+
+        The full-root scan runs **once** per handle; afterwards the
+        count is maintained incrementally by :meth:`put` (the old
+        implementation re-listed and re-parsed every cache file on
+        every call, turning ``len(cache)`` inside a sweep loop into
+        quadratic disk work).  Writes by *other* processes after the
+        first call are not observed — construct a fresh handle for a
+        cold recount.
         """
+        if self._len is not None:
+            return self._len
         if not os.path.isdir(self.root):
+            # Not memoized: a first put() will create the root, and a
+            # pre-creation len() must not pin the count at 0.
             return 0
         # put() writes through before updating _loaded, so the memory
         # view of a loaded experiment is always in sync with its file —
@@ -132,4 +163,5 @@ class ResultCache:
             recs = loaded_paths.get(path)
             total += len(recs) if recs is not None else \
                 len(self._scan_file(path))
+        self._len = total
         return total

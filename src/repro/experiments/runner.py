@@ -22,18 +22,34 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
+from ..obs.log import get_logger
+from ..obs.telemetry import RunnerTelemetry
 from .aggregate import GroupStats, aggregate
 from .cache import ResultCache
 from .spec import CellSpec, ExperimentSpec
 from .tasks import resolve_task
 
+log = get_logger("experiments")
+
 
 def execute_cell(cell: CellSpec) -> Dict[str, Any]:
     """Run one cell to completion (also the worker entry point)."""
     return resolve_task(cell.task)(cell)
+
+
+def _timed_execute_cell(cell: CellSpec) -> Tuple[Dict[str, Any], float]:
+    """Worker entry point wrapping :func:`execute_cell` with its wall
+    clock, measured inside the worker so pool overhead stays visible as
+    the gap to the run's total wall.  Looks ``execute_cell`` up as a
+    module global so tests monkeypatching it keep working.
+    """
+    t0 = time.perf_counter()
+    metrics = execute_cell(cell)
+    return metrics, time.perf_counter() - t0
 
 
 @dataclass
@@ -51,6 +67,9 @@ class SweepResult:
 
     spec: ExperimentSpec
     results: List[CellResult] = field(default_factory=list)
+    #: Execution cost of the sweep (wall clocks, cache counters,
+    #: worker utilization); filled in by :meth:`Runner.run`.
+    telemetry: Optional[RunnerTelemetry] = None
 
     @property
     def cells(self) -> int:
@@ -101,10 +120,20 @@ class Runner:
 
     # ------------------------------------------------------------------
     def run(self, spec: ExperimentSpec, *,
-            progress: Optional[Callable[[str], None]] = None) -> SweepResult:
-        """Expand ``spec``, serve cache hits, execute misses, persist."""
+            progress: Optional[Callable[[str], None]] = None,
+            on_cell: Optional[Callable[[int, int], None]] = None) -> SweepResult:
+        """Expand ``spec``, serve cache hits, execute misses, persist.
+
+        ``progress`` receives occasional human-readable status strings
+        (defaults to the ``repro.experiments`` INFO log).  ``on_cell``
+        — when given — is called as ``on_cell(done, total)`` once after
+        the cache scan and again after every executed cell, for live
+        progress displays (:class:`repro.obs.ProgressLine`).
+        """
+        t0 = time.perf_counter()
         cells = spec.expand()
-        report = progress or (lambda msg: None)
+        report = progress if progress is not None else \
+            (lambda msg: log.info("%s", msg))
 
         slots: List[Optional[CellResult]] = [None] * len(cells)
         misses: List[int] = []
@@ -116,40 +145,66 @@ class Runner:
                 misses.append(i)
         report(f"{spec.name}: {len(cells)} cells "
                f"({len(cells) - len(misses)} cached, {len(misses)} to run)")
+        done = len(cells) - len(misses)
+        if on_cell is not None:
+            on_cell(done, len(cells))
 
+        cell_walls: List[float] = []
         if misses:
             # Results stream back in input order and are persisted one by
             # one, so an interrupted sweep keeps every finished cell.
             outputs = self._iter_execute([cells[i] for i in misses])
-            for i, metrics in zip(misses, outputs):
+            for i, (metrics, wall) in zip(misses, outputs):
                 slots[i] = CellResult(cells[i], metrics, cached=False)
+                cell_walls.append(wall)
                 if self.cache is not None:
                     self.cache.put(cells[i], metrics)
+                done += 1
+                if on_cell is not None:
+                    on_cell(done, len(cells))
 
-        return SweepResult(spec=spec, results=[s for s in slots if s is not None])
+        telemetry = RunnerTelemetry(
+            cells=len(cells), cached=len(cells) - len(misses),
+            executed=len(misses), wall_s=time.perf_counter() - t0,
+            cell_walls=cell_walls,
+            workers=self._pool_size(len(misses)),
+            cache=self.cache.stats() if self.cache is not None else None)
+        log.debug("%s: %s", spec.name, telemetry.summary())
+        return SweepResult(spec=spec,
+                           results=[s for s in slots if s is not None],
+                           telemetry=telemetry)
 
     # ------------------------------------------------------------------
+    def _pool_size(self, pending: int) -> int:
+        """Worker processes a batch of ``pending`` cells would use."""
+        if self.workers <= 1 or pending <= 1:
+            return 1
+        return min(self.workers, pending, max(1, (os.cpu_count() or 2)))
+
     def _iter_execute(self, cells: List[CellSpec]):
+        """Yield ``(metrics, worker wall seconds)`` per cell, in order."""
         if self.workers <= 1 or len(cells) <= 1:
             for cell in cells:
-                yield execute_cell(cell)
+                yield _timed_execute_cell(cell)
             return
         method = self._mp_context
         if method is None:
             method = ("fork" if "fork" in multiprocessing.get_all_start_methods()
                       else None)
         ctx = multiprocessing.get_context(method)
-        procs = min(self.workers, len(cells), max(1, (os.cpu_count() or 2)))
+        procs = self._pool_size(len(cells))
         with ctx.Pool(processes=procs) as pool:
             # imap (not imap_unordered) so outputs line up with inputs:
             # completion order never leaks into result order.
-            yield from pool.imap(execute_cell, cells, chunksize=1)
+            yield from pool.imap(_timed_execute_cell, cells, chunksize=1)
 
 
 def run_sweep(spec: ExperimentSpec, *,
               cache_dir: Optional[str] = None,
               workers: int = 1,
-              progress: Optional[Callable[[str], None]] = None) -> SweepResult:
+              progress: Optional[Callable[[str], None]] = None,
+              on_cell: Optional[Callable[[int, int], None]] = None
+              ) -> SweepResult:
     """One-call sweep: build a :class:`Runner` and run ``spec``."""
     runner = Runner(cache_dir=cache_dir, workers=workers)
-    return runner.run(spec, progress=progress)
+    return runner.run(spec, progress=progress, on_cell=on_cell)

@@ -1,0 +1,87 @@
+"""Structured logging for the whole ``repro`` namespace.
+
+The library itself never configures handlers — importing ``repro``
+attaches a :class:`logging.NullHandler` to the root ``repro`` logger so
+embedding applications stay in control.  The CLI calls
+:func:`configure_logging` once, mapping ``-q``/default/``-v`` to
+WARNING/INFO/DEBUG; progress chatter that used to be ad-hoc
+``print(..., file=sys.stderr)`` calls now flows through ``INFO`` on the
+``repro.cli`` logger (so ``-q`` silences it and ``-v`` timestamps it).
+
+Usage inside the library::
+
+    from ..obs.log import get_logger
+    log = get_logger("experiments")
+    log.info("%s: %d cells to run", spec.name, len(misses))
+"""
+
+from __future__ import annotations
+
+import logging
+import sys
+from typing import Optional, TextIO
+
+ROOT = "repro"
+
+logging.getLogger(ROOT).addHandler(logging.NullHandler())
+
+#: The handler configure_logging installed, so re-configuration (tests,
+#: repeated CLI invocations in-process) replaces instead of stacking.
+_handler: Optional[logging.Handler] = None
+
+
+def get_logger(name: str = "") -> logging.Logger:
+    """The ``repro`` logger, or a dotted child (``get_logger("cli")``
+    → ``repro.cli``)."""
+    return logging.getLogger(f"{ROOT}.{name}" if name else ROOT)
+
+
+#: Default logger for this package's own messages.
+log = get_logger("obs")
+
+
+def configure_logging(verbosity: int = 0, *,
+                      stream: Optional[TextIO] = None) -> logging.Logger:
+    """Install one stderr handler on the root ``repro`` logger.
+
+    ``verbosity`` < 0 shows warnings and errors only (``-q``); 0 adds
+    the progress/status INFO stream (the CLI's historical default); > 0
+    switches to DEBUG with timestamps and logger names.  Idempotent:
+    calling again replaces the previously installed handler.
+    """
+    global _handler
+    root = get_logger()
+    if verbosity > 0:
+        level = logging.DEBUG
+        formatter: logging.Formatter = logging.Formatter(
+            "%(asctime)s %(name)s %(levelname)s %(message)s")
+    else:
+        level = logging.INFO if verbosity == 0 else logging.WARNING
+        formatter = _CliFormatter()
+    if _handler is not None:
+        root.removeHandler(_handler)
+    _handler = logging.StreamHandler(stream if stream is not None
+                                     else sys.stderr)
+    _handler.setFormatter(formatter)
+    root.addHandler(_handler)
+    root.setLevel(level)
+    return root
+
+
+def reset_logging() -> None:
+    """Remove the handler :func:`configure_logging` installed (tests)."""
+    global _handler
+    if _handler is not None:
+        get_logger().removeHandler(_handler)
+        _handler = None
+
+
+class _CliFormatter(logging.Formatter):
+    """Progress lines keep the CLI's historical ``... `` prefix;
+    warnings and errors keep their level."""
+
+    def format(self, record: logging.LogRecord) -> str:
+        message = record.getMessage()
+        if record.levelno >= logging.WARNING:
+            return f"{record.levelname.lower()}: {message}"
+        return f"... {message}"

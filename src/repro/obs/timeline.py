@@ -1,0 +1,179 @@
+"""Per-round time series: convergence curves as first-class artifacts.
+
+A :class:`Timeline` is one row per *executed* round of a run — messages
+sent / delivered / dropped that round plus the node-status census after
+it (undecided / elected) and the number of activated nodes.  The
+scheduler records it when asked (``Simulator(..., timeline=True)``) and
+surfaces it as ``RunResult.timeline``; :meth:`Timeline.from_trace`
+rebuilds the same rows from a JSONL trace's ``round_end`` events.
+
+Round indices are strictly increasing but *sparse* — the scheduler
+skips empty rounds, so a Theorem 4.1 run can hop from round 40 to round
+2560 in one row.  The sparkline renderer therefore plots rows by
+position, with the round span in the caption.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Sequence
+
+#: Metrics that are per-round flows (resampled by summing).
+FLOW_METRICS = ("sent", "delivered", "dropped", "active")
+#: Metrics that are level gauges (resampled by last-in-bucket).
+LEVEL_METRICS = ("undecided", "elected")
+METRICS = FLOW_METRICS + LEVEL_METRICS
+
+_BLOCKS = "▁▂▃▄▅▆▇█"
+
+
+@dataclass(frozen=True)
+class TimelinePoint:
+    """One executed round's slice of the run."""
+
+    round: int
+    sent: int
+    delivered: int
+    dropped: int
+    active: int
+    undecided: int
+    elected: int
+
+    def to_json(self) -> Dict[str, int]:
+        return {"round": self.round, "sent": self.sent,
+                "delivered": self.delivered, "dropped": self.dropped,
+                "active": self.active, "undecided": self.undecided,
+                "elected": self.elected}
+
+
+class Timeline:
+    """An append-only sequence of :class:`TimelinePoint` rows."""
+
+    def __init__(self, points: Iterable[TimelinePoint] = ()) -> None:
+        self.points: List[TimelinePoint] = list(points)
+
+    # -- recording (scheduler-facing) ------------------------------------
+    def append(self, **fields: int) -> None:
+        self.points.append(TimelinePoint(**fields))
+
+    # -- container protocol ----------------------------------------------
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def __iter__(self) -> Iterator[TimelinePoint]:
+        return iter(self.points)
+
+    def __getitem__(self, index: int) -> TimelinePoint:
+        return self.points[index]
+
+    def __bool__(self) -> bool:
+        return bool(self.points)
+
+    # -- views -----------------------------------------------------------
+    def series(self, metric: str) -> List[int]:
+        if metric == "round":
+            return [p.round for p in self.points]
+        if metric not in METRICS:
+            raise KeyError(f"unknown timeline metric {metric!r}; "
+                           f"one of: {', '.join(METRICS)}")
+        return [getattr(p, metric) for p in self.points]
+
+    def totals(self) -> Dict[str, int]:
+        """Summed flows over the whole run — by construction these equal
+        the run's ``Metrics.summary()`` message totals."""
+        return {metric: sum(self.series(metric))
+                for metric in ("sent", "delivered", "dropped")}
+
+    @property
+    def final(self) -> Dict[str, int]:
+        """The last row's status census (the run's outcome shape)."""
+        if not self.points:
+            return {"undecided": 0, "elected": 0}
+        last = self.points[-1]
+        return {"undecided": last.undecided, "elected": last.elected}
+
+    # -- serialization ---------------------------------------------------
+    def to_json(self) -> List[Dict[str, int]]:
+        return [p.to_json() for p in self.points]
+
+    def to_csv(self) -> str:
+        header = "round,sent,delivered,dropped,active,undecided,elected"
+        lines = [header]
+        for p in self.points:
+            lines.append(f"{p.round},{p.sent},{p.delivered},{p.dropped},"
+                         f"{p.active},{p.undecided},{p.elected}")
+        return "\n".join(lines) + "\n"
+
+    @classmethod
+    def from_trace(cls, events: Iterable[Dict[str, Any]]) -> "Timeline":
+        """Rebuild the timeline from a trace's ``round_end`` events."""
+        timeline = cls()
+        for event in events:
+            if event.get("ev") == "round_end":
+                timeline.append(round=event["r"], sent=event["sent"],
+                                delivered=event["delivered"],
+                                dropped=event["dropped"],
+                                active=event["active"],
+                                undecided=event["undecided"],
+                                elected=event["elected"])
+        return timeline
+
+    # -- rendering -------------------------------------------------------
+    def render(self, *, metrics: Sequence[str] = METRICS,
+               width: int = 60, label: str = "") -> str:
+        """Multi-line ASCII view: one sparkline per metric.
+
+        Flow metrics are resampled into ``width`` buckets by summing
+        (total preserved), level metrics by the bucket's last value
+        (the census at that point in time).
+        """
+        rows = len(self.points)
+        if rows == 0:
+            return f"timeline{': ' + label if label else ''} (no rounds)"
+        first, last = self.points[0].round, self.points[-1].round
+        head = (f"timeline{': ' + label if label else ''} — {rows} executed "
+                f"round{'s' if rows != 1 else ''} spanning [{first}, {last}]")
+        lines = [head]
+        name_width = max(len(m) for m in metrics)
+        for metric in metrics:
+            values = self.series(metric)
+            agg = "sum" if metric in FLOW_METRICS else "last"
+            spark = sparkline(values, width=width, agg=agg)
+            if metric in FLOW_METRICS:
+                note = f"total {sum(values)}  max {max(values)}"
+            else:
+                note = f"final {values[-1]}  max {max(values)}"
+            lines.append(f"  {metric.ljust(name_width)}  {spark}  {note}")
+        return "\n".join(lines)
+
+
+def _resample(values: Sequence[int], width: int, agg: str) -> List[float]:
+    n = len(values)
+    if n <= width:
+        return list(values)
+    out: List[float] = []
+    for b in range(width):
+        lo = b * n // width
+        hi = max(lo + 1, (b + 1) * n // width)
+        bucket = values[lo:hi]
+        out.append(float(sum(bucket)) if agg == "sum" else float(bucket[-1]))
+    return out
+
+
+def sparkline(values: Sequence[int], *, width: int = 60,
+              agg: str = "sum") -> str:
+    """Render ``values`` as a unicode block sparkline of ≤ ``width``
+    cells, resampling by ``agg`` ("sum" for flows, "last" for levels).
+
+    Scaling is 0..max (not min..max): a zero is always the lowest
+    block, so a flat-zero drop series reads as flat-zero.
+    """
+    if not values:
+        return ""
+    cells = _resample(values, width, agg)
+    peak = max(cells)
+    if peak <= 0:
+        return _BLOCKS[0] * len(cells)
+    return "".join(_BLOCKS[min(len(_BLOCKS) - 1,
+                               int(c / peak * (len(_BLOCKS) - 1) + 0.5))]
+                   for c in cells)

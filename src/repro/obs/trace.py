@@ -1,0 +1,395 @@
+"""Structured execution traces.
+
+A trace is the per-round event sequence of one simulation run — the
+execution object of the synchronous message-passing model (each round:
+deliveries, local computation, sends), serialized as one flat stream of
+JSON-able event dicts.  The scheduler drives a :class:`Tracer` through
+typed callbacks; every callback builds one event dict and hands it to
+:meth:`Tracer.emit`, so writers only differ in what ``emit`` does.
+
+Event schema (``ev`` discriminates)::
+
+    {"ev": "run_begin",   "n": int, "m": int, "seed": int, "model": {...}}
+    {"ev": "round_begin", "r": int}
+    {"ev": "wakeup",      "r": int, "nodes": [int, ...]}
+    {"ev": "crash",       "r": int, "node": int}
+    {"ev": "deliver",     "r": int, "node": int, "count": int}
+    {"ev": "send",        "r": int, "src": int, "kind": str, "bits": int,
+                          "count": int[, "dst": int]}
+    {"ev": "drop",        "r": int, "reason": "loss"|"crash", "count": int
+                          [, "src": int][, "dst": int]}
+    {"ev": "status",      "r": int, "node": int, "old": str, "new": str}
+    {"ev": "round_end",   "r": int, "sent": int, "delivered": int,
+                          "dropped": int, "active": int,
+                          "undecided": int, "elected": int}
+    {"ev": "run_end",     "truncated": bool, "summary": {...}}
+
+A ``send`` event covers ``count`` messages of one payload — a broadcast
+or multicast is one event with ``count`` = fan-out and no ``dst``
+(keeping traces O(#submissions), not O(#messages)); a point send has
+``count`` 1 and carries its ``dst``.  ``r`` on a ``send``/loss-``drop``
+is the sending round; on a ``deliver``/crash-``drop`` the delivery
+round.  Only executed (event) rounds appear: round indices are strictly
+increasing but not contiguous.
+"""
+
+from __future__ import annotations
+
+import io
+import json
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Union
+
+
+class TraceError(ValueError):
+    """A trace violated the event schema or its internal accounting."""
+
+
+class Tracer:
+    """Event sink driven by the scheduler; the base class discards.
+
+    Subclasses normally override only :meth:`emit` (and :meth:`close`);
+    the typed callbacks below build the canonical event dicts.  A
+    tracer must never mutate its inputs or consume randomness — the
+    traced run is required to be bit-identical to the untraced one.
+    """
+
+    def emit(self, event: Dict[str, Any]) -> None:  # pragma: no cover
+        pass
+
+    def close(self) -> None:  # pragma: no cover - default
+        pass
+
+    # -- lifecycle -------------------------------------------------------
+    def run_begin(self, n: int, m: int, seed: int,
+                  model: Optional[Dict[str, Any]] = None) -> None:
+        event: Dict[str, Any] = {"ev": "run_begin", "n": n, "m": m,
+                                 "seed": seed}
+        if model is not None:
+            event["model"] = model
+        self.emit(event)
+
+    def run_end(self, truncated: bool, summary: Dict[str, Any]) -> None:
+        self.emit({"ev": "run_end", "truncated": bool(truncated),
+                   "summary": summary})
+
+    # -- per-round -------------------------------------------------------
+    def round_begin(self, r: int) -> None:
+        self.emit({"ev": "round_begin", "r": r})
+
+    def round_end(self, r: int, *, sent: int, delivered: int, dropped: int,
+                  active: int, undecided: int, elected: int) -> None:
+        self.emit({"ev": "round_end", "r": r, "sent": sent,
+                   "delivered": delivered, "dropped": dropped,
+                   "active": active, "undecided": undecided,
+                   "elected": elected})
+
+    def wakeup(self, r: int, nodes: Sequence[int]) -> None:
+        self.emit({"ev": "wakeup", "r": r, "nodes": list(nodes)})
+
+    def crash(self, r: int, node: int) -> None:
+        self.emit({"ev": "crash", "r": r, "node": node})
+
+    # -- messages --------------------------------------------------------
+    def send(self, r: int, src: int, kind: str, bits: int, count: int,
+             dst: Optional[int] = None) -> None:
+        event: Dict[str, Any] = {"ev": "send", "r": r, "src": src,
+                                 "kind": kind, "bits": bits, "count": count}
+        if dst is not None:
+            event["dst"] = dst
+        self.emit(event)
+
+    def deliver(self, r: int, node: int, count: int) -> None:
+        self.emit({"ev": "deliver", "r": r, "node": node, "count": count})
+
+    def drop(self, r: int, reason: str, count: int,
+             src: Optional[int] = None, dst: Optional[int] = None) -> None:
+        event: Dict[str, Any] = {"ev": "drop", "r": r, "reason": reason,
+                                 "count": count}
+        if src is not None:
+            event["src"] = src
+        if dst is not None:
+            event["dst"] = dst
+        self.emit(event)
+
+    # -- node state ------------------------------------------------------
+    def status(self, r: int, node: int, old: str, new: str) -> None:
+        self.emit({"ev": "status", "r": r, "node": node,
+                   "old": old, "new": new})
+
+    # -- context manager -------------------------------------------------
+    def __enter__(self) -> "Tracer":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+
+class RecordingTracer(Tracer):
+    """Keeps every event in memory (tests, in-process consumers)."""
+
+    def __init__(self) -> None:
+        self.events: List[Dict[str, Any]] = []
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self.events.append(event)
+
+
+class TeeTracer(Tracer):
+    """Fans every event out to several tracers (e.g. JSONL + Chrome)."""
+
+    def __init__(self, *tracers: Tracer) -> None:
+        self.tracers = tracers
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        for tracer in self.tracers:
+            tracer.emit(event)
+
+    def close(self) -> None:
+        for tracer in self.tracers:
+            tracer.close()
+
+
+class JsonlTracer(Tracer):
+    """Writes one compact JSON object per line to ``path`` (or a file
+    object).  The format round-trips through :func:`read_trace`."""
+
+    def __init__(self, path_or_file: Union[str, io.TextIOBase]) -> None:
+        if isinstance(path_or_file, str):
+            self._fh = open(path_or_file, "w", encoding="utf-8")
+            self._owns = True
+        else:
+            self._fh = path_or_file
+            self._owns = False
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        self._fh.write(json.dumps(event, separators=(",", ":"),
+                                  sort_keys=True) + "\n")
+
+    def close(self) -> None:
+        if self._owns and not self._fh.closed:
+            self._fh.close()
+        elif not self._fh.closed:
+            self._fh.flush()
+
+
+class ChromeTracer(Tracer):
+    """Accumulates a Chrome trace-event document (the ``traceEvents``
+    JSON consumed by ``chrome://tracing`` and Perfetto).
+
+    The mapping puts the whole run on one synthetic timeline where one
+    round = one microsecond of trace time: each executed round is a
+    complete ("X") slice carrying its round stats, the message flow
+    becomes three counter ("C") tracks (sent / delivered / dropped),
+    the shrinking candidate set a fourth (undecided / elected), and
+    crashes and status flips are instant ("i") events.  Per-message
+    send events are deliberately *not* materialized — the JSONL trace
+    keeps that detail; the Chrome view is for shape.
+    """
+
+    def __init__(self, path: Optional[str] = None) -> None:
+        self.path = path
+        self._events: List[Dict[str, Any]] = [
+            {"ph": "M", "pid": 0, "tid": 0, "name": "process_name",
+             "args": {"name": "repro simulation"}},
+            {"ph": "M", "pid": 0, "tid": 0, "name": "thread_name",
+             "args": {"name": "rounds"}},
+        ]
+
+    def emit(self, event: Dict[str, Any]) -> None:
+        ev = event.get("ev")
+        if ev == "round_end":
+            r = event["r"]
+            stats = {k: event[k] for k in ("sent", "delivered", "dropped",
+                                           "active", "undecided", "elected")
+                     if k in event}
+            self._events.append({"ph": "X", "pid": 0, "tid": 0, "ts": r,
+                                 "dur": 1, "name": f"round {r}",
+                                 "args": stats})
+            self._events.append({"ph": "C", "pid": 0, "tid": 0, "ts": r,
+                                 "name": "messages",
+                                 "args": {"sent": event.get("sent", 0),
+                                          "delivered": event.get("delivered", 0),
+                                          "dropped": event.get("dropped", 0)}})
+            self._events.append({"ph": "C", "pid": 0, "tid": 0, "ts": r,
+                                 "name": "statuses",
+                                 "args": {"undecided": event.get("undecided", 0),
+                                          "elected": event.get("elected", 0)}})
+        elif ev == "crash":
+            self._events.append({"ph": "i", "pid": 0, "tid": 0,
+                                 "ts": event["r"], "s": "g",
+                                 "name": f"crash node {event['node']}"})
+        elif ev == "status":
+            self._events.append({"ph": "i", "pid": 0, "tid": 0,
+                                 "ts": event["r"], "s": "t",
+                                 "name": f"node {event['node']}: "
+                                         f"{event['old']} -> {event['new']}"})
+        elif ev == "run_begin":
+            self._events.append({"ph": "M", "pid": 0, "tid": 0,
+                                 "name": "run_begin", "args": event})
+
+    def trace_document(self) -> Dict[str, Any]:
+        return {"traceEvents": self._events, "displayTimeUnit": "ms"}
+
+    def close(self) -> None:
+        if self.path is not None:
+            with open(self.path, "w", encoding="utf-8") as fh:
+                json.dump(self.trace_document(), fh)
+                fh.write("\n")
+
+
+# ----------------------------------------------------------------------
+# Readers and checks
+# ----------------------------------------------------------------------
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL trace written by :class:`JsonlTracer`."""
+    events: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise TraceError(f"{path}:{lineno}: not JSON: {exc}") from exc
+            if not isinstance(event, dict) or "ev" not in event:
+                raise TraceError(f"{path}:{lineno}: not a trace event")
+            events.append(event)
+    return events
+
+
+def chrome_trace(events: Iterable[Dict[str, Any]],
+                 path: Optional[str] = None) -> Dict[str, Any]:
+    """Convert a (read or recorded) event stream to a Chrome trace
+    document; optionally write it to ``path``."""
+    tracer = ChromeTracer(path)
+    for event in events:
+        tracer.emit(event)
+    tracer.close()
+    return tracer.trace_document()
+
+
+def replay_round_counts(
+        events: Iterable[Dict[str, Any]]) -> Dict[int, Dict[str, int]]:
+    """Reconstruct per-round message counts from the fine-grained events.
+
+    Sums ``send``/``deliver``/``drop`` counts per round — deliberately
+    ignoring the ``round_end`` aggregates, so the result cross-checks
+    them (see :func:`validate_trace`) and, summed over rounds, the
+    run's ``Metrics.summary()`` totals.
+    """
+    rounds: Dict[int, Dict[str, int]] = {}
+    for event in events:
+        ev = event.get("ev")
+        if ev not in ("send", "deliver", "drop"):
+            continue
+        row = rounds.setdefault(event["r"],
+                                {"sent": 0, "delivered": 0, "dropped": 0})
+        key = {"send": "sent", "deliver": "delivered", "drop": "dropped"}[ev]
+        row[key] += event.get("count", 1)
+    return rounds
+
+
+#: Required fields per event type (beyond ``ev``).
+_REQUIRED: Dict[str, tuple] = {
+    "run_begin": ("n", "seed"),
+    "round_begin": ("r",),
+    "wakeup": ("r", "nodes"),
+    "crash": ("r", "node"),
+    "send": ("r", "src", "kind", "bits", "count"),
+    "deliver": ("r", "node", "count"),
+    "drop": ("r", "reason", "count"),
+    "status": ("r", "node", "old", "new"),
+    "round_end": ("r", "sent", "delivered", "dropped", "active",
+                  "undecided", "elected"),
+    "run_end": ("truncated", "summary"),
+}
+
+
+def validate_trace(events: Sequence[Dict[str, Any]]) -> Dict[str, Any]:
+    """Check a trace against the schema and its own accounting.
+
+    Verifies: known event types with their required fields; exactly one
+    ``run_begin`` (first) and at most one ``run_end`` (last); strictly
+    increasing round indices with properly paired begin/end markers;
+    every in-round event tagged with the enclosing round; and that each
+    ``round_end``'s ``sent``/``delivered``/``dropped`` aggregates equal
+    the sums of that round's fine-grained events.  When a ``run_end``
+    is present its summary totals are cross-checked too (messages still
+    in flight at truncation belong to no event, matching the metrics
+    convention, so the identities hold for truncated runs as well).
+
+    Returns a summary dict (rounds, totals); raises :class:`TraceError`
+    on the first violation.
+    """
+    if not events:
+        raise TraceError("empty trace")
+    if events[0].get("ev") != "run_begin":
+        raise TraceError("trace must start with run_begin")
+    replayed = replay_round_counts(events)
+    current: Optional[int] = None
+    last_round: Optional[int] = None
+    rounds_seen = 0
+    ended = False
+    summary: Optional[Dict[str, Any]] = None
+    truncated = False
+    for i, event in enumerate(events):
+        ev = event.get("ev")
+        if ev not in _REQUIRED:
+            raise TraceError(f"event {i}: unknown type {ev!r}")
+        missing = [k for k in _REQUIRED[ev] if k not in event]
+        if missing:
+            raise TraceError(f"event {i} ({ev}): missing {missing}")
+        if ended:
+            raise TraceError(f"event {i}: {ev} after run_end")
+        if ev == "run_begin":
+            if i != 0:
+                raise TraceError(f"event {i}: duplicate run_begin")
+        elif ev == "run_end":
+            if current is not None:
+                raise TraceError(f"event {i}: run_end inside round {current}")
+            ended = True
+            summary = event["summary"]
+            truncated = bool(event["truncated"])
+        elif ev == "round_begin":
+            r = event["r"]
+            if current is not None:
+                raise TraceError(f"event {i}: round {r} begins inside "
+                                 f"round {current}")
+            if last_round is not None and r <= last_round:
+                raise TraceError(f"event {i}: round {r} not after "
+                                 f"round {last_round}")
+            current = r
+            rounds_seen += 1
+        elif ev == "round_end":
+            r = event["r"]
+            if current != r:
+                raise TraceError(f"event {i}: round_end {r} outside its "
+                                 f"round (current: {current})")
+            counts = replayed.get(r, {"sent": 0, "delivered": 0,
+                                      "dropped": 0})
+            for key in ("sent", "delivered", "dropped"):
+                if event[key] != counts[key]:
+                    raise TraceError(
+                        f"round {r}: {key} aggregate {event[key]} != "
+                        f"{counts[key]} from events")
+            current, last_round = None, r
+        else:
+            if current is None:
+                raise TraceError(f"event {i}: {ev} outside any round")
+            if event["r"] != current:
+                raise TraceError(f"event {i}: {ev} tagged round "
+                                 f"{event['r']} inside round {current}")
+    if current is not None:
+        raise TraceError(f"round {current} never ended")
+    totals = {key: sum(row[key] for row in replayed.values())
+              for key in ("sent", "delivered", "dropped")}
+    if summary is not None:
+        pairs = [("sent", "messages"), ("delivered", "messages_delivered"),
+                 ("dropped", "messages_dropped")]
+        for key, summary_key in pairs:
+            if summary_key in summary and summary[summary_key] != totals[key]:
+                raise TraceError(
+                    f"run summary {summary_key}={summary[summary_key]} != "
+                    f"{totals[key]} summed from events")
+    return {"events": len(events), "rounds": rounds_seen, **totals}

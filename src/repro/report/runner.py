@@ -127,10 +127,14 @@ class ReportRunner:
 
     def __init__(self, *, grid: str = "smoke", seed: int = 0,
                  cache_dir: Optional[str] = None, workers: int = 1,
-                 progress: Optional[Callable[[str], None]] = None) -> None:
+                 progress: Optional[Callable[[str], None]] = None,
+                 on_cell: Optional[Callable[[int, int], None]] = None) -> None:
         self.grid = grid
         self.seed = seed
         self.progress = progress or (lambda msg: None)
+        #: Live per-cell callback ``(done, total)``, forwarded to each
+        #: claim's sweep (totals reset per claim).
+        self.on_cell = on_cell
         self._runner = Runner(cache_dir=cache_dir, workers=workers)
 
     # ------------------------------------------------------------------
@@ -169,7 +173,8 @@ class ReportRunner:
         self.progress(f"claim {claim.id}: running {spec.name}")
         sweep = None
         try:
-            sweep = self._runner.run(spec, progress=self.progress)
+            sweep = self._runner.run(spec, progress=self.progress,
+                                     on_cell=self.on_cell)
             groups = sweep.groups()
             evidence = claim.evaluate(groups)
         except Exception as exc:  # noqa: BLE001
@@ -204,8 +209,10 @@ class ReportRunner:
 def run_report(*, grid: str = "smoke", seed: int = 0,
                cache_dir: Optional[str] = None, workers: int = 1,
                claim_ids: Optional[Sequence[str]] = None,
-               progress: Optional[Callable[[str], None]] = None) -> Report:
+               progress: Optional[Callable[[str], None]] = None,
+               on_cell: Optional[Callable[[int, int], None]] = None) -> Report:
     """One-call report: build a :class:`ReportRunner` and run it."""
     runner = ReportRunner(grid=grid, seed=seed, cache_dir=cache_dir,
-                          workers=workers, progress=progress)
+                          workers=workers, progress=progress,
+                          on_cell=on_cell)
     return runner.run(claim_ids)

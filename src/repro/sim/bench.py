@@ -20,12 +20,19 @@ network build is excluded (it is amortized across a sweep's trials).
 
 from __future__ import annotations
 
+import cProfile
 import json
 import os
 import platform
+import pstats
+import subprocess
 import sys
 import time
 from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..obs.log import get_logger
+
+log = get_logger("bench")
 
 #: (algorithm, graph-spec[, delay-spec]) grid measured by default:
 #: FloodMax over cliques is the acceptance workload (dense alarm +
@@ -91,7 +98,8 @@ GRIDS: Dict[str, Tuple[Tuple[str, ...], ...]] = {
 def measure_point(algorithm: str, graph: str, delay: Optional[str] = None, *,
                   seed: int = 1, repeats: int = 3,
                   max_rounds: Optional[int] = None,
-                  auto_knowledge: Sequence[str] = ()) -> Dict[str, Any]:
+                  auto_knowledge: Sequence[str] = (),
+                  profile: bool = False) -> Dict[str, Any]:
     """Time one (algorithm, graph[, delay]) point; return its row.
 
     ``repeats`` independent simulations are run on the same network and
@@ -102,6 +110,10 @@ def measure_point(algorithm: str, graph: str, delay: Optional[str] = None, *,
     path.  ``auto_knowledge`` grants extra graph-derived parameters
     ("n"/"m"/"D") beyond the algorithm's registry needs — the large-n
     grids grant ``D`` so flood-max runs as the O(D) baseline.
+    ``profile=True`` runs **one extra** simulation under :mod:`cProfile`
+    after the timed repeats (so the wall numbers stay untouched) and
+    attaches a ``"profile"`` dict splitting its time into scheduler /
+    algorithm / metrics / model / other buckets.
     """
     from ..api import _auto_knowledge, _ensure_registry
     from ..graphs.network import Network
@@ -133,6 +145,13 @@ def measure_point(algorithm: str, graph: str, delay: Optional[str] = None, *,
             best_wall = wall
     assert result is not None and metrics is not None and best_wall is not None
     wall = max(best_wall, 1e-9)
+    profile_row: Optional[Dict[str, float]] = None
+    if profile:
+        def _profiled_run() -> None:
+            sim = Simulator(network, spec.factory, seed=seed,
+                            knowledge=knowledge, model=make_model(delay))
+            sim.run(max_rounds=max_rounds)
+        profile_row = _profile_buckets(_profiled_run)
     return {
         "algorithm": algorithm,
         "graph": graph,
@@ -151,12 +170,56 @@ def measure_point(algorithm: str, graph: str, delay: Optional[str] = None, *,
         "events_per_s": round(metrics.activations / wall, 1),
         "messages_per_s": round(result.messages / wall, 1),
         "truncated": bool(result.truncated),
+        "profile": profile_row,
     }
+
+
+#: Filename → profile bucket, most specific first.  ``core/`` holds the
+#: algorithm implementations; everything in ``sim/`` splits into the
+#: dispatch loop, the accounting, and the execution-model machinery.
+_PROFILE_BUCKETS: Tuple[Tuple[Tuple[str, ...], str], ...] = (
+    (("scheduler.py", "process.py"), "scheduler"),
+    (("metrics.py", "message.py"), "metrics"),
+    (("models.py", "wakeup.py"), "model"),
+)
+
+
+def _bucket_for(filename: str) -> str:
+    base = os.path.basename(filename)
+    sep = os.sep
+    if f"{sep}core{sep}" in filename or filename.startswith(f"core{sep}"):
+        return "algorithm"
+    for names, bucket in _PROFILE_BUCKETS:
+        if base in names:
+            return bucket
+    return "other"
+
+
+def _profile_buckets(fn) -> Dict[str, float]:
+    """Run ``fn`` under cProfile and aggregate per-function *self* time
+    (tottime) into coarse subsystem buckets.  Self times sum to the
+    profiled wall, so the buckets are a partition of ``total_s``."""
+    prof = cProfile.Profile()
+    prof.enable()
+    fn()
+    prof.disable()
+    stats = pstats.Stats(prof)
+    buckets: Dict[str, float] = {"scheduler": 0.0, "algorithm": 0.0,
+                                 "metrics": 0.0, "model": 0.0, "other": 0.0}
+    total = 0.0
+    for (filename, _lineno, _name), (_cc, _nc, tottime, _ct, _callers) \
+            in stats.stats.items():  # type: ignore[attr-defined]
+        buckets[_bucket_for(filename)] += tottime
+        total += tottime
+    row = {k: round(v, 6) for k, v in buckets.items()}
+    row["total_s"] = round(total, 6)
+    return row
 
 
 def run_grid(grid: Sequence[Tuple[str, ...]], *, seed: int = 1,
              repeats: int = 3, max_rounds: Optional[int] = None,
              auto_knowledge: Sequence[str] = (),
+             profile: bool = False,
              progress=None) -> List[Dict[str, Any]]:
     rows = []
     for point in grid:
@@ -167,19 +230,76 @@ def run_grid(grid: Sequence[Tuple[str, ...]], *, seed: int = 1,
             progress(f"bench {algorithm} on {graph}{suffix} ...")
         rows.append(measure_point(algorithm, graph, delay, seed=seed,
                                   repeats=repeats, max_rounds=max_rounds,
-                                  auto_knowledge=auto_knowledge))
+                                  auto_knowledge=auto_knowledge,
+                                  profile=profile))
     return rows
 
 
+def _git_sha() -> Optional[str]:
+    """The repository HEAD this run measured, or None outside a checkout
+    (or without a git binary) — provenance must never fail a bench run."""
+    try:
+        out = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    sha = out.stdout.strip()
+    return sha if out.returncode == 0 and sha else None
+
+
+def environment() -> Dict[str, Any]:
+    """Machine/toolchain provenance recorded with every snapshot."""
+    return {
+        "python": sys.version.split()[0],
+        "platform": platform.platform(),
+        "cpu_count": os.cpu_count(),
+        "git_sha": _git_sha(),
+    }
+
+
 def snapshot(rows: List[Dict[str, Any]], *, label: str = "") -> Dict[str, Any]:
-    """Wrap one grid run with enough provenance to compare over time."""
+    """Wrap one grid run with enough provenance to compare over time.
+
+    The legacy top-level ``python``/``platform`` keys are kept so older
+    tooling reading the trajectory keeps working; ``env`` is the full
+    provenance record (adds cpu_count and the measured git SHA).
+    """
+    env = environment()
     return {
         "label": label,
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%SZ", time.gmtime()),
-        "python": sys.version.split()[0],
-        "platform": platform.platform(),
+        "python": env["python"],
+        "platform": env["platform"],
+        "env": env,
         "results": rows,
     }
+
+
+def load_trajectory(path: str) -> Dict[str, Any]:
+    """Read a ``BENCH_sim.json`` trajectory, normalizing legacy runs.
+
+    Runs recorded before provenance landed get a backfilled ``env``
+    (from their top-level python/platform, with ``cpu_count`` and
+    ``git_sha`` as None) and rows gain ``"profile": None`` — so readers
+    can index uniformly across the whole history.
+    """
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or not isinstance(doc.get("runs"), list):
+        raise ValueError(f"{path} is not a bench trajectory")
+    for run in doc["runs"]:
+        if not isinstance(run, dict):
+            continue
+        if "env" not in run:
+            run["env"] = {"python": run.get("python"),
+                          "platform": run.get("platform"),
+                          "cpu_count": None, "git_sha": None}
+        for row in run.get("results") or []:
+            if isinstance(row, dict):
+                row.setdefault("profile", None)
+    return doc
 
 
 def append_snapshot(path: str, snap: Dict[str, Any]) -> Dict[str, Any]:
@@ -203,9 +323,8 @@ def append_snapshot(path: str, snap: Dict[str, Any]) -> Dict[str, Any]:
         else:
             backup = path + ".corrupt"
             os.replace(path, backup)
-            print(f"warning: {path} was not a bench trajectory; "
-                  f"moved it to {backup} and starting fresh",
-                  file=sys.stderr)
+            log.warning("%s was not a bench trajectory; moved it to %s "
+                        "and starting fresh", path, backup)
     doc["runs"].append(snap)
     tmp = path + ".tmp"
     with open(tmp, "w", encoding="utf-8") as fh:

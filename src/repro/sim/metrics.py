@@ -29,9 +29,12 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, List, Optional, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set, Tuple
 
 from .message import Envelope
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..obs.timeline import Timeline
 
 Edge = Tuple[int, int]
 
@@ -81,6 +84,9 @@ class Metrics:
                 self._watches[e] = EdgeWatch(edge=e)
         self.record_sends = record_sends
         self.send_log: List[Envelope] = []
+        #: Per-round time series, populated only when the run was
+        #: observed (``Simulator(..., timeline=True)`` or a tracer).
+        self.timeline: Optional["Timeline"] = None
 
     # ------------------------------------------------------------------
     def record_send(self, src: int, dst: int, kind: str, size: int,

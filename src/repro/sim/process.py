@@ -304,6 +304,10 @@ class NodeContext:
 
     def _set_status(self, status: Status) -> None:
         if status is not self._status:
+            tracer = getattr(self._sim, "_tracer", None)
+            if tracer is not None:
+                tracer.status(self._round, self._index,
+                              self._status.value, status.value)
             self._status = status
             self._sim._note_activity(self._round)
 

@@ -51,7 +51,8 @@ from __future__ import annotations
 import heapq
 import random
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Set, Tuple
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Mapping,
+                    Optional, Sequence, Set, Tuple)
 
 from ..graphs.network import Network
 from .errors import CongestViolation, ModelViolation, RoundLimitExceeded
@@ -61,6 +62,10 @@ from .models import SYNCHRONOUS, ExecutionModel
 from .process import Delivery, NodeContext, NodeProcess
 from .status import Status
 from .wakeup import Simultaneous, WakeupModel
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..obs.timeline import Timeline
+    from ..obs.trace import Tracer
 
 ProcessFactory = Callable[[], NodeProcess]
 
@@ -138,6 +143,13 @@ class RunResult:
         return (survivors.count(Status.ELECTED) == 1 and
                 all(s is not Status.UNDECIDED for s in survivors))
 
+    # -- observability -----------------------------------------------------
+    @property
+    def timeline(self) -> Optional["Timeline"]:
+        """Per-round time series, when the run recorded one
+        (``Simulator(..., timeline=True)``); ``None`` otherwise."""
+        return self.metrics.timeline
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"RunResult(rounds={self.rounds}, messages={self.messages}, "
                 f"leaders={self.num_leaders}, truncated={self.truncated})")
@@ -175,6 +187,19 @@ class Simulator:
         When set, any payload larger than this many bits raises
         :class:`CongestViolation` — used to certify that the CONGEST
         algorithms really ship O(log n)-bit messages.
+    tracer:
+        Optional :class:`~repro.obs.trace.Tracer` receiving structured
+        events (round begin/end, sends, deliveries, drops, crashes,
+        wakeups, status transitions).  ``None`` (the default) is the
+        zero-overhead null path: no tracing code is bound at all, so
+        the hot paths above stay bit-for-bit and branch-free.  Tracing
+        never perturbs a run — a traced run's metrics and outcome are
+        identical to the untraced run with the same seeds.
+    timeline:
+        Record a per-round time series
+        (:class:`~repro.obs.timeline.Timeline`) of messages sent /
+        delivered / dropped and the node-status census, surfaced as
+        ``RunResult.timeline``.  Off by default for the same reason.
     """
 
     def __init__(self, network: Network, process_factory: ProcessFactory, *,
@@ -184,7 +209,9 @@ class Simulator:
                  model: Optional[ExecutionModel] = None,
                  watch_edges: Optional[Set[Tuple[int, int]]] = None,
                  record_sends: bool = False,
-                 congest_bits: Optional[int] = None) -> None:
+                 congest_bits: Optional[int] = None,
+                 tracer: Optional["Tracer"] = None,
+                 timeline: bool = False) -> None:
         self.network = network
         self.seed = seed
         self.knowledge: Mapping[str, int] = dict(knowledge or {})
@@ -193,6 +220,7 @@ class Simulator:
         #: Lazy-envelope fast path: edge watches and send recording are
         #: the only consumers of per-send Envelope objects.
         self._fast_sends = not record_sends and not watch_edges
+        self._tracer = tracer
         self.model = model if model is not None else SYNCHRONOUS
         n = network.num_nodes
         self._processes: List[NodeProcess] = [process_factory() for _ in range(n)]
@@ -233,13 +261,19 @@ class Simulator:
         # lazily one node at a time during dispatch.  On a clique this
         # halves per-message work and caps buffered delivery state at
         # O(n) records instead of O(n^2) Delivery objects.
+        # Observed runs take the plain path: per-receiver deliver counts
+        # require expanded inboxes, and plain == aggregated is already
+        # bit-identical (test_implicit.py), so nothing observable moves.
         self._aggregate = (self.model.is_synchronous and self._fast_sends
+                           and tracer is None and not timeline
                            and bool(getattr(network.topology, "is_complete",
                                             False)))
         if self._aggregate:
             self._init_aggregated_path()
         elif not self.model.is_synchronous:
             self._init_model_path(n)
+        if tracer is not None or timeline:
+            self._init_obs_path(timeline)
 
     def _init_aggregated_path(self) -> None:
         """Switch this instance onto the clique broadcast-aggregation path.
@@ -289,6 +323,97 @@ class Simulator:
         self._submit_multicast = self._submit_multicast_model  # type: ignore[method-assign]
         self._next_event_round = self._next_event_round_model  # type: ignore[method-assign]
         self._execute_round = self._execute_round_model    # type: ignore[method-assign]
+
+    def _init_obs_path(self, record_timeline: bool) -> None:
+        """Wrap the bound hot methods with observability instrumentation.
+
+        Same rebinding idiom as the model path: the wrappers close over
+        whatever `_execute_round`/`_dispatch_round`/submit variants are
+        already bound, so tracing composes with the general (modeled)
+        path, and the default untraced simulator never sees a branch.
+        Instrumentation only *observes* — it draws no randomness and
+        reorders nothing, so a traced run is bit-identical to the
+        untraced run (enforced by tests/test_obs.py).
+        """
+        tracer = self._tracer
+        timeline: Optional["Timeline"] = None
+        if record_timeline:
+            from ..obs.timeline import Timeline
+            timeline = Timeline()
+            self.metrics.timeline = timeline
+        metrics = self.metrics
+        contexts = self._contexts
+        #: Messages handed to receivers in the round being executed.
+        self._obs_delivered = 0
+
+        inner_dispatch = self._dispatch_round
+        def dispatch_obs(r: int, inboxes: Dict[int, List[Delivery]]) -> None:
+            if inboxes:
+                if tracer is not None:
+                    total = 0
+                    for node in sorted(inboxes):
+                        count = len(inboxes[node])
+                        total += count
+                        tracer.deliver(r, node, count)
+                else:
+                    total = sum(map(len, inboxes.values()))
+                self._obs_delivered = total
+            inner_dispatch(r, inboxes)
+        self._dispatch_round = dispatch_obs  # type: ignore[method-assign]
+
+        inner_execute = self._execute_round
+        def execute_obs(r: int) -> None:
+            if tracer is not None:
+                tracer.round_begin(r)
+                woken = self._pending_wakeups.get(r)
+                if woken:
+                    tracer.wakeup(r, sorted(woken))
+            sent0 = metrics.messages
+            dropped0 = metrics.messages_dropped
+            active0 = metrics.activations
+            self._obs_delivered = 0
+            inner_execute(r)
+            sent = metrics.messages - sent0
+            dropped = metrics.messages_dropped - dropped0
+            active = metrics.activations - active0
+            undecided = elected = 0
+            for ctx in contexts:
+                status = ctx._status
+                if status is Status.UNDECIDED:
+                    undecided += 1
+                elif status is Status.ELECTED:
+                    elected += 1
+            if timeline is not None:
+                timeline.append(round=r, sent=sent,
+                                delivered=self._obs_delivered,
+                                dropped=dropped, active=active,
+                                undecided=undecided, elected=elected)
+            if tracer is not None:
+                tracer.round_end(r, sent=sent,
+                                 delivered=self._obs_delivered,
+                                 dropped=dropped, active=active,
+                                 undecided=undecided, elected=elected)
+        self._execute_round = execute_obs  # type: ignore[method-assign]
+
+        if tracer is not None and self.model.is_synchronous:
+            # Send events on the synchronous path wrap the bound submit
+            # methods; the model path emits inline instead (the loss
+            # draw deciding a drop event happens inside its submits).
+            inner_send = self._submit_send
+            port_table = self._port_table
+            def send_obs(src: int, port: int, payload: Payload) -> None:
+                inner_send(src, port, payload)
+                tracer.send(self._current_round, src, payload.kind(),
+                            payload.size_bits(), 1,
+                            dst=port_table[src][port])
+            self._submit_send = send_obs  # type: ignore[method-assign]
+            inner_multicast = self._submit_multicast
+            def multicast_obs(src: int, ports: Sequence[int],
+                              payload: Payload) -> None:
+                inner_multicast(src, ports, payload)
+                tracer.send(self._current_round, src, payload.kind(),
+                            payload.size_bits(), len(ports))
+            self._submit_multicast = multicast_obs  # type: ignore[method-assign]
 
     # ------------------------------------------------------------------
     # Hooks used by NodeContext
@@ -478,6 +603,11 @@ class Simulator:
             self.metrics.on_send(Envelope(
                 src=src, dst=dst, dst_port=dst_port, payload=payload,
                 sent_round=r), crossed=not lost)
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.send(r, src, payload.kind(), size, 1, dst=dst)
+            if lost:
+                tracer.drop(r, "loss", 1, src=src, dst=dst)
         if lost:
             self.metrics.messages_dropped += 1
             return
@@ -502,6 +632,7 @@ class Simulator:
         if self._fast_sends:
             self.metrics.record_broadcast(src, payload.kind(), size,
                                           len(ports))
+        tracer = self._tracer
         for port in ports:
             dst = port_row[port]
             dst_port = peer_row[port]
@@ -510,6 +641,10 @@ class Simulator:
                 self.metrics.on_send(Envelope(
                     src=src, dst=dst, dst_port=dst_port, payload=payload,
                     sent_round=r), crossed=not lost)
+            if tracer is not None:
+                tracer.send(r, src, payload.kind(), size, 1, dst=dst)
+                if lost:
+                    tracer.drop(r, "loss", 1, src=src, dst=dst)
             if lost:
                 self.metrics.messages_dropped += 1
                 continue
@@ -611,6 +746,12 @@ class Simulator:
         self._ran = True
         limit = max_rounds if max_rounds is not None else DEFAULT_MAX_ROUNDS
         truncated = False
+        tracer = self._tracer
+        if tracer is not None:
+            tracer.run_begin(n=self.network.num_nodes,
+                             m=self.network.num_edges,
+                             seed=self.seed,
+                             model=self.model.describe())
 
         while True:
             next_round = self._next_event_round()
@@ -638,6 +779,8 @@ class Simulator:
                 pending = sum(map(len, self._inboxes.values()))
             self.metrics.messages_delivered = self.metrics.messages - pending
 
+        if tracer is not None:
+            tracer.run_end(truncated, self.metrics.summary())
         return RunResult(
             network=self.network,
             statuses=[ctx.status for ctx in self._contexts],
@@ -690,6 +833,7 @@ class Simulator:
         # round: a node crashed at round c performs no action at c or
         # later, and deliveries addressed to it die with it.
         crash_heap = self._crash_heap
+        tracer = self._tracer
         if crash_heap:
             contexts = self._contexts
             while crash_heap and crash_heap[0][0] <= r:
@@ -697,12 +841,16 @@ class Simulator:
                 contexts[node]._crash()
                 self._crashed[node] = True
                 self.metrics.crashed_nodes.append(node)
+                if tracer is not None:
+                    tracer.crash(r, node)
         if inboxes and self.metrics.crashed_nodes:
             crashed = self._crashed
             for idx in [i for i in inboxes if crashed[i]]:
                 dead = len(inboxes.pop(idx))
                 delivered -= dead
                 self.metrics.messages_dropped += dead
+                if tracer is not None:
+                    tracer.drop(r, "crash", dead, dst=idx)
         self.metrics.messages_delivered += delivered
         self._dispatch_round(r, inboxes)
 

@@ -153,12 +153,19 @@ class TestBenchSim:
                                                           capsys):
         import json
 
+        from repro.obs.log import configure_logging, reset_logging
         from repro.sim.bench import append_snapshot, snapshot
 
         path = tmp_path / "BENCH_sim.json"
         path.write_text("{truncated by a kill")
-        append_snapshot(str(path), snapshot([], label="after-corruption"))
-        err = capsys.readouterr().err
+        # The warning flows through repro's logging now; route it to the
+        # captured stderr for this test.
+        configure_logging(0)
+        try:
+            append_snapshot(str(path), snapshot([], label="after-corruption"))
+        finally:
+            err = capsys.readouterr().err
+            reset_logging()
         assert "warning" in err and ".corrupt" in err
         assert (tmp_path / "BENCH_sim.json.corrupt").read_text() == \
             "{truncated by a kill"

@@ -458,10 +458,12 @@ class TestSweepCli:
         out = capsys.readouterr().out
         assert "least-el ring:8" in out
         assert "2 executed, 0 cached" in out
-        # Second invocation: everything served from cache.
+        # Second invocation: everything served from cache, and the CLI
+        # says so explicitly instead of the generic counter line.
         assert main(argv) == 0
         out = capsys.readouterr().out
-        assert "0 executed, 2 cached" in out
+        assert "all 2 cells served from cache (0 executed)" in out
+        assert "least-el ring:8" in out
 
     def test_param_axis_and_task(self, capsys):
         assert main(["sweep", "--task", "candidate-f", "--graphs", "ring:8",

@@ -15,8 +15,9 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..graphs.network import Network
 from ..graphs.topology import Topology
+from ..sim.backend import RunRequest, resolve_backend
 from ..sim.process import NodeProcess
-from ..sim.scheduler import RunResult, Simulator
+from ..sim.scheduler import RunResult
 
 
 def _trial_seed(base_seed: int, stream: str, trial: int) -> int:
@@ -84,7 +85,7 @@ class TrialStats:
 
 
 def run_trials(topology: Topology,
-               factory: Callable[[], NodeProcess], *,
+               factory: Union[str, Callable[[], NodeProcess]], *,
                trials: int = 10,
                seed: int = 0,
                knowledge: Optional[Dict[str, int]] = None,
@@ -93,18 +94,25 @@ def run_trials(topology: Topology,
                ids=None,
                model=None,
                keep_results: bool = False,
-               tracer=None) -> TrialStats:
+               tracer=None,
+               backend: Optional[str] = None) -> TrialStats:
     """Run ``trials`` independent simulations (fresh network instance and
     coins per trial) and aggregate messages/rounds/success.
 
-    ``knowledge_keys`` requests auto-computed parameters ("n", "m", "D");
-    explicit ``knowledge`` entries win.  ``model`` is an optional
-    :class:`~repro.sim.models.ExecutionModel` applied to every trial
-    (the per-trial simulator seed varies, so seeded delay/loss/crash
-    draws differ across trials while staying reproducible).
-    ``tracer`` (a :class:`repro.obs.Tracer`) observes trial 0 only —
-    one representative trace instead of ``trials`` interleaved streams
-    — and never changes any trial's outcome.
+    ``factory`` is a process factory, or a registry algorithm name
+    (e.g. ``"flood-max"``) resolved through :data:`repro.api.ALGORITHMS`
+    — the name form is what lets non-default backends look up their
+    vectorized kernel.  ``knowledge_keys`` requests auto-computed
+    parameters ("n", "m", "D"); explicit ``knowledge`` entries win.
+    ``model`` is an optional :class:`~repro.sim.models.ExecutionModel`
+    applied to every trial (the per-trial simulator seed varies, so
+    seeded delay/loss/crash draws differ across trials while staying
+    reproducible).  ``tracer`` (a :class:`repro.obs.Tracer`) observes
+    trial 0 only — one representative trace instead of ``trials``
+    interleaved streams — and never changes any trial's outcome.
+    ``backend`` selects the engine for every trial; per-trial seeds are
+    backend-independent, so A/B runs over the same base seed see the
+    same networks and coins.
 
     Per-trial network and simulator seeds are derived through SHA-256
     (see :func:`_trial_seed`), so the two randomness streams are
@@ -114,6 +122,17 @@ def run_trials(topology: Topology,
         raise ValueError(
             f"run_trials needs trials >= 1, got {trials} "
             "(an empty trial set has no statistics to summarize)")
+    algorithm: Optional[str] = None
+    if isinstance(factory, str):
+        from ..api import _ensure_registry
+        registry = _ensure_registry()
+        if factory not in registry:
+            known = ", ".join(sorted(registry))
+            raise ValueError(
+                f"unknown algorithm {factory!r}; choose one of: {known}")
+        algorithm = factory
+        factory = registry[algorithm].factory
+    engine = resolve_backend(backend)
     auto: Dict[str, int] = {}
     if "n" in knowledge_keys:
         auto["n"] = topology.num_nodes
@@ -132,10 +151,12 @@ def run_trials(topology: Topology,
     for t in range(trials):
         network = Network.build(topology, seed=_trial_seed(seed, "network", t),
                                 ids=ids)
-        sim = Simulator(network, factory, seed=_trial_seed(seed, "sim", t),
-                        knowledge=auto, model=model,
-                        tracer=tracer if t == 0 else None)
-        result = sim.run(max_rounds=max_rounds)
+        request = RunRequest(network=network, factory=factory,
+                             seed=_trial_seed(seed, "sim", t),
+                             knowledge=auto, model=model,
+                             tracer=tracer if t == 0 else None,
+                             max_rounds=max_rounds, algorithm=algorithm)
+        result = engine.run(request)
         messages.append(result.messages)
         rounds.append(result.rounds)
         bits.append(result.bits)

@@ -18,9 +18,10 @@ from typing import TYPE_CHECKING, Callable, Dict, Mapping, Optional, Union
 
 from .graphs.network import Network
 from .graphs.topology import Topology
+from .sim.backend import RunRequest, resolve_backend
 from .sim.models import ExecutionModel
 from .sim.process import NodeProcess
-from .sim.scheduler import RunResult, Simulator
+from .sim.scheduler import RunResult
 from .sim.wakeup import WakeupModel
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -39,13 +40,18 @@ class AlgorithmSpec:
     def __init__(self, factory: Callable[[], NodeProcess],
                  needs: tuple = (), description: str = "", *,
                  result: str = "", time: str = "",
-                 messages: str = "") -> None:
+                 messages: str = "",
+                 backends: tuple = ("event-loop",)) -> None:
         self.factory = factory
         self.needs = needs
         self.description = description
         self.result = result
         self.time = time
         self.messages = messages
+        #: Engine backends able to run this algorithm (capability, not a
+        #: guarantee — a backend may still refuse a specific request,
+        #: e.g. columnar refuses traced or staggered-wakeup runs).
+        self.backends = backends
 
     @property
     def knowledge(self) -> str:
@@ -67,8 +73,9 @@ def _registry() -> Dict[str, AlgorithmSpec]:
     from .core.spanner_le import SpannerElection
     from .core.sublinear import SublinearElection
     from .core.trivial import TrivialSelfElection
+    from .sim.columnar import KERNEL_ALGORITHMS
 
-    return {
+    specs = {
         "flood-max": AlgorithmSpec(
             FloodMaxElection, needs=("n",),
             description="O(D)-time baseline (Peleg [20]); floods the max ID.",
@@ -125,6 +132,9 @@ def _registry() -> Dict[str, AlgorithmSpec]:
             description="Intro example: self-elect w.p. 1/n; 0 messages, succ ≈ 1/e.",
             result="Intro example", time="0", messages="0"),
     }
+    for name in KERNEL_ALGORITHMS:
+        specs[name].backends = ("event-loop", "columnar")
+    return specs
 
 
 #: Public name → spec mapping (built on first use).
@@ -168,7 +178,8 @@ def run_algorithm(graph: Union[Topology, Network], algorithm: str, *,
                   model: Optional[ExecutionModel] = None,
                   max_rounds: Optional[int] = None,
                   tracer: Optional["Tracer"] = None,
-                  timeline: bool = False) -> RunResult:
+                  timeline: bool = False,
+                  backend: Optional[str] = None) -> RunResult:
     """Run a named algorithm on ``graph`` and return the full result.
 
     Knowledge required by the algorithm (per Table 1) is computed from
@@ -178,19 +189,24 @@ def run_algorithm(graph: Union[Topology, Network], algorithm: str, *,
     ``tracer`` (a :class:`repro.obs.Tracer`) streams structured events
     and ``timeline=True`` records the per-round time series
     (``result.timeline``); both observe without perturbing — a traced
-    run is bit-identical to an untraced one.
+    run is bit-identical to an untraced one.  ``backend`` selects the
+    engine (``"event-loop"`` default, ``"columnar"`` for the vectorized
+    NumPy engine); a backend that cannot run the request bit-identically
+    raises :class:`~repro.sim.errors.BackendUnsupported`.
     """
     registry = _ensure_registry()
     if algorithm not in registry:
         known = ", ".join(sorted(registry))
-        raise KeyError(f"unknown algorithm {algorithm!r}; choose one of: {known}")
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose one of: {known}")
     spec = registry[algorithm]
     network = make_network(graph, seed=seed)
-    sim = Simulator(network, spec.factory, seed=seed,
-                    knowledge=_auto_knowledge(network, spec.needs, knowledge),
-                    wakeup=wakeup, model=model,
-                    tracer=tracer, timeline=timeline)
-    return sim.run(max_rounds=max_rounds)
+    request = RunRequest(
+        network=network, factory=spec.factory, seed=seed,
+        knowledge=_auto_knowledge(network, spec.needs, knowledge),
+        wakeup=wakeup, model=model, tracer=tracer, timeline=timeline,
+        max_rounds=max_rounds, algorithm=algorithm)
+    return resolve_backend(backend).run(request)
 
 
 def elect_leader(graph: Union[Topology, Network], *,
@@ -200,7 +216,8 @@ def elect_leader(graph: Union[Topology, Network], *,
                  model: Optional[ExecutionModel] = None,
                  max_rounds: Optional[int] = None,
                  tracer: Optional["Tracer"] = None,
-                 timeline: bool = False) -> RunResult:
+                 timeline: bool = False,
+                 backend: Optional[str] = None) -> RunResult:
     """One-call leader election; raises if no unique leader emerged.
 
     The check is the crash-tolerant one (`has_unique_surviving_leader`):
@@ -212,7 +229,7 @@ def elect_leader(graph: Union[Topology, Network], *,
 
     result = run_algorithm(graph, algorithm, seed=seed, knowledge=knowledge,
                            wakeup=wakeup, model=model, max_rounds=max_rounds,
-                           tracer=tracer, timeline=timeline)
+                           tracer=tracer, timeline=timeline, backend=backend)
     if not result.has_unique_surviving_leader:
         crashed = result.crashed_indices
         crash_note = f", crashed: {crashed}" if crashed else ""

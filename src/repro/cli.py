@@ -98,7 +98,8 @@ def cmd_list(args: argparse.Namespace) -> int:
                ("result", [registry[n].result for n in names]),
                ("time", [registry[n].time for n in names]),
                ("messages", [registry[n].messages for n in names]),
-               ("knows", [registry[n].knowledge for n in names])]
+               ("knows", [registry[n].knowledge for n in names]),
+               ("backends", [",".join(registry[n].backends) for n in names])]
     widths = [max(len(header), *(len(v) for v in values))
               for header, values in columns]
     print("  ".join(h.ljust(w) for (h, _), w in zip(columns, widths))
@@ -113,6 +114,8 @@ def cmd_list(args: argparse.Namespace) -> int:
 def cmd_elect(args: argparse.Namespace) -> int:
     from .analysis import run_trials
     from .api import _ensure_registry
+    from .sim.backend import normalize_backend
+    from .sim.errors import BackendUnsupported
     from .sim.models import make_model
 
     topology = parse_graph(args.graph, seed=args.seed)
@@ -120,6 +123,10 @@ def cmd_elect(args: argparse.Namespace) -> int:
     if spec is None:
         raise SystemExit(f"unknown algorithm {args.algorithm!r} "
                          f"(see `python -m repro list`)")
+    try:
+        backend = normalize_backend(args.backend)
+    except ValueError as exc:
+        raise SystemExit(str(exc))
     try:
         model = make_model(args.delay, args.crash, args.loss,
                            model_seed=args.model_seed)
@@ -150,10 +157,12 @@ def cmd_elect(args: argparse.Namespace) -> int:
                  if v not in (None, 0)}
         print("model: " + " ".join(f"{k}={v}" for k, v in knobs.items()))
     try:
-        stats = run_trials(topology, spec.factory, trials=args.trials,
+        stats = run_trials(topology, args.algorithm, trials=args.trials,
                            seed=args.seed, knowledge_keys=spec.needs,
                            max_rounds=args.max_rounds, model=model,
-                           tracer=tracer)
+                           tracer=tracer, backend=backend)
+    except BackendUnsupported as exc:
+        raise SystemExit(str(exc))
     finally:
         if tracer is not None:
             tracer.close()
@@ -202,9 +211,9 @@ def cmd_report(args: argparse.Namespace) -> int:
     try:
         report = run_report(grid=args.grid, seed=args.seed,
                             cache_dir=args.cache_dir, workers=args.workers,
-                            claim_ids=args.claims,
+                            backend=args.backend, claim_ids=args.claims,
                             progress=_log_progress, on_cell=on_cell)
-    except KeyError as exc:
+    except (KeyError, ValueError) as exc:
         raise SystemExit(exc.args[0] if exc.args else str(exc))
     finally:
         if progress_line is not None:
@@ -308,7 +317,7 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             wakeup=args.wakeup, ids=args.ids,
             congest_bits=args.congest_bits, max_rounds=args.max_rounds,
             delay=args.delay, crash=args.crash, loss=args.loss,
-            model_seed=args.model_seed,
+            model_seed=args.model_seed, backend=args.backend,
             cache_dir=args.cache_dir, workers=args.workers,
             progress=_log_progress, on_cell=on_cell)
     except (KeyError, ValueError, SimulationError) as exc:
@@ -348,16 +357,19 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 def cmd_bench_sim(args: argparse.Namespace) -> int:
     from .sim.bench import (GRIDS, append_snapshot, format_rows, run_grid,
                             snapshot)
+    from .sim.errors import BackendUnsupported
 
     if args.point:
         grid = []
         for entry in args.point:
             parts = entry.split("@")
-            if len(parts) not in (2, 3) or not parts[1]:
+            if len(parts) not in (2, 3, 4) or not parts[1]:
                 raise SystemExit(f"bad --point {entry!r}; expected "
-                                 f"ALGORITHM@GRAPHSPEC[@DELAY], e.g. "
-                                 f"flood-max@complete:512 or "
-                                 f"least-el@complete:128@uniform:4")
+                                 f"ALGORITHM@GRAPHSPEC[@DELAY][@BACKEND] "
+                                 f"('-' for no delay), e.g. "
+                                 f"flood-max@complete:512, "
+                                 f"least-el@complete:128@uniform:4, or "
+                                 f"flood-max@clique:4096@-@columnar")
             grid.append(tuple(parts))
     else:
         grid = list(GRIDS[args.grid])
@@ -366,9 +378,10 @@ def cmd_bench_sim(args: argparse.Namespace) -> int:
         rows = run_grid(grid, seed=args.seed, repeats=args.repeats,
                         max_rounds=args.max_rounds,
                         auto_knowledge=tuple(args.auto_knowledge or ()),
+                        backend=args.backend,
                         profile=args.profile,
                         progress=_log_progress)
-    except (KeyError, ValueError) as exc:
+    except (KeyError, ValueError, BackendUnsupported) as exc:
         raise SystemExit(exc.args[0] if exc.args else str(exc))
 
     print(format_rows(rows))
@@ -452,6 +465,10 @@ def build_parser() -> argparse.ArgumentParser:
     elect.add_argument("--trials", type=int, default=1)
     elect.add_argument("--seed", type=int, default=0)
     elect.add_argument("--max-rounds", type=int, default=10 ** 7)
+    elect.add_argument("--backend", default=None,
+                       help="engine backend: event-loop (default) | columnar "
+                            "(vectorized NumPy engine; refuses unsupported "
+                            "requests rather than approximating)")
     elect.add_argument("--delay",
                        help="message delay: Δ | fixed:Δ | uniform:Δ | "
                             "adversarial:Δ (default: synchronous, Δ=1)")
@@ -498,6 +515,10 @@ def build_parser() -> argparse.ArgumentParser:
                           "(default: current directory for canonical "
                           "full-registry smoke runs, no write otherwise; "
                           "'' to skip writing)")
+    rep.add_argument("--backend", default=None,
+                     help="engine backend for every claim's cells "
+                          "(event-loop default | columnar); verdicts and "
+                          "cache rows are backend-independent")
     rep.add_argument("--workers", type=int, default=1,
                      help="worker processes (results identical to serial)")
     rep.add_argument("--cache-dir", default=".repro-cache",
@@ -548,6 +569,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "at:NODE@ROUND,... (repeat values to sweep)")
     sweep.add_argument("--loss", nargs="+", type=float, metavar="RATE",
                        help="message-loss axis: probabilities in [0, 1]")
+    sweep.add_argument("--backend", default=None,
+                       help="engine backend for every cell (event-loop "
+                            "default | columnar); cache rows are shared "
+                            "across backends")
     sweep.add_argument("--model-seed", type=int, default=0,
                        help="seed of the model's adversary randomness")
     sweep.add_argument("--workers", type=int, default=1,
@@ -563,14 +588,17 @@ def build_parser() -> argparse.ArgumentParser:
         help="measure simulator throughput and append it to BENCH_sim.json")
     bench.add_argument("--grid",
                        choices=["default", "tiny", "delay", "large",
-                                "large-smoke"],
+                                "large-smoke", "vector", "vector-smoke"],
                        default="default",
                        help="predefined measurement grid ('large' is the "
-                            "implicit-topology n>=16k series; run it with "
+                            "implicit-topology n>=16k series; 'vector' the "
+                            "event-loop/columnar A/B series incl. the "
+                            "million-node point; run both with "
                             "--auto-knowledge D --repeats 1)")
     bench.add_argument("--point", action="append",
-                       metavar="ALGORITHM@GRAPHSPEC[@DELAY]",
-                       help="explicit grid point (repeatable); overrides --grid")
+                       metavar="ALGORITHM@GRAPHSPEC[@DELAY][@BACKEND]",
+                       help="explicit grid point (repeatable); overrides "
+                            "--grid ('-' for no delay)")
     bench.add_argument("--repeats", type=int, default=3,
                        help="simulations per point (best wall time kept)")
     bench.add_argument("--auto-knowledge", nargs="+", metavar="KEY",
@@ -578,6 +606,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="extra graph-derived knowledge granted to every "
                             "point (e.g. D makes flood-max the O(D) baseline)")
     bench.add_argument("--seed", type=int, default=1)
+    bench.add_argument("--backend", default=None,
+                       help="default engine backend for points without an "
+                            "explicit @BACKEND element (event-loop | "
+                            "columnar)")
     bench.add_argument("--max-rounds", type=int)
     bench.add_argument("--label", default="",
                        help="free-form tag stored with the snapshot")

@@ -91,6 +91,13 @@ class CellSpec:
     crash: Optional[str] = None
     loss: Optional[float] = None
     model_seed: int = 0
+    #: Engine backend (:mod:`repro.sim.backend`), normalized so the
+    #: default is ``None``.  Deliberately NOT part of the cell identity:
+    #: backends are equivalent-or-absent (bit-identical results or
+    #: ``BackendUnsupported``), so the same cache row is valid whichever
+    #: engine produced it and pre-backend rows stay usable.  This is why
+    #: no SCHEMA_VERSION bump accompanies the field.
+    backend: Optional[str] = None
 
     # -- identity ------------------------------------------------------
     def _identity(self, *, with_trial: bool, with_seed: bool) -> Dict[str, Any]:
@@ -157,6 +164,9 @@ class CellSpec:
         """Full cell record as stored alongside cached metrics."""
         record = self._identity(with_trial=True, with_seed=True)
         record["experiment"] = self.experiment
+        if self.backend is not None:
+            # Provenance only — never part of the identity/digest.
+            record["backend"] = self.backend
         return record
 
 
@@ -229,6 +239,11 @@ class ExperimentSpec:
         Seed of the model's own adversary randomness (delay/loss draws,
         crash schedules), mixed with each cell's derived seed.  Part of
         the cell identity.
+    backend:
+        Engine backend name for every cell (``"event-loop"`` default,
+        ``"columnar"``).  An execution detail, not an identity: results
+        are backend-independent by construction, so cells keep their
+        digests, seeds, and cache rows whichever engine runs them.
     """
 
     name: str
@@ -248,6 +263,7 @@ class ExperimentSpec:
     crash: Any = None
     loss: Any = None
     model_seed: int = 0
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -267,6 +283,11 @@ class ExperimentSpec:
             # perturbing the cell digest and derived seed.
             raise ValueError(f"unknown auto_knowledge keys: "
                              f"{sorted(unknown)} (valid: n, m, D)")
+        # Canonicalize the backend eagerly too: a typo'd name should
+        # fail here, and the default must normalize to None so cells
+        # keep their backend-free identity.
+        from ..sim.backend import normalize_backend
+        self.backend = normalize_backend(self.backend)
         # Canonicalize the execution-model axes eagerly so malformed
         # specs fail at spec construction, not mid-sweep in a worker.
         from ..sim.models import normalize_crash, normalize_delay, normalize_loss
@@ -326,6 +347,7 @@ class ExperimentSpec:
                                 crash=crash,
                                 loss=loss,
                                 model_seed=mseed,
+                                backend=self.backend,
                             )
                             cells.append(replace(
                                 cell,

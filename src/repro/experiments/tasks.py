@@ -39,6 +39,7 @@ from ..graphs.ids import IdAssigner, RandomIds, ReversedIds, SequentialIds
 from ..graphs.network import Network
 from ..graphs.specs import SEEDED_KINDS, parse_graph_spec
 from ..graphs.topology import Topology
+from ..sim.backend import RunRequest, resolve_backend
 from ..sim.models import make_model
 from ..sim.scheduler import RunResult, Simulator
 from ..sim.wakeup import AdversarialWakeup, Simultaneous, WakeupModel
@@ -148,7 +149,8 @@ def _election_metrics(result: RunResult, network: Network,
 
 
 def _run_election(cell: CellSpec, factory: Callable[[], Any],
-                  needs: tuple) -> Dict[str, Any]:
+                  needs: tuple,
+                  algorithm: Optional[str] = None) -> Dict[str, Any]:
     from ..api import _auto_knowledge
 
     if cell.graph is None:
@@ -158,12 +160,15 @@ def _run_election(cell: CellSpec, factory: Callable[[], Any],
                             ids=make_ids(cell.ids))
     knowledge = _auto_knowledge(network, tuple(needs) + cell.auto_knowledge,
                                 cell.knowledge_dict, diameter=diameter)
-    sim = Simulator(network, factory, seed=cell.seed, knowledge=knowledge,
-                    wakeup=make_wakeup(cell.wakeup),
-                    model=make_model(cell.delay, cell.crash, cell.loss,
-                                     model_seed=cell.model_seed),
-                    congest_bits=cell.congest_bits)
-    result = sim.run(max_rounds=cell.max_rounds)
+    request = RunRequest(network=network, factory=factory, seed=cell.seed,
+                         knowledge=knowledge,
+                         wakeup=make_wakeup(cell.wakeup),
+                         model=make_model(cell.delay, cell.crash, cell.loss,
+                                          model_seed=cell.model_seed),
+                         congest_bits=cell.congest_bits,
+                         max_rounds=cell.max_rounds,
+                         algorithm=algorithm)
+    result = resolve_backend(cell.backend).run(request)
     return _election_metrics(result, network, diameter)
 
 
@@ -223,10 +228,11 @@ def elect_task(cell: CellSpec) -> Dict[str, Any]:
                          "(set ExperimentSpec.algorithms / --algorithms)")
     if cell.algorithm not in registry:
         known = ", ".join(sorted(registry))
-        raise KeyError(
+        raise ValueError(
             f"unknown algorithm {cell.algorithm!r}; choose one of: {known}")
     spec = registry[cell.algorithm]
-    return _run_election(cell, spec.factory, spec.needs)
+    return _run_election(cell, spec.factory, spec.needs,
+                         algorithm=cell.algorithm)
 
 
 @register_task("candidate-f")
@@ -252,7 +258,8 @@ def clique_cycle_task(cell: CellSpec) -> Dict[str, Any]:
                         wakeup=cell.wakeup, congest_bits=cell.congest_bits,
                         max_rounds=cell.max_rounds,
                         delay=cell.delay, crash=cell.crash, loss=cell.loss,
-                        model_seed=cell.model_seed or None)
+                        model_seed=cell.model_seed or None,
+                        backend=cell.backend)
     _reject_unknown_params(cell, allowed=("instance",))
     n, d = _split_pair(_require_param(cell, "instance"), "instance")
     cc = CliqueCycle(n, d)
@@ -278,12 +285,13 @@ def bridge_crossing_task(cell: CellSpec) -> Dict[str, Any]:
                         auto_knowledge=cell.auto_knowledge, ids=cell.ids,
                         wakeup=cell.wakeup, congest_bits=cell.congest_bits,
                         delay=cell.delay, crash=cell.crash, loss=cell.loss,
-                        model_seed=cell.model_seed or None)
+                        model_seed=cell.model_seed or None,
+                        backend=cell.backend)
     _reject_unknown_params(cell, allowed=("half",))
     registry = _ensure_registry()
     algorithm = cell.algorithm or "least-el"
     if algorithm not in registry:
-        raise KeyError(f"unknown algorithm {algorithm!r}")
+        raise ValueError(f"unknown algorithm {algorithm!r}")
     n, m = _split_pair(_require_param(cell, "half"), "half")
     sampler = DumbbellSampler(n, m, seed=cell.seed)
     trial = run_crossing_trial(sampler.sample(), registry[algorithm].factory,
@@ -332,12 +340,13 @@ def truncated_elect_task(cell: CellSpec) -> Dict[str, Any]:
                         wakeup=cell.wakeup, congest_bits=cell.congest_bits,
                         max_rounds=cell.max_rounds,
                         delay=cell.delay, crash=cell.crash, loss=cell.loss,
-                        model_seed=cell.model_seed or None)
+                        model_seed=cell.model_seed or None,
+                        backend=cell.backend)
     _reject_unknown_params(cell, allowed=("instance", "frac"))
     registry = _ensure_registry()
     algorithm = cell.algorithm or "least-el"
     if algorithm not in registry:
-        raise KeyError(f"unknown algorithm {algorithm!r}")
+        raise ValueError(f"unknown algorithm {algorithm!r}")
     n, d = _split_pair(_require_param(cell, "instance"), "instance")
     frac = float(_require_param(cell, "frac"))
     if frac <= 0:

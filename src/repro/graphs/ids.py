@@ -30,7 +30,22 @@ class RandomIds(IdAssigner):
     """Uniform sampling without replacement from ``[1, n^4]`` (default)."""
 
     def assign(self, n: int, rng: random.Random) -> List[int]:
-        return rng.sample(range(1, id_space_size(n) + 1), n)
+        space = id_space_size(n)
+        if space < 2 ** 63:
+            return rng.sample(range(1, space + 1), n)
+        # ``rng.sample`` needs len(range) to fit a C ssize_t, which n^4
+        # exceeds once n is ~55k.  Rejection-sample instead: with
+        # |Z| = n^4 the collision probability is ~n^-2, so retries are
+        # vanishingly rare.  (Different draw sequence than the sample
+        # path, but every n reachable by both is served by the first.)
+        seen: set = set()
+        ids: List[int] = []
+        while len(ids) < n:
+            uid = rng.randrange(1, space + 1)
+            if uid not in seen:
+                seen.add(uid)
+                ids.append(uid)
+        return ids
 
 
 class SequentialIds(IdAssigner):

@@ -104,7 +104,10 @@ class ProgressLine:
             self._tty = False
         self._min_interval = min_interval if self._tty else fallback_interval
         self._t0 = time.monotonic()
-        self._last_draw = 0.0
+        # A TTY draws on the first update; piped output stays silent
+        # until the first fallback interval elapses (checkpoints, not an
+        # echo of every update).
+        self._last_draw = self._t0 if not self._tty else self._t0 - min_interval
         self._last_len = 0
         self._open = False
 

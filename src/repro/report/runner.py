@@ -127,10 +127,19 @@ class ReportRunner:
 
     def __init__(self, *, grid: str = "smoke", seed: int = 0,
                  cache_dir: Optional[str] = None, workers: int = 1,
+                 backend: Optional[str] = None,
                  progress: Optional[Callable[[str], None]] = None,
                  on_cell: Optional[Callable[[int, int], None]] = None) -> None:
+        from ..sim.backend import normalize_backend
+
         self.grid = grid
         self.seed = seed
+        #: Engine backend applied to every claim's cells.  Results (and
+        #: therefore verdicts, digests, and cache rows) are
+        #: backend-independent; claims whose cells a backend cannot run
+        #: surface BackendUnsupported as a divergence rather than
+        #: silently falling back.
+        self.backend = normalize_backend(backend)
         self.progress = progress or (lambda msg: None)
         #: Live per-cell callback ``(done, total)``, forwarded to each
         #: claim's sweep (totals reset per claim).
@@ -164,6 +173,9 @@ class ReportRunner:
         # that claim, never as an abort of the remaining claims.
         try:
             spec = claim.build_spec(self.grid, self.seed)
+            if spec is not None and self.backend is not None:
+                from dataclasses import replace
+                spec = replace(spec, backend=self.backend)
         except Exception as exc:  # noqa: BLE001
             return self._diverged(claim, "spec construction", exc)
         if spec is None:
@@ -208,11 +220,12 @@ class ReportRunner:
 
 def run_report(*, grid: str = "smoke", seed: int = 0,
                cache_dir: Optional[str] = None, workers: int = 1,
+               backend: Optional[str] = None,
                claim_ids: Optional[Sequence[str]] = None,
                progress: Optional[Callable[[str], None]] = None,
                on_cell: Optional[Callable[[int, int], None]] = None) -> Report:
     """One-call report: build a :class:`ReportRunner` and run it."""
     runner = ReportRunner(grid=grid, seed=seed, cache_dir=cache_dir,
-                          workers=workers, progress=progress,
-                          on_cell=on_cell)
+                          workers=workers, backend=backend,
+                          progress=progress, on_cell=on_cell)
     return runner.run(claim_ids)

@@ -6,7 +6,20 @@ skipping, per-node private coins, message/bit metrics, edge watches for
 the bridge-crossing lower-bound experiments, and pluggable wakeup models.
 """
 
+from .backend import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    ColumnarBackend,
+    EngineBackend,
+    EventLoopBackend,
+    RunRequest,
+    backend_names,
+    normalize_backend,
+    resolve_backend,
+)
+from .contract import node_rng, wakeup_rng
 from .errors import (
+    BackendUnsupported,
     CongestViolation,
     ElectionFailure,
     InvalidPort,
@@ -41,7 +54,19 @@ from .wakeup import AdversarialWakeup, ExplicitWakeup, Simultaneous, WakeupModel
 __all__ = [
     "AdversarialDelay",
     "AdversarialWakeup",
+    "BACKENDS",
+    "BackendUnsupported",
     "BernoulliLoss",
+    "ColumnarBackend",
+    "DEFAULT_BACKEND",
+    "EngineBackend",
+    "EventLoopBackend",
+    "RunRequest",
+    "backend_names",
+    "node_rng",
+    "normalize_backend",
+    "resolve_backend",
+    "wakeup_rng",
     "CongestViolation",
     "CrashSchedule",
     "DelayPolicy",

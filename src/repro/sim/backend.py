@@ -1,0 +1,179 @@
+"""Engine backends: pluggable executors of the run contract.
+
+A *backend* turns one :class:`RunRequest` into one
+:class:`~repro.sim.contract.RunResult`.  The reference implementation is
+the event-loop :class:`~repro.sim.scheduler.Simulator`; the columnar
+NumPy engine (:mod:`repro.sim.columnar`) is an opt-in second backend for
+synchronous, broadcast-dominated algorithms.  Backends are *equivalent
+or absent*: a backend either produces results bit-identical to the
+event loop (messages, bits, rounds, statuses, outputs — pinned by the
+backend-equivalence tests against the golden parity suite) or refuses
+the request with :class:`~repro.sim.errors.BackendUnsupported`.
+
+This module is also the seam future executors plug into (the ROADMAP's
+asyncio real-network backend): implement :class:`EngineBackend`,
+register it in :data:`BACKENDS`, and every entry point that accepts
+``backend=`` — :func:`repro.api.run_algorithm`,
+:func:`repro.analysis.stats.run_trials`, the experiment engine, and the
+``repro`` CLI — can route through it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Mapping, Optional, Set, Tuple
+
+from ..graphs.network import Network
+from .contract import ProcessFactory, RunResult
+from .errors import BackendUnsupported
+from .models import ExecutionModel
+from .scheduler import Simulator
+from .wakeup import WakeupModel
+
+#: The backend every request runs on unless one is named explicitly.
+DEFAULT_BACKEND = "event-loop"
+
+
+@dataclass
+class RunRequest:
+    """One simulation run, described backend-neutrally.
+
+    The fields mirror :class:`~repro.sim.scheduler.Simulator`'s
+    constructor plus ``max_rounds``; ``algorithm`` optionally names the
+    registry algorithm the factory instantiates, which is how kernel
+    backends look up their vectorized implementation (a bare factory is
+    opaque — without the name, only the event loop can run it).
+    """
+
+    network: Network
+    factory: ProcessFactory
+    seed: int = 0
+    knowledge: Mapping[str, int] = field(default_factory=dict)
+    wakeup: Optional[WakeupModel] = None
+    model: Optional[ExecutionModel] = None
+    watch_edges: Optional[Set[Tuple[int, int]]] = None
+    record_sends: bool = False
+    congest_bits: Optional[int] = None
+    tracer: Optional[Any] = None
+    timeline: bool = False
+    max_rounds: Optional[int] = None
+    algorithm: Optional[str] = None
+
+    def effective_wakeup(self) -> Optional[WakeupModel]:
+        """The wakeup model the run will use (explicit beats model's)."""
+        if self.wakeup is not None:
+            return self.wakeup
+        if self.model is not None:
+            return self.model.wakeup
+        return None
+
+
+class EngineBackend:
+    """Interface every execution backend implements."""
+
+    name: str = "abstract"
+
+    def supports(self, request: RunRequest) -> Optional[str]:
+        """``None`` if this backend can run ``request`` bit-identically
+        to the event loop; otherwise a human-readable refusal reason."""
+        raise NotImplementedError
+
+    def check(self, request: RunRequest) -> None:
+        """Raise :class:`BackendUnsupported` if the request is refused."""
+        reason = self.supports(request)
+        if reason is not None:
+            raise BackendUnsupported(self.name, reason)
+
+    def run(self, request: RunRequest) -> RunResult:
+        raise NotImplementedError
+
+
+class EventLoopBackend(EngineBackend):
+    """The reference backend: the per-process event-loop Simulator."""
+
+    name = "event-loop"
+
+    def supports(self, request: RunRequest) -> Optional[str]:
+        return None  # the reference semantics: everything runs here
+
+    def run(self, request: RunRequest) -> RunResult:
+        sim = Simulator(request.network, request.factory,
+                        seed=request.seed,
+                        knowledge=request.knowledge,
+                        wakeup=request.wakeup,
+                        model=request.model,
+                        watch_edges=request.watch_edges,
+                        record_sends=request.record_sends,
+                        congest_bits=request.congest_bits,
+                        tracer=request.tracer,
+                        timeline=request.timeline)
+        return sim.run(max_rounds=request.max_rounds)
+
+
+class ColumnarBackend(EngineBackend):
+    """Vectorized NumPy backend (:mod:`repro.sim.columnar`).
+
+    This shim keeps the numpy import lazy: constructing or listing the
+    backend never imports numpy, so ``repro`` stays fully usable — and
+    refuses columnar runs with a clear reason — on hosts without it.
+    """
+
+    name = "columnar"
+
+    def supports(self, request: RunRequest) -> Optional[str]:
+        from . import columnar
+        reason = columnar.numpy_missing()
+        if reason is not None:
+            return reason
+        from .columnar import engine
+        return engine.supports(request)
+
+    def run(self, request: RunRequest) -> RunResult:
+        self.check(request)
+        from .columnar import engine
+        return engine.run(request)
+
+
+#: Registry of available backends, keyed by canonical name.
+BACKENDS: Dict[str, EngineBackend] = {
+    "event-loop": EventLoopBackend(),
+    "columnar": ColumnarBackend(),
+}
+
+_ALIASES = {
+    None: "event-loop",
+    "": "event-loop",
+    "default": "event-loop",
+    "event-loop": "event-loop",
+    "event_loop": "event-loop",
+    "eventloop": "event-loop",
+    "columnar": "columnar",
+}
+
+
+def backend_names() -> Tuple[str, ...]:
+    """Canonical backend names, default first."""
+    return tuple(BACKENDS)
+
+
+def normalize_backend(name: Optional[str]) -> Optional[str]:
+    """Canonical backend name, with the default normalized to ``None``.
+
+    The ``None`` normalization is what keeps the experiment cache
+    stable: a cell's identity never mentions the default backend, so
+    pre-backend cache rows and ``backend=None`` rows are the same rows.
+    Unknown names raise ``ValueError`` listing the valid ones.
+    """
+    key = name.strip().lower() if isinstance(name, str) else name
+    try:
+        canonical = _ALIASES[key]
+    except KeyError:
+        raise ValueError(
+            f"unknown backend {name!r}; valid backends: "
+            f"{', '.join(BACKENDS)}") from None
+    return None if canonical == DEFAULT_BACKEND else canonical
+
+
+def resolve_backend(name: Optional[str]) -> EngineBackend:
+    """The :class:`EngineBackend` instance for ``name`` (default-tolerant)."""
+    return BACKENDS[normalize_backend(name) or DEFAULT_BACKEND]

@@ -86,28 +86,60 @@ LARGE_SMOKE_GRID: Tuple[Tuple[str, ...], ...] = (
     ("least-el", "torus:64x64"),
 )
 
+#: Engine A/B series: the same cells through the event-loop and the
+#: columnar backend, interleaved, so each snapshot carries a direct
+#: same-machine speedup reading (results are bit-identical by the
+#: backend contract; only wall/events_per_s may differ).  The final
+#: point is the columnar-only million-node headline — there is no
+#: event-loop twin at that scale.  Run with ``--auto-knowledge D
+#: --repeats 1`` like the other large-n grids.
+VECTOR_GRID: Tuple[Tuple[str, Optional[str], Optional[str], str], ...] = (
+    ("flood-max", "clique:4096", None, "event-loop"),
+    ("flood-max", "clique:4096", None, "columnar"),
+    ("flood-max", "clique:16384", None, "event-loop"),
+    ("flood-max", "clique:16384", None, "columnar"),
+    ("sublinear", "clique:16384", None, "event-loop"),
+    ("sublinear", "clique:16384", None, "columnar"),
+    ("sublinear", "clique:1000000", None, "columnar"),
+)
+
+#: CI-sized A/B slice (tens of seconds): one flood-max pair and one
+#: sublinear pair, small enough for the event-loop side to stay cheap.
+VECTOR_SMOKE_GRID: Tuple[Tuple[str, Optional[str], Optional[str], str], ...] = (
+    ("flood-max", "clique:1024", None, "event-loop"),
+    ("flood-max", "clique:1024", None, "columnar"),
+    ("sublinear", "clique:4096", None, "event-loop"),
+    ("sublinear", "clique:4096", None, "columnar"),
+)
+
 GRIDS: Dict[str, Tuple[Tuple[str, ...], ...]] = {
     "default": DEFAULT_GRID,
     "tiny": TINY_GRID,
     "delay": DELAY_GRID,
     "large": LARGE_GRID,
     "large-smoke": LARGE_SMOKE_GRID,
+    "vector": VECTOR_GRID,
+    "vector-smoke": VECTOR_SMOKE_GRID,
 }
 
 
 def measure_point(algorithm: str, graph: str, delay: Optional[str] = None, *,
+                  backend: Optional[str] = None,
                   seed: int = 1, repeats: int = 3,
                   max_rounds: Optional[int] = None,
                   auto_knowledge: Sequence[str] = (),
                   profile: bool = False) -> Dict[str, Any]:
-    """Time one (algorithm, graph[, delay]) point; return its row.
+    """Time one (algorithm, graph[, delay][, backend]) point.
 
     ``repeats`` independent simulations are run on the same network and
     the *best* wall time is kept (the usual benchmarking convention:
     minimum over repeats estimates the noise floor).  ``delay`` is an
     execution-model delay spec (``fixed:Δ``/``uniform:Δ``/...); Δ>1
     measures the general ring-buffer path instead of the flat fast
-    path.  ``auto_knowledge`` grants extra graph-derived parameters
+    path.  ``backend`` selects the engine (event-loop default); both
+    backends of an A/B pair run the same request, so everything but the
+    wall-clock columns is identical between their rows.
+    ``auto_knowledge`` grants extra graph-derived parameters
     ("n"/"m"/"D") beyond the algorithm's registry needs — the large-n
     grids grant ``D`` so flood-max runs as the O(D) baseline.
     ``profile=True`` runs **one extra** simulation under :mod:`cProfile`
@@ -118,27 +150,34 @@ def measure_point(algorithm: str, graph: str, delay: Optional[str] = None, *,
     from ..api import _auto_knowledge, _ensure_registry
     from ..graphs.network import Network
     from ..graphs.specs import parse_graph_spec
+    from .backend import DEFAULT_BACKEND, RunRequest, normalize_backend, \
+        resolve_backend
     from .models import make_model
-    from .scheduler import Simulator
 
     registry = _ensure_registry()
     if algorithm not in registry:
         known = ", ".join(sorted(registry))
-        raise KeyError(f"unknown algorithm {algorithm!r}; choose one of: {known}")
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose one of: {known}")
     spec = registry[algorithm]
+    backend = normalize_backend(backend)
+    engine = resolve_backend(backend)
     topology = parse_graph_spec(graph, seed=seed)
     network = Network.build(topology, seed=seed)
     knowledge = _auto_knowledge(network, spec.needs + tuple(auto_knowledge),
                                 None)
+
+    def _request() -> RunRequest:
+        return RunRequest(network=network, factory=spec.factory, seed=seed,
+                          knowledge=knowledge, model=make_model(delay),
+                          max_rounds=max_rounds, algorithm=algorithm)
 
     best_wall: Optional[float] = None
     result = None
     metrics = None
     for _ in range(max(1, repeats)):
         t0 = time.perf_counter()
-        sim = Simulator(network, spec.factory, seed=seed, knowledge=knowledge,
-                        model=make_model(delay))
-        result = sim.run(max_rounds=max_rounds)
+        result = engine.run(_request())
         wall = time.perf_counter() - t0
         metrics = result.metrics
         if best_wall is None or wall < best_wall:
@@ -148,14 +187,13 @@ def measure_point(algorithm: str, graph: str, delay: Optional[str] = None, *,
     profile_row: Optional[Dict[str, float]] = None
     if profile:
         def _profiled_run() -> None:
-            sim = Simulator(network, spec.factory, seed=seed,
-                            knowledge=knowledge, model=make_model(delay))
-            sim.run(max_rounds=max_rounds)
+            engine.run(_request())
         profile_row = _profile_buckets(_profiled_run)
     return {
         "algorithm": algorithm,
         "graph": graph,
         "delay": delay,
+        "backend": backend or DEFAULT_BACKEND,
         "knowledge": sorted(knowledge),
         "n": network.num_nodes,
         "m": network.num_edges,
@@ -219,16 +257,27 @@ def _profile_buckets(fn) -> Dict[str, float]:
 def run_grid(grid: Sequence[Tuple[str, ...]], *, seed: int = 1,
              repeats: int = 3, max_rounds: Optional[int] = None,
              auto_knowledge: Sequence[str] = (),
+             backend: Optional[str] = None,
              profile: bool = False,
              progress=None) -> List[Dict[str, Any]]:
+    """Measure every grid point; ``backend`` is the default for points
+    without their own fourth element (empty/"-" elements mean None)."""
     rows = []
     for point in grid:
         algorithm, graph = point[0], point[1]
         delay = point[2] if len(point) > 2 else None
+        if delay in ("", "-"):
+            delay = None
+        point_backend = point[3] if len(point) > 3 else backend
+        if point_backend in ("", "-"):
+            point_backend = backend
         if progress:
             suffix = f" delay={delay}" if delay else ""
+            if point_backend:
+                suffix += f" backend={point_backend}"
             progress(f"bench {algorithm} on {graph}{suffix} ...")
-        rows.append(measure_point(algorithm, graph, delay, seed=seed,
+        rows.append(measure_point(algorithm, graph, delay,
+                                  backend=point_backend, seed=seed,
                                   repeats=repeats, max_rounds=max_rounds,
                                   auto_knowledge=auto_knowledge,
                                   profile=profile))
@@ -335,12 +384,14 @@ def append_snapshot(path: str, snap: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def format_rows(rows: List[Dict[str, Any]]) -> str:
-    header = (f"{'algorithm':<14} {'graph':<14} {'delay':<12} {'n':>5} "
+    header = (f"{'algorithm':<14} {'graph':<16} {'delay':<10} "
+              f"{'backend':<10} {'n':>8} "
               f"{'events/s':>12} {'messages/s':>12} {'wall_s':>9}")
     lines = [header]
     for row in rows:
-        lines.append(f"{row['algorithm']:<14} {row['graph']:<14} "
-                     f"{row.get('delay') or '-':<12} "
-                     f"{row['n']:>5} {row['events_per_s']:>12,.0f} "
+        lines.append(f"{row['algorithm']:<14} {row['graph']:<16} "
+                     f"{row.get('delay') or '-':<10} "
+                     f"{row.get('backend') or 'event-loop':<10} "
+                     f"{row['n']:>8} {row['events_per_s']:>12,.0f} "
                      f"{row['messages_per_s']:>12,.0f} {row['wall_s']:>9.4f}")
     return "\n".join(lines)

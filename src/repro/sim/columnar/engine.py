@@ -1,0 +1,157 @@
+"""The columnar round engine: kernel loop + exact accounting runtime.
+
+The engine mirrors :meth:`Simulator.run` structurally — find the next
+event round, execute it, count it, settle delivered messages at the
+end — but delegates the *content* of each round to a vectorized
+:class:`~repro.sim.columnar.kernels.Kernel`.  A kernel's contract is
+the per-round map ``step(state, inbox) -> outbox`` with the inbox and
+outbox represented columnarly (flat arrays / grouped dicts) instead of
+per-node ``Delivery`` lists; :class:`KernelRuntime` provides the
+Metrics-exact accounting primitives so kernels cannot drift from the
+event loop's counters.
+
+Equivalence obligations a kernel must uphold (pinned by
+``tests/test_backends.py`` against the golden parity suite):
+
+* identical randomness — replay :func:`repro.sim.contract.node_rng`
+  draws in the event-loop order;
+* identical counters — messages/bits/per-kind/per-node at send time,
+  ``activations`` per (event round, active node) pair,
+  ``last_activity_round`` on delivery and status-change rounds,
+  ``rounds_executed`` per executed round;
+* identical truncation — an event round past ``max_rounds`` truncates
+  the run with sent-but-undelivered messages left pending.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..contract import DEFAULT_MAX_ROUNDS, RunResult
+from ..errors import CongestViolation
+from ..metrics import Metrics
+from ..status import Status
+from ..wakeup import Simultaneous
+from .kernels import KERNELS
+
+
+def supports(request) -> Optional[str]:
+    """Refusal reason for ``request`` on the columnar path, else ``None``.
+
+    The checks are deliberately loud and specific: every feature the
+    columnar engine does not replicate bit-for-bit is rejected here, so
+    an unsupported request can never produce silently different numbers.
+    """
+    algorithm = request.algorithm
+    if not algorithm:
+        return ("request does not name a registry algorithm (columnar "
+                "kernels are looked up by name, not by process factory)")
+    kernel_cls = KERNELS.get(algorithm)
+    if kernel_cls is None:
+        return (f"no columnar kernel for algorithm {algorithm!r} "
+                f"(kernels exist for: {', '.join(sorted(KERNELS))})")
+    model = request.model
+    if model is not None and not model.is_synchronous:
+        return ("execution model is not the synchronous fault-free model "
+                "(delay/loss/crash simulation is event-loop only)")
+    wake = request.effective_wakeup()
+    if wake is not None and not isinstance(wake, Simultaneous):
+        return (f"wakeup model {type(wake).__name__} is not simultaneous "
+                "(staggered wakeups are event-loop only)")
+    if request.watch_edges:
+        return "edge watches need per-send envelopes (event-loop only)"
+    if request.record_sends:
+        return "send-log recording needs per-send envelopes (event-loop only)"
+    if request.tracer is not None:
+        return ("tracing is not instrumented on the columnar path; "
+                "run traced elections on the event-loop backend")
+    if request.timeline:
+        return ("timeline recording is not instrumented on the columnar "
+                "path; run observed elections on the event-loop backend")
+    return kernel_cls().supports(request)
+
+
+class KernelRuntime:
+    """Accounting surface shared by all kernels.
+
+    Wraps one :class:`Metrics` instance plus the statuses/outputs the
+    :class:`RunResult` will carry, and owns the ``pending`` in-flight
+    message counter used for the end-of-run ``messages_delivered``
+    settle (the exact analogue of the Simulator's buffered-inbox scan).
+    """
+
+    def __init__(self, request) -> None:
+        self.request = request
+        self.network = request.network
+        self.n = self.network.num_nodes
+        self.seed = request.seed
+        self.knowledge = dict(request.knowledge or {})
+        self.congest_bits = request.congest_bits
+        self.limit = (request.max_rounds if request.max_rounds is not None
+                      else DEFAULT_MAX_ROUNDS)
+        self.metrics = Metrics()
+        self.statuses = [Status.UNDECIDED] * self.n
+        self.outputs = [{} for _ in range(self.n)]
+        #: Messages sent but not yet handed to a receiver.
+        self.pending = 0
+
+    def account_multicast(self, src: int, kind: str, size: int,
+                          count: int) -> None:
+        """Count one payload fanned out over ``count`` ports of ``src``.
+
+        Same counter updates (and the same CONGEST check, with the same
+        message) as the Simulator's ``_submit_multicast``.
+        """
+        if self.congest_bits is not None and size > self.congest_bits:
+            raise CongestViolation(
+                f"payload {kind} is {size} bits "
+                f"(> CONGEST limit of {self.congest_bits})")
+        metrics = self.metrics
+        metrics.messages += count
+        metrics.bits += size * count
+        if size > metrics.max_payload_bits:
+            metrics.max_payload_bits = size
+        metrics.per_node_sent[src] += count
+        metrics.per_kind[kind] += count
+        self.pending += count
+
+    def congest_check(self, kind: str, size: int) -> None:
+        """Standalone CONGEST check for bulk-accounted sends."""
+        if self.congest_bits is not None and size > self.congest_bits:
+            raise CongestViolation(
+                f"payload {kind} is {size} bits "
+                f"(> CONGEST limit of {self.congest_bits})")
+
+
+def run(request) -> RunResult:
+    """Execute ``request`` through its algorithm's vectorized kernel.
+
+    Callers are expected to have passed :func:`supports` (the
+    ``ColumnarBackend`` shim enforces it); running an unchecked
+    unsupported request is a programming error, not a fallback.
+    """
+    kernel = KERNELS[request.algorithm]()
+    rt = KernelRuntime(request)
+    state = kernel.init(rt)
+    truncated = False
+    while True:
+        r = kernel.next_round(state)
+        if r is None:
+            break
+        if r > rt.limit:
+            truncated = True
+            break
+        kernel.step(rt, state, r)
+        rt.metrics.rounds_executed += 1
+    # Synchronous delivered settle, identical to Simulator.run's: every
+    # sent message was delivered except those still in flight.
+    rt.metrics.messages_delivered = rt.metrics.messages - rt.pending
+    kernel.finish(rt, state, truncated)
+    return RunResult(
+        network=rt.network,
+        statuses=rt.statuses,
+        outputs=rt.outputs,
+        metrics=rt.metrics,
+        truncated=truncated,
+        wake_schedule=[0] * rt.n,
+    )

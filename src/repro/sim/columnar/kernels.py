@@ -1,0 +1,404 @@
+"""Vectorized per-round kernels for the columnar engine.
+
+Each kernel replays one registry algorithm's exact event-loop execution
+with node state in flat NumPy arrays: same randomness stream
+(:func:`repro.sim.contract.node_rng`, consumed in the same draw order
+as the process implementation), same payload classes (sizes and kind
+strings come from the real ``Payload`` types, so accounting cannot
+drift), same per-round activity/activation semantics.
+
+Kernel protocol (driven by :func:`repro.sim.columnar.engine.run`)::
+
+    state = kernel.init(rt)          # columnar state arrays
+    while (r := kernel.next_round(state)) is not None and r <= limit:
+        kernel.step(rt, state, r)    # inbox arrays -> state' + outbox
+    kernel.finish(rt, state, truncated)
+
+``step`` consumes the previous round's outbox as this round's inbox
+(the synchronous model: every message delivers exactly one round after
+it is sent) and accounts new sends through the runtime.  ``supports``
+rejects — with a reason — anything the kernel cannot replicate
+bit-for-bit; the engine refuses rather than approximates.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from _random import Random as _CoreRandom
+from collections import defaultdict
+from types import SimpleNamespace
+from typing import Dict, Optional, Type
+
+import numpy as np
+
+from ...core.flood_max import MaxIdMsg
+from ...core.sublinear import (ProbeMsg, VerdictMsg, expected_candidates,
+                               id_space_size, referee_count)
+from ..contract import node_rng
+from ..status import Status
+
+#: Ceiling on materialized CSR size (sum of degrees) for the flood-max
+#: kernel on non-complete graphs; cliques take the closed-form path and
+#: never materialize edges.
+EDGE_LIMIT = 150_000_000
+
+
+class Kernel:
+    """Base class: one algorithm's vectorized round implementation."""
+
+    algorithm: str = "abstract"
+
+    def supports(self, request) -> Optional[str]:
+        return None
+
+    def init(self, rt) -> SimpleNamespace:
+        raise NotImplementedError
+
+    def next_round(self, state: SimpleNamespace) -> Optional[int]:
+        return state.next_r
+
+    def step(self, rt, state: SimpleNamespace, r: int) -> None:
+        raise NotImplementedError
+
+    def finish(self, rt, state: SimpleNamespace, truncated: bool) -> None:
+        pass
+
+
+def _fold_per_node_sent(rt, sent_count: np.ndarray) -> None:
+    """Fold a per-node send-count array into the Metrics counter.
+
+    Only nonzero entries enter the Counter — the event loop never
+    creates zero-count keys, and Counter equality distinguishes them.
+    """
+    nz = np.flatnonzero(sent_count)
+    if nz.size:
+        rt.metrics.per_node_sent.update(
+            dict(zip(nz.tolist(), sent_count[nz].tolist())))
+
+
+class FloodMaxKernel(Kernel):
+    """Vectorized flood-max: best-seen-ID state as a rank array.
+
+    IDs are drawn from ``[1, n^4]`` and overflow int64 around
+    n ≈ 55 000, so comparisons run in *rank space*: node IDs are sorted
+    once (Python ints, arbitrary precision) and every array holds ranks,
+    which order identically.  Complete graphs use a closed-form inbox
+    (the max over all senders, second-max for its unique holder);
+    everything else reduces over a materialized CSR adjacency.
+    """
+
+    algorithm = "flood-max"
+
+    def supports(self, request) -> Optional[str]:
+        know = request.knowledge or {}
+        if know.get("D") is None and know.get("n") is None:
+            return ("flood-max needs knowledge of D or n to fix its "
+                    "flooding horizon")
+        topology = request.network.topology
+        if not getattr(topology, "is_complete", False):
+            if 2 * request.network.num_edges > EDGE_LIMIT:
+                return (f"graph needs a materialized CSR adjacency of "
+                        f"{2 * request.network.num_edges} entries "
+                        f"(> {EDGE_LIMIT}); use the event-loop backend")
+        return None
+
+    def init(self, rt) -> SimpleNamespace:
+        network = rt.network
+        n = rt.n
+        ids = list(network.ids)
+        # Rank space: order[pos] is the node whose ID has rank pos.
+        order = sorted(range(n), key=ids.__getitem__)
+        rank = np.empty(n, dtype=np.int64)
+        for pos, i in enumerate(order):
+            rank[i] = pos
+        # Payload sizes come from the real message class (memoized by
+        # the Payload instance), so bit accounting cannot drift.
+        sizes = np.fromiter((MaxIdMsg(uid).size_bits() for uid in ids),
+                            dtype=np.int64, count=n)
+        deg = np.fromiter((network.degree(i) for i in range(n)),
+                          dtype=np.int64, count=n)
+        know = rt.knowledge
+        d = know.get("D")
+        if d is None:
+            d = know["n"] - 1
+        clique = bool(getattr(network.topology, "is_complete", False))
+        indptr = indices = None
+        if not clique:
+            topology = network.topology
+            indptr = np.zeros(n + 1, dtype=np.int64)
+            np.cumsum(deg, out=indptr[1:])
+            indices = np.empty(int(indptr[-1]), dtype=np.int64)
+            pos = 0
+            for i in range(n):
+                nb = topology.neighbors(i)
+                indices[pos:pos + len(nb)] = nb
+                pos += len(nb)
+        return SimpleNamespace(
+            next_r=0, horizon=max(1, d), decided=False,
+            ids=ids, order=order, rank=rank,
+            sizes=sizes, sizes_by_rank=sizes[np.asarray(order)],
+            deg=deg, clique=clique, indptr=indptr, indices=indices,
+            best=rank.copy(),
+            sent_mask=None, sent_vals=None,
+            sent_count=np.zeros(n, dtype=np.int64))
+
+    # ------------------------------------------------------------------
+    def _account_broadcasts(self, rt, st, mask: np.ndarray,
+                            sizes_v: np.ndarray) -> None:
+        """Account ``broadcast`` by every node in ``mask``, of the value
+        whose per-node payload size is ``sizes_v`` (CONGEST check in
+        node-index order, like the event loop's activation order)."""
+        if rt.congest_bits is not None:
+            over = mask & (sizes_v > rt.congest_bits)
+            if over.any():
+                first = int(np.flatnonzero(over)[0])
+                rt.congest_check("MaxIdMsg", int(sizes_v[first]))
+        counts = st.deg[mask]
+        total = int(counts.sum())
+        if total == 0:
+            return
+        metrics = rt.metrics
+        metrics.messages += total
+        metrics.bits += int((counts * sizes_v[mask]).sum())
+        top = int(sizes_v[mask].max())
+        if top > metrics.max_payload_bits:
+            metrics.max_payload_bits = top
+        metrics.per_kind["MaxIdMsg"] += total
+        st.sent_count[mask] += counts
+        rt.pending += total
+
+    def _inbox_max(self, st) -> np.ndarray:
+        """Per-node max over values the neighbors sent last round
+        (-1 where nothing arrived)."""
+        mask, vals = st.sent_mask, st.sent_vals
+        n = st.best.shape[0]
+        if st.clique:
+            # Every sender reaches everyone but itself: receivers see
+            # the max sent value, its unique holder the runner-up.
+            sent = vals[mask]
+            m1 = sent.max()
+            inbox = np.full(n, m1, dtype=np.int64)
+            if int((sent == m1).sum()) == 1:
+                lower = sent[sent < m1]
+                m2 = lower.max() if lower.size else np.int64(-1)
+                holder = int(np.flatnonzero(mask & (vals == m1))[0])
+                inbox[holder] = m2
+            return inbox
+        padded = np.where(mask, vals, np.int64(-1))
+        neighbor_vals = padded[st.indices]
+        starts = st.indptr[:-1]
+        empty = starts == st.indptr[1:]
+        inbox = np.maximum.reduceat(
+            neighbor_vals, np.minimum(starts, neighbor_vals.size - 1))
+        inbox[empty] = -1
+        return inbox
+
+    # ------------------------------------------------------------------
+    def step(self, rt, st, r: int) -> None:
+        metrics = rt.metrics
+        # Every node is active every round up to the horizon: round 0 is
+        # the simultaneous wakeup, and each activation re-arms a
+        # one-round alarm until the deadline.
+        metrics.activations += rt.n
+        if r == 0:
+            mask = st.deg > 0
+            if mask.any():
+                self._account_broadcasts(rt, st, mask, st.sizes)
+                st.sent_mask = mask
+                st.sent_vals = st.rank
+            st.next_r = 1
+            return
+        if rt.pending:
+            rt.pending = 0
+            metrics.on_activity(r)
+            inbox = self._inbox_max(st)
+            improved = inbox > st.best
+            np.maximum(st.best, inbox, out=st.best)
+        else:
+            improved = None
+        st.sent_mask = st.sent_vals = None
+        if r >= st.horizon:
+            # Deadline round: everyone decides and halts, sending
+            # nothing; the status flips mark activity.
+            st.decided = True
+            metrics.on_activity(r)
+            st.next_r = None
+            return
+        if improved is not None and improved.any():
+            sizes_v = st.sizes_by_rank[st.best]
+            self._account_broadcasts(rt, st, improved, sizes_v)
+            st.sent_mask = improved
+            st.sent_vals = st.best.copy()
+        st.next_r = r + 1
+
+    def finish(self, rt, st, truncated: bool) -> None:
+        _fold_per_node_sent(rt, st.sent_count)
+        if not st.decided:
+            return  # truncated before the deadline: everyone UNDECIDED
+        winner = (st.best == st.rank).tolist()
+        best = st.best.tolist()
+        ids, order = st.ids, st.order
+        statuses, outputs = rt.statuses, rt.outputs
+        for i in range(rt.n):
+            statuses[i] = Status.ELECTED if winner[i] else Status.NON_ELECTED
+            outputs[i]["leader_uid"] = ids[order[best[i]]]
+
+
+class SublinearKernel(Kernel):
+    """Vectorized referee-sampling election (O(1) rounds, sparse traffic).
+
+    The message pattern is sparse — Θ(log n) candidates probing
+    √(n·ln n) referees each — so the columnar win is skipping per-node
+    process dispatch: the dense O(n) work is one pass replaying each
+    node's candidacy draw, and the probe/verdict exchange stays in
+    small Python dicts keyed by node index (keys are ``(rank, uid)``
+    tuples of arbitrary-precision ints — ranks live in ``[1, n^4]``,
+    past int64).  Runs on any topology, exactly like the process.
+    """
+
+    algorithm = "sublinear"
+
+    def supports(self, request) -> Optional[str]:
+        if (request.knowledge or {}).get("n") is None:
+            return "sublinear needs knowledge of n (its candidacy rate)"
+        return None
+
+    def init(self, rt) -> SimpleNamespace:
+        return SimpleNamespace(next_r=0, probes_by_referee=defaultdict(list),
+                               key_of={}, verdicts_for=defaultdict(list))
+
+    def step(self, rt, st, r: int) -> None:
+        if r == 0:
+            self._round_candidacy(rt, st)
+        elif r == 1:
+            self._round_referees(rt, st)
+        else:
+            self._round_decisions(rt, st)
+
+    # ------------------------------------------------------------------
+    def _round_candidacy(self, rt, st) -> None:
+        """Round 0: replay every node's ``on_start`` draws; candidates
+        probe their sampled referees."""
+        rt.metrics.activations += rt.n
+        network = rt.network
+        know_n = rt.knowledge["n"]
+        p = min(1.0, expected_candidates(know_n) / know_n)
+        space = id_space_size(know_n)
+        referees_cap = referee_count(know_n)
+        statuses = rt.statuses
+        # Candidacy screen.  Every positive-degree node burns exactly
+        # one uniform draw, and constructing the node's Random from its
+        # string seed is the dense cost (~9us/node — seconds at 10^6).
+        # CPython's seed(str, version=2) derives the integer
+        # int.from_bytes(s + sha512(s), 'big'); seeding the C-level
+        # generator with that integer directly produces the identical
+        # stream while skipping the pure-Python wrapper, and the ~np
+        # candidates rebuild their full node_rng below to replay the
+        # remaining draws in order.
+        prefix = f"node:{rt.seed}:".encode()
+        sha = hashlib.sha512
+        from_bytes = int.from_bytes
+        core_rng = _CoreRandom
+        non_elected = Status.NON_ELECTED
+        degree_of = network.degree
+        candidates = []
+        note = candidates.append
+        for i in range(rt.n):
+            if degree_of(i) == 0:
+                # Degenerate single-node component: trivially the leader
+                # (no RNG draw, exactly like the process).
+                statuses[i] = Status.ELECTED
+                rt.outputs[i]["leader_uid"] = network.id_of(i)
+                continue
+            key = prefix + b"%d" % i
+            if core_rng(from_bytes(key + sha(key).digest(), "big")).random() < p:
+                note(i)
+            else:
+                statuses[i] = non_elected
+        port_table = network.port_table
+        probes = st.probes_by_referee
+        for i in candidates:
+            rng = node_rng(rt.seed, i)
+            rng.random()  # the candidacy draw, replayed
+            degree = degree_of(i)
+            uid = network.id_of(i)
+            rank = rng.randrange(1, space + 1)
+            referees = min(degree, referees_cap)
+            ports = rng.sample(range(degree), referees)
+            rt.account_multicast(i, "ProbeMsg",
+                                 ProbeMsg(rank, uid).size_bits(), referees)
+            key = (rank, uid)
+            st.key_of[i] = key
+            row = port_table[i]
+            for port in ports:
+                probes[row[port]].append((key, i))
+        st.next_r = 1 if st.probes_by_referee else None
+
+    def _round_referees(self, rt, st) -> None:
+        """Round 1: each probed node answers every probe with the
+        smallest key it has seen (its own included, if a candidate)."""
+        rt.pending = 0
+        metrics = rt.metrics
+        metrics.on_activity(1)
+        referees = sorted(st.probes_by_referee)
+        metrics.activations += len(referees)
+        # Verdict keys are candidate keys, so there are only ~np
+        # distinct payloads across ~sqrt(n log n) referees: memoize each
+        # key's size (first computation runs the CONGEST check, in the
+        # same referee order as the event loop's sends) and fold the
+        # per-referee counts into Metrics in bulk.
+        size_of: dict = {}
+        per_node = metrics.per_node_sent
+        key_of = st.key_of
+        probes = st.probes_by_referee
+        verdicts = st.verdicts_for
+        total = 0
+        bits = 0
+        top = metrics.max_payload_bits
+        for j in referees:
+            entries = probes[j]
+            best = key_of.get(j)
+            for key, _ in entries:
+                if best is None or key < best:
+                    best = key
+            size = size_of.get(best)
+            if size is None:
+                size = VerdictMsg(best[0], best[1]).size_bits()
+                rt.congest_check("VerdictMsg", size)
+                size_of[best] = size
+            count = len(entries)
+            total += count
+            bits += size * count
+            if size > top:
+                top = size
+            per_node[j] += count
+            for _, candidate in entries:
+                verdicts[candidate].append(best)
+        metrics.messages += total
+        metrics.bits += bits
+        metrics.max_payload_bits = top
+        metrics.per_kind["VerdictMsg"] += total
+        rt.pending = total
+        st.next_r = 2
+
+    def _round_decisions(self, rt, st) -> None:
+        """Round 2: every candidate has all its verdicts (one per
+        referee) and decides."""
+        rt.pending = 0
+        rt.metrics.on_activity(2)
+        candidates = sorted(st.verdicts_for)
+        rt.metrics.activations += len(candidates)
+        for i in candidates:
+            key = st.key_of[i]
+            if any(v < key for v in st.verdicts_for[i]):
+                rt.statuses[i] = Status.NON_ELECTED
+            else:
+                rt.statuses[i] = Status.ELECTED
+                rt.outputs[i]["leader_uid"] = rt.network.id_of(i)
+        st.next_r = None
+
+
+KERNELS: Dict[str, Type[Kernel]] = {
+    FloodMaxKernel.algorithm: FloodMaxKernel,
+    SublinearKernel.algorithm: SublinearKernel,
+}

@@ -31,3 +31,20 @@ class RoundLimitExceeded(SimulationError):
 class ElectionFailure(SimulationError):
     """Raised by helpers that demand exactly one leader when the run
     produced zero or more than one."""
+
+
+class BackendUnsupported(SimulationError):
+    """A run was requested on an engine backend that cannot execute it
+    (e.g. the columnar backend on an algorithm without a vectorized
+    kernel, a non-synchronous execution model, or a traced run).
+
+    Backends must *refuse* — loudly, with the reason — rather than fall
+    back or approximate: a run either executes bit-identically to the
+    event-loop reference or not at all.
+    """
+
+    def __init__(self, backend: str, reason: str) -> None:
+        super().__init__(f"backend {backend!r} cannot run this request: "
+                         f"{reason}")
+        self.backend = backend
+        self.reason = reason

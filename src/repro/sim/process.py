@@ -19,6 +19,7 @@ import random
 from typing import (Any, Dict, Iterable, List, Mapping, NamedTuple, Optional,
                     Sequence, TYPE_CHECKING)
 
+from .contract import node_rng
 from .errors import InvalidPort, ModelViolation
 from .message import Payload
 from .status import Status
@@ -45,7 +46,7 @@ class NodeContext:
         self._status = Status.UNDECIDED
         self._halted = False
         self._crashed = False
-        self._rng = random.Random(f"node:{sim.seed}:{index}")
+        self._rng = node_rng(sim.seed, index)
         self._round = 0
         # One-message-per-port-per-round bookkeeping: the set holds the
         # ports used in round ``_sent_round`` and is reset lazily when

@@ -50,11 +50,11 @@ from __future__ import annotations
 
 import heapq
 import random
-from dataclasses import dataclass, field
-from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Mapping,
+from typing import (TYPE_CHECKING, Dict, List, Mapping,
                     Optional, Sequence, Set, Tuple)
 
 from ..graphs.network import Network
+from .contract import DEFAULT_MAX_ROUNDS, ProcessFactory, RunResult, wakeup_rng
 from .errors import CongestViolation, ModelViolation, RoundLimitExceeded
 from .message import Envelope, Payload
 from .metrics import Metrics
@@ -67,92 +67,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from ..obs.timeline import Timeline
     from ..obs.trace import Tracer
 
-ProcessFactory = Callable[[], NodeProcess]
-
-#: Default ceiling protecting against accidental non-termination.  Event
-#: rounds beyond this are treated as a truncated run, never silently
-#: executed forever.
-DEFAULT_MAX_ROUNDS = 10 ** 9
-
-
-@dataclass
-class RunResult:
-    """Everything an experiment needs to know about one simulation run."""
-
-    network: Network
-    statuses: List[Status]
-    outputs: List[Dict[str, Any]]
-    metrics: Metrics
-    truncated: bool
-    wake_schedule: List[Optional[int]]
-
-    # -- complexity ------------------------------------------------------
-    @property
-    def rounds(self) -> int:
-        """Time complexity: index of the last round with any activity."""
-        return self.metrics.last_activity_round
-
-    @property
-    def messages(self) -> int:
-        return self.metrics.messages
-
-    @property
-    def bits(self) -> int:
-        return self.metrics.bits
-
-    # -- election outcome --------------------------------------------------
-    @property
-    def elected_indices(self) -> List[int]:
-        return [i for i, s in enumerate(self.statuses) if s is Status.ELECTED]
-
-    @property
-    def num_leaders(self) -> int:
-        return len(self.elected_indices)
-
-    @property
-    def has_unique_leader(self) -> bool:
-        """Exactly one ELECTED node and nobody left UNDECIDED."""
-        return (self.num_leaders == 1 and
-                all(s is not Status.UNDECIDED for s in self.statuses))
-
-    @property
-    def leader_uid(self) -> Optional[int]:
-        leaders = self.elected_indices
-        if len(leaders) != 1:
-            return None
-        return self.network.id_of(leaders[0])
-
-    # -- fault tolerance ---------------------------------------------------
-    @property
-    def crashed_indices(self) -> List[int]:
-        """Nodes whose execution-model crash-stop fault fired, sorted."""
-        return sorted(self.metrics.crashed_nodes)
-
-    @property
-    def has_unique_surviving_leader(self) -> bool:
-        """The crash-tolerant correctness condition: exactly one ELECTED
-        node and no UNDECIDED node *among the survivors*.
-
-        Crashed nodes are exempt — a node silenced mid-election cannot
-        be blamed for staying UNDECIDED.  Without crashes this is
-        identical to :attr:`has_unique_leader`.
-        """
-        crashed = set(self.metrics.crashed_nodes)
-        survivors = [s for i, s in enumerate(self.statuses)
-                     if i not in crashed]
-        return (survivors.count(Status.ELECTED) == 1 and
-                all(s is not Status.UNDECIDED for s in survivors))
-
-    # -- observability -----------------------------------------------------
-    @property
-    def timeline(self) -> Optional["Timeline"]:
-        """Per-round time series, when the run recorded one
-        (``Simulator(..., timeline=True)``); ``None`` otherwise."""
-        return self.metrics.timeline
-
-    def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"RunResult(rounds={self.rounds}, messages={self.messages}, "
-                f"leaders={self.num_leaders}, truncated={self.truncated})")
+__all__ = ["DEFAULT_MAX_ROUNDS", "ProcessFactory", "RunResult", "Simulator"]
 
 
 class Simulator:
@@ -230,7 +145,7 @@ class Simulator:
         wake_model = wakeup if wakeup is not None else self.model.wakeup
         if wake_model is None:
             wake_model = Simultaneous()
-        wake_rng = random.Random(f"wakeup:{seed}")
+        wake_rng = wakeup_rng(seed)
         self._wake_schedule = wake_model.schedule(n, wake_rng)
         self._pending_wakeups: Dict[int, List[int]] = {}
         for i, r in enumerate(self._wake_schedule):

@@ -23,7 +23,7 @@ class TestRegistry:
             assert spec.description
 
     def test_unknown_algorithm_raises(self):
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="flood-max"):
             run_algorithm(ring(5), "nope")
 
 

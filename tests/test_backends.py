@@ -1,0 +1,276 @@
+"""Backend-equivalence suite: columnar is bit-identical or absent.
+
+The engine-backend contract (:mod:`repro.sim.backend`) allows exactly
+two behaviors from a non-default backend: produce a
+:class:`~repro.sim.contract.RunResult` bit-identical to the event-loop
+Simulator's, or refuse the request with
+:class:`~repro.sim.errors.BackendUnsupported`.  This suite pins both
+halves — a parametrized A/B sweep over the supported slice (full result
+fingerprints, including counters the user never looks at), and a
+hypothesis property that every unsupported feature combination refuses
+loudly instead of returning silently different numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.api import _ensure_registry, run_algorithm
+from repro.analysis.stats import run_trials
+from repro.graphs import Network, barbell, complete, ring
+from repro.graphs.topology import CliqueTopology
+from repro.sim.backend import (
+    BACKENDS,
+    DEFAULT_BACKEND,
+    ColumnarBackend,
+    RunRequest,
+    backend_names,
+    normalize_backend,
+    resolve_backend,
+)
+from repro.sim.columnar import KERNEL_ALGORITHMS
+from repro.sim.contract import node_rng
+from repro.sim.errors import BackendUnsupported
+
+numpy = pytest.importorskip("numpy")
+
+KERNELED = sorted(KERNEL_ALGORITHMS)
+
+TOPOLOGIES = {
+    "clique8": lambda: complete(8),
+    "ring9": lambda: ring(9),
+    "barbell5": lambda: barbell(5),
+    "clique40": lambda: complete(40),
+}
+
+
+def fingerprint(result):
+    """Every observable of a run, including counters and per-node state."""
+    m = result.metrics
+    return {
+        "statuses": [s.name for s in result.statuses],
+        "outputs": result.outputs,
+        "messages": m.messages,
+        "bits": m.bits,
+        "messages_delivered": m.messages_delivered,
+        "max_payload_bits": m.max_payload_bits,
+        "last_activity_round": m.last_activity_round,
+        "rounds_executed": m.rounds_executed,
+        "activations": m.activations,
+        "per_kind": dict(m.per_kind),
+        "per_node_sent": dict(m.per_node_sent),
+        "truncated": result.truncated,
+        "wake_schedule": result.wake_schedule,
+        "leader_uid": result.leader_uid,
+        "ids": list(result.network.ids),
+    }
+
+
+def ab(graph, algorithm, **kwargs):
+    """(event-loop fingerprint, columnar fingerprint) for one request."""
+    ev = run_algorithm(graph, algorithm, backend="event-loop", **kwargs)
+    col = run_algorithm(graph, algorithm, backend="columnar", **kwargs)
+    return fingerprint(ev), fingerprint(col)
+
+
+class TestEquivalence:
+    """The supported slice: columnar == event loop, field for field."""
+
+    @pytest.mark.parametrize("algorithm", KERNELED)
+    @pytest.mark.parametrize("topology", sorted(TOPOLOGIES))
+    @pytest.mark.parametrize("seed", [1, 2, 7])
+    def test_parity_slice(self, algorithm, topology, seed):
+        graph = TOPOLOGIES[topology]()
+        ev, col = ab(graph, algorithm, seed=seed)
+        assert col == ev
+
+    @pytest.mark.parametrize("algorithm", KERNELED)
+    def test_truncation_parity(self, algorithm):
+        """Truncated runs truncate identically (pending sends included)."""
+        ev, col = ab(ring(16), algorithm, seed=3, max_rounds=1)
+        assert col == ev
+        if algorithm == "flood-max":
+            assert col["truncated"]  # ring:16 needs D=8 rounds, got 1
+
+    @pytest.mark.parametrize("algorithm", KERNELED)
+    def test_implicit_clique_parity(self, algorithm):
+        """The large-n implicit topology path matches too."""
+        ev, col = ab(CliqueTopology(300), algorithm, seed=5,
+                     knowledge={"n": 300, "D": 1})
+        assert col == ev
+
+    @pytest.mark.parametrize("algorithm", KERNELED)
+    def test_congest_violation_parity(self, algorithm):
+        """A too-small CONGEST budget fails identically on both engines
+        (same exception, same first-offender payload in its message)."""
+        from repro.sim.errors import CongestViolation
+
+        spec = _ensure_registry()[algorithm]
+
+        def request():
+            return RunRequest(network=Network.build(complete(8), seed=1),
+                              factory=spec.factory, seed=1,
+                              knowledge={"n": 8, "D": 1}, congest_bits=1,
+                              algorithm=algorithm)
+
+        with pytest.raises(CongestViolation) as ev_exc:
+            BACKENDS["event-loop"].run(request())
+        with pytest.raises(CongestViolation) as col_exc:
+            BACKENDS["columnar"].run(request())
+        assert str(col_exc.value) == str(ev_exc.value)
+
+    def test_run_trials_ab(self):
+        """Aggregated trial statistics are backend-independent."""
+        topo = CliqueTopology(64)
+        kwargs = dict(trials=4, seed=9, knowledge_keys=("n", "D"))
+        ev = run_trials(topo, "sublinear", backend="event-loop", **kwargs)
+        col = run_trials(topo, "sublinear", backend="columnar", **kwargs)
+        assert (col.trials, col.successes, col.messages, col.rounds,
+                col.bits) == (ev.trials, ev.successes, ev.messages,
+                              ev.rounds, ev.bits)
+
+
+class TestRefusal:
+    """Outside the slice: BackendUnsupported, never silently wrong."""
+
+    def _request(self, **overrides):
+        spec = _ensure_registry()["flood-max"]
+        net = Network.build(ring(6), seed=0)
+        base = dict(network=net, factory=spec.factory, seed=0,
+                    knowledge={"n": 6, "D": 3}, algorithm="flood-max")
+        base.update(overrides)
+        return RunRequest(**base)
+
+    def test_unkerneled_algorithm_refused(self):
+        backend = BACKENDS["columnar"]
+        reason = backend.supports(self._request(algorithm="least-el"))
+        assert reason is not None and "least-el" in reason
+        with pytest.raises(BackendUnsupported, match="least-el"):
+            backend.run(self._request(algorithm="least-el"))
+
+    def test_anonymous_factory_refused(self):
+        reason = BACKENDS["columnar"].supports(self._request(algorithm=None))
+        assert reason is not None and "name" in reason
+
+    @pytest.mark.parametrize("overrides,hint", [
+        ({"watch_edges": {(0, 1)}}, "watch"),
+        ({"record_sends": True}, "send-log"),
+        ({"timeline": True}, "timeline"),
+        ({"tracer": object()}, "trac"),
+    ])
+    def test_instrumentation_refused(self, overrides, hint):
+        reason = BACKENDS["columnar"].supports(self._request(**overrides))
+        assert reason is not None and hint in reason
+
+    def test_staggered_wakeup_refused(self):
+        from repro.sim.wakeup import AdversarialWakeup
+
+        reason = BACKENDS["columnar"].supports(
+            self._request(wakeup=AdversarialWakeup()))
+        assert reason is not None and "wakeup" in reason.lower()
+
+    def test_event_loop_supports_everything(self):
+        assert BACKENDS["event-loop"].supports(
+            self._request(record_sends=True, timeline=True)) is None
+
+    def test_run_algorithm_surfaces_refusal(self):
+        with pytest.raises(BackendUnsupported, match="least-el"):
+            run_algorithm(ring(6), "least-el", backend="columnar")
+
+    def test_missing_numpy_is_a_refusal_not_a_crash(self, monkeypatch):
+        """Without numpy the backend refuses; nothing else breaks."""
+        import sys
+
+        monkeypatch.setitem(sys.modules, "numpy", None)  # import -> error
+        reason = ColumnarBackend().supports(self._request())
+        assert reason is not None and "numpy" in reason
+        with pytest.raises(BackendUnsupported, match="numpy"):
+            resolve_backend("columnar").run(self._request())
+
+
+class TestNamesAndCapabilities:
+    def test_backend_names(self):
+        assert backend_names() == ("event-loop", "columnar")
+        assert DEFAULT_BACKEND == "event-loop"
+
+    @pytest.mark.parametrize("alias", [None, "", "default", "event-loop",
+                                       "event_loop", "EventLoop"])
+    def test_default_aliases_normalize_to_none(self, alias):
+        assert normalize_backend(alias) is None
+
+    def test_unknown_backend_lists_valid_names(self):
+        with pytest.raises(ValueError, match="columnar"):
+            normalize_backend("gpu")
+
+    def test_unknown_algorithm_lists_valid_names(self):
+        with pytest.raises(ValueError, match="flood-max"):
+            run_algorithm(ring(5), "nope")
+        with pytest.raises(ValueError, match="flood-max"):
+            run_trials(ring(5), "nope", trials=1)
+
+    def test_capability_list_matches_kernel_registry(self):
+        from repro.sim.columnar.kernels import KERNELS
+
+        assert set(KERNEL_ALGORITHMS) == set(KERNELS)
+
+    def test_registry_advertises_backends(self):
+        registry = _ensure_registry()
+        for name, spec in registry.items():
+            expected = (("event-loop", "columnar")
+                        if name in KERNEL_ALGORITHMS else ("event-loop",))
+            assert spec.backends == expected, name
+
+
+class TestSeedFastPath:
+    """The kernels seed ``_random.Random`` with the derived int directly;
+    pin that shortcut to CPython's documented str-seeding so any drift
+    (new CPython seeding scheme) fails here, not as silent divergence."""
+
+    @pytest.mark.parametrize("seed,index", [(0, 0), (3, 7), (123, 4096)])
+    def test_core_seed_matches_str_seed(self, seed, index):
+        from _random import Random as CoreRandom
+
+        key = f"node:{seed}:{index}".encode()
+        derived = int.from_bytes(key + hashlib.sha512(key).digest(), "big")
+        fast = CoreRandom(derived)
+        reference = node_rng(seed, index)
+        assert [fast.random() for _ in range(8)] == \
+            [reference.random() for _ in range(8)]
+        assert node_rng(seed, index).random() == \
+            random.Random(f"node:{seed}:{index}").random()
+
+
+wakeups = st.sampled_from(["simultaneous", "adversarial"])
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    algorithm=st.sampled_from(sorted(_ensure_registry())),
+    n=st.integers(min_value=2, max_value=12),
+    seed=st.integers(min_value=0, max_value=999),
+    record_sends=st.booleans(),
+)
+def test_property_equivalent_or_absent(algorithm, n, seed, record_sends):
+    """For ANY request: columnar either refuses or matches the event loop."""
+    spec = _ensure_registry()[algorithm]
+    request = RunRequest(network=Network.build(complete(n), seed=seed),
+                         factory=spec.factory, seed=seed,
+                         knowledge={"n": n, "D": 1},
+                         record_sends=record_sends, algorithm=algorithm)
+    backend = BACKENDS["columnar"]
+    reason = backend.supports(request)
+    if algorithm not in KERNEL_ALGORITHMS or record_sends:
+        assert reason is not None  # outside the slice: must refuse
+        with pytest.raises(BackendUnsupported):
+            backend.run(request)
+        return
+    assert reason is None
+    ev = BACKENDS["event-loop"].run(RunRequest(
+        network=Network.build(complete(n), seed=seed), factory=spec.factory,
+        seed=seed, knowledge={"n": n, "D": 1}, algorithm=algorithm))
+    col = backend.run(request)
+    assert fingerprint(col) == fingerprint(ev)

@@ -185,7 +185,7 @@ class TestTasks:
     def test_unknown_algorithm(self):
         cell = ExperimentSpec(name="x", algorithms=["nope"],
                               graphs=["ring:4"]).expand()[0]
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match="flood-max"):
             execute_cell(cell)
 
     def test_unknown_task(self):

@@ -16,6 +16,10 @@ two representative algorithms over cliques and rings:
 * **kingdom** (Theorem 4.10 / Algorithm 2) re-floods its kingdom
   claims, which makes it surprisingly robust to moderate loss — at the
   price of extra messages — but crashes can still behead a kingdom.
+  Kingdom assumes lock-step rounds, so it sits out the *delay* sweep:
+  under Δ > 1 its conquest waves re-send over ports that still hold a
+  delayed message in flight, which the simulator's model check rejects
+  (``repro.api`` marks it ``delay_tolerant=False``).
 
 Two success columns are reported: ``success`` is the paper's strict
 condition (every node decided, exactly one leader), ``surviving`` the
@@ -30,10 +34,18 @@ Usage:  python examples/resilience.py [cache_dir]
 import sys
 
 from repro import run_sweep
+from repro.api import _ensure_registry
 
 ALGORITHMS = ["least-el", "kingdom"]
 GRAPHS = ["complete:24", "ring:24"]
 TRIALS = 10
+
+
+def delay_tolerant(algorithms):
+    """Split ``algorithms`` into (delay-capable, synchronous-only)."""
+    registry = _ensure_registry()
+    capable = [a for a in algorithms if registry[a].delay_tolerant]
+    return capable, [a for a in algorithms if a not in capable]
 
 
 def print_table(title, sweep, axis):
@@ -55,8 +67,14 @@ def main() -> None:
                   seed=9, max_rounds=10 ** 6, cache_dir=cache_dir,
                   progress=lambda msg: print(f"... {msg}", file=sys.stderr))
 
+    delay_algos, skipped = delay_tolerant(ALGORITHMS)
+    if skipped:
+        print(f"... delay sweep: skipping {', '.join(skipped)} "
+              "(synchronous-only: crashes under Δ > 1 delays)",
+              file=sys.stderr)
     delays = run_sweep(name="resilience-delay",
-                       delay=["1", "uniform:2", "uniform:4"], **common)
+                       delay=["1", "uniform:2", "uniform:4"],
+                       **{**common, "algorithms": delay_algos})
     print_table("Delay: correctness under bounded message delays Δ",
                 delays, "delay")
 

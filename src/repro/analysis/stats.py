@@ -16,6 +16,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 from ..graphs.network import Network
 from ..graphs.topology import Topology
 from ..sim.backend import RunRequest, resolve_backend
+from ..sim.contract import BatchRunRequest
 from ..sim.process import NodeProcess
 from ..sim.scheduler import RunResult
 
@@ -95,7 +96,8 @@ def run_trials(topology: Topology,
                model=None,
                keep_results: bool = False,
                tracer=None,
-               backend: Optional[str] = None) -> TrialStats:
+               backend: Optional[str] = None,
+               batch: Optional[bool] = None) -> TrialStats:
     """Run ``trials`` independent simulations (fresh network instance and
     coins per trial) and aggregate messages/rounds/success.
 
@@ -113,6 +115,15 @@ def run_trials(topology: Topology,
     ``backend`` selects the engine for every trial; per-trial seeds are
     backend-independent, so A/B runs over the same base seed see the
     same networks and coins.
+
+    ``batch`` controls the trial axis: ``None`` (the default) hands the
+    whole axis to the backend as one
+    :class:`~repro.sim.contract.BatchRunRequest` whenever no tracer is
+    attached — backends without a vectorized batch path run the exact
+    sequential expansion, so every trial's numbers are identical either
+    way and batching is purely a speed knob.  ``False`` forces the
+    per-trial loop (useful for timing A/Bs); ``True`` insists on the
+    batch call even when it will degrade to the sequential expansion.
 
     Per-trial network and simulator seeds are derived through SHA-256
     (see :func:`_trial_seed`), so the two randomness streams are
@@ -142,21 +153,39 @@ def run_trials(topology: Topology,
         auto["D"] = topology.diameter()
     auto.update(knowledge or {})
 
+    if batch and tracer is not None:
+        raise ValueError(
+            "batch=True cannot observe a tracer (tracing attaches to "
+            "trial 0's event loop); pass batch=False for traced trials")
+    use_batch = tracer is None if batch is None else batch
+
     messages: List[float] = []
     rounds: List[float] = []
     bits: List[float] = []
     successes = 0
     surviving = 0
     results: List[RunResult] = []
-    for t in range(trials):
-        network = Network.build(topology, seed=_trial_seed(seed, "network", t),
-                                ids=ids)
-        request = RunRequest(network=network, factory=factory,
-                             seed=_trial_seed(seed, "sim", t),
-                             knowledge=auto, model=model,
-                             tracer=tracer if t == 0 else None,
-                             max_rounds=max_rounds, algorithm=algorithm)
-        result = engine.run(request)
+    if use_batch:
+        request = BatchRunRequest(
+            topology=topology, factory=factory,
+            seeds=[(_trial_seed(seed, "network", t),
+                    _trial_seed(seed, "sim", t)) for t in range(trials)],
+            knowledge=auto, ids=ids, model=model,
+            max_rounds=max_rounds, algorithm=algorithm)
+        run_results = engine.run_batch(request)
+    else:
+        run_results = []
+        for t in range(trials):
+            network = Network.build(topology,
+                                    seed=_trial_seed(seed, "network", t),
+                                    ids=ids)
+            single = RunRequest(network=network, factory=factory,
+                                seed=_trial_seed(seed, "sim", t),
+                                knowledge=auto, model=model,
+                                tracer=tracer if t == 0 else None,
+                                max_rounds=max_rounds, algorithm=algorithm)
+            run_results.append(engine.run(single))
+    for result in run_results:
         messages.append(result.messages)
         rounds.append(result.rounds)
         bits.append(result.bits)

@@ -41,7 +41,8 @@ class AlgorithmSpec:
                  needs: tuple = (), description: str = "", *,
                  result: str = "", time: str = "",
                  messages: str = "",
-                 backends: tuple = ("event-loop",)) -> None:
+                 backends: tuple = ("event-loop",),
+                 delay_tolerant: bool = True) -> None:
         self.factory = factory
         self.needs = needs
         self.description = description
@@ -52,6 +53,14 @@ class AlgorithmSpec:
         #: guarantee — a backend may still refuse a specific request,
         #: e.g. columnar refuses traced or staggered-wakeup runs).
         self.backends = backends
+        #: Whether the algorithm stays correct under asynchronous-style
+        #: message delays (``ExecutionModel`` with max_delay > 1).  The
+        #: kingdom algorithms assume lock-step rounds — their conquest
+        #: waves re-send over ports that still hold a delayed message in
+        #: flight, tripping the simulator's one-message-per-port-per-
+        #: round model check — so delayed runs refuse up front instead
+        #: of crashing mid-election.
+        self.delay_tolerant = delay_tolerant
 
     @property
     def knowledge(self) -> str:
@@ -115,12 +124,13 @@ def _registry() -> Dict[str, AlgorithmSpec]:
         "kingdom": AlgorithmSpec(
             KingdomElection, needs=(),
             description="Theorem 4.10 / Algorithm 2: deterministic O(D log n)/O(m log n).",
-            result="Thm 4.10", time="O(D log n)", messages="O(m log n)"),
+            result="Thm 4.10", time="O(D log n)", messages="O(m log n)",
+            delay_tolerant=False),
         "kingdom-known-d": AlgorithmSpec(
             KnownDiameterKingdomElection, needs=("D",),
             description="Section 4.3 simplified kingdom variant with known D.",
             result="Thm 4.10 (D known)", time="O(D log n)",
-            messages="O(m log n)"),
+            messages="O(m log n)", delay_tolerant=False),
         "sublinear": AlgorithmSpec(
             SublinearElection, needs=("n",),
             description="Referee sampling on cliques: O(√n·log^3/2 n) msgs, "
@@ -245,6 +255,7 @@ def run_sweep(spec=None, *,
               workers: int = 1,
               progress: Optional[Callable[[str], None]] = None,
               on_cell: Optional[Callable[[int, int], None]] = None,
+              batch_trials: bool = True,
               **spec_kwargs):
     """Run a declarative experiment sweep (see :mod:`repro.experiments`).
 
@@ -268,4 +279,5 @@ def run_sweep(spec=None, *,
     elif spec_kwargs:
         raise TypeError("pass either a spec object or spec kwargs, not both")
     return _run_sweep(spec, cache_dir=cache_dir, workers=workers,
-                      progress=progress, on_cell=on_cell)
+                      progress=progress, on_cell=on_cell,
+                      batch_trials=batch_trials)

@@ -130,6 +130,14 @@ def cmd_elect(args: argparse.Namespace) -> int:
     try:
         model = make_model(args.delay, args.crash, args.loss,
                            model_seed=args.model_seed)
+        if (model is not None and not spec.delay_tolerant
+                and model.delay.max_delay > 1):
+            raise SystemExit(
+                f"{args.algorithm} is synchronous-only: it assumes "
+                f"lock-step rounds and crashes under --delay "
+                f"{model.delay.max_delay} (its waves re-send over ports "
+                "with a delayed message still in flight); drop --delay "
+                "or pick a delay-tolerant algorithm")
         if model is not None:
             # Eager validation of graph-size-dependent model input
             # (e.g. an explicit crash schedule naming absent nodes), so
@@ -319,7 +327,8 @@ def cmd_sweep(args: argparse.Namespace) -> int:
             delay=args.delay, crash=args.crash, loss=args.loss,
             model_seed=args.model_seed, backend=args.backend,
             cache_dir=args.cache_dir, workers=args.workers,
-            progress=_log_progress, on_cell=on_cell)
+            progress=_log_progress, on_cell=on_cell,
+            batch_trials=not args.no_batch)
     except (KeyError, ValueError, SimulationError) as exc:
         # str(KeyError) is the repr of its argument; unwrap for a clean
         # one-line message.
@@ -355,9 +364,26 @@ def cmd_sweep(args: argparse.Namespace) -> int:
 
 
 def cmd_bench_sim(args: argparse.Namespace) -> int:
-    from .sim.bench import (GRIDS, append_snapshot, format_rows, run_grid,
-                            snapshot)
+    from .sim.bench import (BATCH_GRIDS, GRIDS, append_snapshot, format_rows,
+                            run_batch_grid, run_grid, snapshot)
     from .sim.errors import BackendUnsupported
+
+    if not args.point and args.grid in BATCH_GRIDS:
+        try:
+            rows = run_batch_grid(
+                BATCH_GRIDS[args.grid], seed=args.seed,
+                max_rounds=args.max_rounds,
+                auto_knowledge=tuple(args.auto_knowledge or ()),
+                backend=args.backend or "columnar",
+                progress=_log_progress)
+        except (KeyError, ValueError, BackendUnsupported) as exc:
+            raise SystemExit(exc.args[0] if exc.args else str(exc))
+        print(format_rows(rows))
+        snap = snapshot(rows, label=args.label)
+        if args.out:
+            append_snapshot(args.out, snap)
+            print(f"appended snapshot to {args.out}")
+        return 0
 
     if args.point:
         grid = []
@@ -581,20 +607,27 @@ def build_parser() -> argparse.ArgumentParser:
                        help="on-disk result cache; re-runs are free")
     sweep.add_argument("--progress", action="store_true",
                        help="live done/total status line with ETA "
-                            "(plain checkpoint lines without a TTY)")
+                            "(plain checkpoint lines without a TTY); "
+                            "batched cell groups are reported distinctly")
+    sweep.add_argument("--no-batch", action="store_true",
+                       help="never group same-configuration trials into "
+                            "one vectorized engine call (results are "
+                            "identical either way; this is a speed knob)")
 
     bench = sub.add_parser(
         "bench-sim",
         help="measure simulator throughput and append it to BENCH_sim.json")
     bench.add_argument("--grid",
                        choices=["default", "tiny", "delay", "large",
-                                "large-smoke", "vector", "vector-smoke"],
+                                "large-smoke", "vector", "vector-smoke",
+                                "batch", "batch-smoke"],
                        default="default",
                        help="predefined measurement grid ('large' is the "
                             "implicit-topology n>=16k series; 'vector' the "
                             "event-loop/columnar A/B series incl. the "
-                            "million-node point; run both with "
-                            "--auto-knowledge D --repeats 1)")
+                            "million-node point; 'batch' the trial-batched "
+                            "vs sequential A/B series over whole trial "
+                            "axes; run them with --auto-knowledge D)")
     bench.add_argument("--point", action="append",
                        metavar="ALGORITHM@GRAPHSPEC[@DELAY][@BACKEND]",
                        help="explicit grid point (repeatable); overrides "

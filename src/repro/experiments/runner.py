@@ -20,6 +20,7 @@ model a cell carries.
 
 from __future__ import annotations
 
+import inspect
 import multiprocessing
 import os
 import time
@@ -28,6 +29,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from ..obs.log import get_logger
 from ..obs.telemetry import RunnerTelemetry
+from ..sim.backend import resolve_backend
 from .aggregate import GroupStats, aggregate
 from .cache import ResultCache
 from .spec import CellSpec, ExperimentSpec
@@ -50,6 +52,49 @@ def _timed_execute_cell(cell: CellSpec) -> Tuple[Dict[str, Any], float]:
     t0 = time.perf_counter()
     metrics = execute_cell(cell)
     return metrics, time.perf_counter() - t0
+
+
+def _timed_execute_unit(unit) -> List[Tuple[Dict[str, Any], float]]:
+    """Worker entry point for one execution unit.
+
+    A unit is either a single :class:`CellSpec` (runs through
+    :func:`execute_cell`, exactly as before) or a list of
+    same-configuration ``elect`` cells executing as one backend batch
+    call.  The batch request is rebuilt *inside* the worker from the
+    picklable cells — process factories may be lambdas, so the request
+    itself can never cross the pool boundary.  A batched unit's wall
+    clock is attributed evenly across its cells, keeping per-cell wall
+    telemetry comparable between batched and per-cell runs.
+    """
+    if isinstance(unit, CellSpec):
+        return [_timed_execute_cell(unit)]
+    from .tasks import execute_elect_group
+    t0 = time.perf_counter()
+    rows = execute_elect_group(unit)
+    share = (time.perf_counter() - t0) / len(rows)
+    return [(metrics, share) for metrics in rows]
+
+
+def _note_adapter(on_cell: Optional[Callable]) -> Callable[..., None]:
+    """Wrap ``on_cell`` so the runner can always pass a note string.
+
+    Two-parameter callbacks (the documented ``on_cell(done, total)``
+    shape) keep working unchanged; callbacks whose signature accepts a
+    third parameter (e.g. :meth:`ProgressLine.update`) also receive the
+    note, which is how ``--progress`` reports batched groups
+    distinctly.
+    """
+    if on_cell is None:
+        return lambda done, total, note="": None
+    try:
+        params = [p for p in inspect.signature(on_cell).parameters.values()
+                  if p.kind in (p.POSITIONAL_ONLY, p.POSITIONAL_OR_KEYWORD)]
+        takes_note = len(params) >= 3
+    except (TypeError, ValueError):  # builtins, odd callables
+        takes_note = False
+    if takes_note:
+        return lambda done, total, note="": on_cell(done, total, note)
+    return lambda done, total, note="": on_cell(done, total)
 
 
 @dataclass
@@ -111,12 +156,19 @@ class Runner:
 
     def __init__(self, cache_dir: Optional[str] = None, *,
                  workers: int = 1,
-                 mp_context: Optional[str] = None) -> None:
+                 mp_context: Optional[str] = None,
+                 batch_trials: bool = True) -> None:
         if workers < 0:
             raise ValueError("workers must be >= 0")
         self.cache = ResultCache(cache_dir) if cache_dir else None
         self.workers = workers
         self._mp_context = mp_context
+        #: Run same-configuration ``elect`` trials as one batched engine
+        #: call when the cell's backend advertises a vectorized trial
+        #: axis.  Purely a speed knob: per-cell seeds, metrics rows, and
+        #: cache digests are identical either way (the batch contract is
+        #: bit-exactness with the sequential expansion).
+        self.batch_trials = batch_trials
 
     # ------------------------------------------------------------------
     def run(self, spec: ExperimentSpec, *,
@@ -128,12 +180,15 @@ class Runner:
         (defaults to the ``repro.experiments`` INFO log).  ``on_cell``
         — when given — is called as ``on_cell(done, total)`` once after
         the cache scan and again after every executed cell, for live
-        progress displays (:class:`repro.obs.ProgressLine`).
+        progress displays (:class:`repro.obs.ProgressLine`); callbacks
+        accepting a third parameter additionally receive a short note
+        when a batched group of trials lands at once.
         """
         t0 = time.perf_counter()
         cells = spec.expand()
         report = progress if progress is not None else \
             (lambda msg: log.info("%s", msg))
+        notify = _note_adapter(on_cell)
 
         slots: List[Optional[CellResult]] = [None] * len(cells)
         misses: List[int] = []
@@ -146,28 +201,42 @@ class Runner:
         report(f"{spec.name}: {len(cells)} cells "
                f"({len(cells) - len(misses)} cached, {len(misses)} to run)")
         done = len(cells) - len(misses)
-        if on_cell is not None:
-            on_cell(done, len(cells))
+        notify(done, len(cells))
 
         cell_walls: List[float] = []
+        units: List[List[int]] = []
+        batched_groups = batched_trials = 0
         if misses:
+            units = self._plan_units(cells, misses)
+            batched_groups = sum(1 for u in units if len(u) > 1)
+            batched_trials = sum(len(u) for u in units if len(u) > 1)
+            if batched_groups:
+                report(f"{spec.name}: batching {batched_trials} trials "
+                       f"as {batched_groups} vectorized group"
+                       f"{'s' if batched_groups != 1 else ''}")
             # Results stream back in input order and are persisted one by
             # one, so an interrupted sweep keeps every finished cell.
-            outputs = self._iter_execute([cells[i] for i in misses])
-            for i, (metrics, wall) in zip(misses, outputs):
-                slots[i] = CellResult(cells[i], metrics, cached=False)
-                cell_walls.append(wall)
-                if self.cache is not None:
-                    self.cache.put(cells[i], metrics)
-                done += 1
-                if on_cell is not None:
-                    on_cell(done, len(cells))
+            payloads = [cells[u[0]] if len(u) == 1
+                        else [cells[i] for i in u] for u in units]
+            outputs = self._iter_execute(payloads)
+            for unit, rows in zip(units, outputs):
+                for i, (metrics, wall) in zip(unit, rows):
+                    slots[i] = CellResult(cells[i], metrics, cached=False)
+                    cell_walls.append(wall)
+                    if self.cache is not None:
+                        self.cache.put(cells[i], metrics)
+                done += len(unit)
+                note = (f"{len(unit)} trials batched" if len(unit) > 1
+                        else "")
+                notify(done, len(cells), note)
 
         telemetry = RunnerTelemetry(
             cells=len(cells), cached=len(cells) - len(misses),
             executed=len(misses), wall_s=time.perf_counter() - t0,
             cell_walls=cell_walls,
-            workers=self._pool_size(len(misses)),
+            workers=self._pool_size(len(units)),
+            batched_groups=batched_groups,
+            batched_trials=batched_trials,
             cache=self.cache.stats() if self.cache is not None else None)
         log.debug("%s: %s", spec.name, telemetry.summary())
         return SweepResult(spec=spec,
@@ -175,36 +244,78 @@ class Runner:
                            telemetry=telemetry)
 
     # ------------------------------------------------------------------
+    def _plan_units(self, cells: List[CellSpec],
+                    misses: List[int]) -> List[List[int]]:
+        """Partition the miss list into execution units, in order.
+
+        A unit is a list of cell indices: singletons run through the
+        per-cell task function exactly as before; longer units are runs
+        of same-configuration ``elect`` trials whose backend advertises
+        a *genuinely* vectorized batch path
+        (:meth:`EngineBackend.supports_batch` returns ``None``) and
+        execute as one ``run_batch`` call.  Backends without one — the
+        default event loop included — never group, so batching changes
+        nothing unless it actually is a speedup.
+        """
+        from .tasks import plan_elect_group
+
+        units: List[List[int]] = []
+        i = 0
+        while i < len(misses):
+            cell = cells[misses[i]]
+            j = i + 1
+            if self.batch_trials and cell.task == "elect":
+                key = cell.group_key()
+                while (j < len(misses)
+                       and cells[misses[j]].task == "elect"
+                       and cells[misses[j]].group_key() == key):
+                    j += 1
+            group = [misses[k] for k in range(i, j)]
+            batched = False
+            if len(group) >= 2:
+                request = plan_elect_group([cells[k] for k in group])
+                batched = (request is not None and
+                           resolve_backend(cell.backend)
+                           .supports_batch(request) is None)
+            if batched:
+                units.append(group)
+            else:
+                units.extend([k] for k in group)
+            i = j
+        return units
+
     def _pool_size(self, pending: int) -> int:
-        """Worker processes a batch of ``pending`` cells would use."""
+        """Worker processes a batch of ``pending`` units would use."""
         if self.workers <= 1 or pending <= 1:
             return 1
         return min(self.workers, pending, max(1, (os.cpu_count() or 2)))
 
-    def _iter_execute(self, cells: List[CellSpec]):
-        """Yield ``(metrics, worker wall seconds)`` per cell, in order."""
-        if self.workers <= 1 or len(cells) <= 1:
-            for cell in cells:
-                yield _timed_execute_cell(cell)
+    def _iter_execute(self, units: list):
+        """Yield per-unit lists of ``(metrics, worker wall seconds)``,
+        in unit order (units are single cells or batched cell lists)."""
+        if self.workers <= 1 or len(units) <= 1:
+            for unit in units:
+                yield _timed_execute_unit(unit)
             return
         method = self._mp_context
         if method is None:
             method = ("fork" if "fork" in multiprocessing.get_all_start_methods()
                       else None)
         ctx = multiprocessing.get_context(method)
-        procs = self._pool_size(len(cells))
+        procs = self._pool_size(len(units))
         with ctx.Pool(processes=procs) as pool:
             # imap (not imap_unordered) so outputs line up with inputs:
             # completion order never leaks into result order.
-            yield from pool.imap(_timed_execute_cell, cells, chunksize=1)
+            yield from pool.imap(_timed_execute_unit, units, chunksize=1)
 
 
 def run_sweep(spec: ExperimentSpec, *,
               cache_dir: Optional[str] = None,
               workers: int = 1,
               progress: Optional[Callable[[str], None]] = None,
-              on_cell: Optional[Callable[[int, int], None]] = None
-              ) -> SweepResult:
+              on_cell: Optional[Callable[[int, int], None]] = None,
+              batch_trials: bool = True) -> SweepResult:
     """One-call sweep: build a :class:`Runner` and run ``spec``."""
-    runner = Runner(cache_dir=cache_dir, workers=workers)
+    runner = Runner(cache_dir=cache_dir, workers=workers,
+                    batch_trials=batch_trials)
     return runner.run(spec, progress=progress, on_cell=on_cell)

@@ -33,13 +33,15 @@ from __future__ import annotations
 
 import importlib
 from functools import lru_cache
-from typing import Any, Callable, Dict, Optional, Tuple
+from types import SimpleNamespace
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..graphs.ids import IdAssigner, RandomIds, ReversedIds, SequentialIds
 from ..graphs.network import Network
 from ..graphs.specs import SEEDED_KINDS, parse_graph_spec
 from ..graphs.topology import Topology
 from ..sim.backend import RunRequest, resolve_backend
+from ..sim.contract import BatchRunRequest
 from ..sim.models import make_model
 from ..sim.scheduler import RunResult, Simulator
 from ..sim.wakeup import AdversarialWakeup, Simultaneous, WakeupModel
@@ -148,13 +150,39 @@ def _election_metrics(result: RunResult, network: Network,
     }
 
 
+def _check_delay_tolerance(algorithm: Optional[str], spec: Any,
+                           model: Any) -> None:
+    """Refuse delayed runs of synchronous-only algorithms up front.
+
+    The kingdom algorithms (``delay_tolerant=False`` in the registry)
+    assume lock-step rounds; under Δ > 1 delays their conquest waves
+    re-send over ports still holding a delayed message in flight, which
+    trips the model check (``ModelViolation: sent twice on port ...``)
+    mid-election.  Failing here turns a seed-dependent crash deep in a
+    sweep into an immediate, explainable refusal.
+    """
+    if spec is None or getattr(spec, "delay_tolerant", True):
+        return
+    if model is None or model.delay.max_delay <= 1:
+        return
+    raise ValueError(
+        f"algorithm {algorithm!r} is synchronous-only: it cannot run "
+        f"under message delays (max_delay="
+        f"{model.delay.max_delay}); drop the delay model or pick a "
+        "delay-tolerant algorithm")
+
+
 def _run_election(cell: CellSpec, factory: Callable[[], Any],
                   needs: tuple,
-                  algorithm: Optional[str] = None) -> Dict[str, Any]:
+                  algorithm: Optional[str] = None,
+                  spec: Any = None) -> Dict[str, Any]:
     from ..api import _auto_knowledge
 
     if cell.graph is None:
         raise ValueError(f"task {cell.task!r} needs a graph spec")
+    model = make_model(cell.delay, cell.crash, cell.loss,
+                       model_seed=cell.model_seed)
+    _check_delay_tolerance(algorithm, spec, model)
     topology, diameter = _cell_topology(cell)
     network = Network.build(topology, seed=cell.seed,
                             ids=make_ids(cell.ids))
@@ -163,13 +191,81 @@ def _run_election(cell: CellSpec, factory: Callable[[], Any],
     request = RunRequest(network=network, factory=factory, seed=cell.seed,
                          knowledge=knowledge,
                          wakeup=make_wakeup(cell.wakeup),
-                         model=make_model(cell.delay, cell.crash, cell.loss,
-                                          model_seed=cell.model_seed),
+                         model=model,
                          congest_bits=cell.congest_bits,
                          max_rounds=cell.max_rounds,
                          algorithm=algorithm)
     result = resolve_backend(cell.backend).run(request)
     return _election_metrics(result, network, diameter)
+
+
+def plan_elect_group(cells: Sequence[CellSpec]) -> Optional[BatchRunRequest]:
+    """One :class:`BatchRunRequest` covering ``cells``, or ``None``.
+
+    ``cells`` must be same-configuration ``elect`` trials (equal
+    ``group_key()``, differing only in trial/seed).  A cell's seed is
+    both its network seed and its simulator seed (see
+    :func:`_run_election`), so the batch's seed pairs are
+    ``(cell.seed, cell.seed)`` and its sequential expansion is exactly
+    the per-cell execution.  Returns ``None`` whenever the group cannot
+    be expressed as one batch — seeded graph kinds redraw their topology
+    per trial, and malformed configs are left to the per-cell path so
+    they raise their real, specific error.
+    """
+    from ..api import _auto_knowledge, _ensure_registry
+
+    first = cells[0]
+    if first.task != "elect" or first.graph is None or first.algorithm is None:
+        return None
+    if first.graph.split(":")[0].lower() in SEEDED_KINDS:
+        return None  # per-trial topologies: no shared trial axis
+    if first.params:
+        return None  # elect rejects params; let the per-cell path say so
+    registry = _ensure_registry()
+    spec = registry.get(first.algorithm)
+    if spec is None:
+        return None
+    try:
+        topology, diameter = _cell_topology(first)
+        model = make_model(first.delay, first.crash, first.loss,
+                           model_seed=first.model_seed)
+        _check_delay_tolerance(first.algorithm, spec, model)
+        # _auto_knowledge only reads num_nodes/num_edges (+ the passed
+        # diameter), so a topology shim avoids building any network.
+        shim = SimpleNamespace(num_nodes=topology.num_nodes,
+                               num_edges=topology.num_edges,
+                               topology=topology)
+        knowledge = _auto_knowledge(
+            shim, tuple(spec.needs) + first.auto_knowledge,
+            first.knowledge_dict, diameter=diameter)
+        wakeup = make_wakeup(first.wakeup)
+        ids = make_ids(first.ids)
+    except Exception:
+        return None
+    return BatchRunRequest(
+        topology=topology, factory=spec.factory,
+        seeds=[(cell.seed, cell.seed) for cell in cells],
+        knowledge=knowledge, ids=ids, wakeup=wakeup, model=model,
+        congest_bits=first.congest_bits, max_rounds=first.max_rounds,
+        algorithm=first.algorithm)
+
+
+def execute_elect_group(cells: Sequence[CellSpec]) -> List[Dict[str, Any]]:
+    """Run same-configuration ``elect`` trials as one backend batch.
+
+    Returns one metrics row per cell, in cell order, identical to
+    executing each cell through :func:`elect_task` (the batch contract
+    guarantees bit-identical per-trial results; the rows are computed by
+    the same :func:`_election_metrics`).  Groups that cannot be planned
+    fall back to per-cell execution.
+    """
+    request = plan_elect_group(cells)
+    if request is None:
+        return [resolve_task(cell.task)(cell) for cell in cells]
+    results = resolve_backend(cells[0].backend).run_batch(request)
+    _, diameter = _cell_topology(cells[0])
+    return [_election_metrics(result, result.network, diameter)
+            for result in results]
 
 
 def _reject_unsupported(cell: CellSpec, **fields: Any) -> None:
@@ -232,7 +328,7 @@ def elect_task(cell: CellSpec) -> Dict[str, Any]:
             f"unknown algorithm {cell.algorithm!r}; choose one of: {known}")
     spec = registry[cell.algorithm]
     return _run_election(cell, spec.factory, spec.needs,
-                         algorithm=cell.algorithm)
+                         algorithm=cell.algorithm, spec=spec)
 
 
 @register_task("candidate-f")

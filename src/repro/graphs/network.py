@@ -308,6 +308,44 @@ class ImplicitNetwork(Network):
         self._out_table = _LazyPortTable(self, self._out_port)
         self._peer_table = _LazyPortTable(self, self.peer_port)
 
+    @classmethod
+    def from_trusted(cls, topology: Topology, ids_array,
+                     rotations_array) -> "ImplicitNetwork":
+        """Construct from numpy arrays without the O(n) validation scans.
+
+        For builders that guarantee distinct IDs and in-range rotations
+        *by construction* — the trial-batched network builder
+        (:func:`repro.sim.columnar.batch.build_network`), whose
+        rejection-sampling replay cannot emit a duplicate or
+        out-of-range value.  The Python-level views (``_ids`` tuple,
+        ``_rot`` list, id->index map) materialize lazily through
+        ``__getattr__`` on first use, so a network that only ever feeds
+        a vectorized kernel never pays the per-node conversion.
+        """
+        self = object.__new__(cls)
+        self._topology = topology
+        self._ids_arr = ids_array
+        self._rot_arr = rotations_array
+        self._is_clique = bool(topology.is_complete)
+        self._out_table = _LazyPortTable(self, self._out_port)
+        self._peer_table = _LazyPortTable(self, self.peer_port)
+        return self
+
+    def __getattr__(self, name: str):
+        # Only trusted-constructed instances lack these attributes;
+        # materialize the Python views from the arrays on first touch.
+        if name == "_ids":
+            self._ids = tuple(self._ids_arr.tolist())
+            return self._ids
+        if name == "_rot":
+            self._rot = self._rot_arr.tolist()
+            return self._rot
+        if name == "_id_to_index":
+            self._id_to_index = {uid: i for i, uid in enumerate(self._ids)}
+            return self._id_to_index
+        raise AttributeError(
+            f"{type(self).__name__!r} object has no attribute {name!r}")
+
     # -- analytic port arithmetic --------------------------------------
     def _out_port(self, index: int, port: int) -> int:
         topo = self._topology

@@ -30,6 +30,10 @@ class RunnerTelemetry:
     #: Per-executed-cell wall clocks, in grid order (worker-side).
     cell_walls: List[float] = field(default_factory=list)
     workers: int = 1
+    #: Cell groups executed as one vectorized batch call (trial-batched
+    #: columnar execution), and the cells they covered.
+    batched_groups: int = 0
+    batched_trials: int = 0
     #: Result-cache counters (hits/misses/appends), when a cache is on.
     cache: Optional[Dict[str, int]] = None
 
@@ -55,6 +59,10 @@ class RunnerTelemetry:
             parts.append(f"cell time {self.cell_wall_s:.2f}s "
                          f"over {self.workers} worker"
                          f"{'s' if self.workers != 1 else ''}")
+        if self.batched_groups:
+            parts.append(f"{self.batched_trials} trials batched as "
+                         f"{self.batched_groups} group"
+                         f"{'s' if self.batched_groups != 1 else ''}")
         util = self.utilization
         if util is not None:
             parts.append(f"utilization {util:.0%}")
@@ -71,6 +79,8 @@ class RunnerTelemetry:
             "workers": self.workers,
             "utilization": (None if self.utilization is None
                             else round(self.utilization, 4)),
+            "batched_groups": self.batched_groups,
+            "batched_trials": self.batched_trials,
             "cache": self.cache,
         }
 

@@ -21,10 +21,10 @@ register it in :data:`BACKENDS`, and every entry point that accepts
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, Mapping, Optional, Set, Tuple
+from typing import Any, Dict, Iterator, List, Mapping, Optional, Set, Tuple
 
 from ..graphs.network import Network
-from .contract import ProcessFactory, RunResult
+from .contract import BatchRunRequest, ProcessFactory, RunResult
 from .errors import BackendUnsupported
 from .models import ExecutionModel
 from .scheduler import Simulator
@@ -68,6 +68,22 @@ class RunRequest:
         return None
 
 
+def expand_batch(request: BatchRunRequest) -> Iterator[RunRequest]:
+    """The defining sequential expansion of a batch: one
+    :class:`RunRequest` per trial, network built from that trial's
+    network seed.  Every ``run_batch`` implementation must be
+    bit-identical to running these in order."""
+    for network_seed, sim_seed in request.seeds:
+        network = Network.build(request.topology, seed=network_seed,
+                                ids=request.ids)
+        yield RunRequest(network=network, factory=request.factory,
+                         seed=sim_seed, knowledge=request.knowledge,
+                         wakeup=request.wakeup, model=request.model,
+                         congest_bits=request.congest_bits,
+                         max_rounds=request.max_rounds,
+                         algorithm=request.algorithm)
+
+
 class EngineBackend:
     """Interface every execution backend implements."""
 
@@ -86,6 +102,30 @@ class EngineBackend:
 
     def run(self, request: RunRequest) -> RunResult:
         raise NotImplementedError
+
+    # -- trial batching ----------------------------------------------------
+    def supports_batch(self, request: BatchRunRequest) -> Optional[str]:
+        """``None`` if this backend executes ``request`` through a
+        *genuinely batched* path (one vectorized computation over the
+        whole trial axis); otherwise the reason it would fall back.
+
+        Unlike :meth:`supports`, a non-``None`` reason here does not
+        make :meth:`run_batch` illegal — it merely signals that the
+        batch would degrade to the sequential per-trial expansion, so
+        callers who batch *for speed* (the experiments Runner) know not
+        to bother.
+        """
+        return f"backend {self.name!r} has no batched execution path"
+
+    def run_batch(self, request: BatchRunRequest) -> List[RunResult]:
+        """Run every trial and return their results in trial order.
+
+        The default implementation is the sequential expansion itself
+        (:func:`expand_batch` piped through :meth:`run`), so any
+        backend is batch-callable; backends with a vectorized path
+        override this and must stay bit-identical to the default.
+        """
+        return [self.run(single) for single in expand_batch(request)]
 
 
 class EventLoopBackend(EngineBackend):
@@ -132,6 +172,22 @@ class ColumnarBackend(EngineBackend):
         self.check(request)
         from .columnar import engine
         return engine.run(request)
+
+    def supports_batch(self, request: BatchRunRequest) -> Optional[str]:
+        from . import columnar
+        reason = columnar.numpy_missing()
+        if reason is not None:
+            return reason
+        from .columnar import batch
+        return batch.supports_batch(request)
+
+    def run_batch(self, request: BatchRunRequest) -> List[RunResult]:
+        if self.supports_batch(request) is not None:
+            # Per-trial columnar path (each run still check()ed, so an
+            # unsupported request refuses loudly instead of degrading).
+            return super().run_batch(request)
+        from .columnar import batch
+        return batch.run_batch(request)
 
 
 #: Registry of available backends, keyed by canonical name.

@@ -112,6 +112,23 @@ VECTOR_SMOKE_GRID: Tuple[Tuple[str, Optional[str], Optional[str], str], ...] = (
     ("sublinear", "clique:4096", None, "columnar"),
 )
 
+#: Trial-batched A/B series: whole trial axes through the columnar
+#: backend, each cell measured twice — per-trial loop vs one
+#: ``run_batch`` call — as *interleaved* rows sharing every column but
+#: the wall clocks, plus per-trial message counts so the bit-exactness
+#: of the batch contract is visible in the artifact itself.  Points are
+#: ``(algorithm, graph, trials)``; run with ``--auto-knowledge D``.
+BATCH_GRID: Tuple[Tuple[str, str, int], ...] = (
+    ("flood-max", "clique:4096", 30),
+    ("flood-max", "clique:8192", 30),
+    ("sublinear", "clique:16384", 30),
+)
+
+#: CI-sized slice of the trial-batched A/B series (seconds per run).
+BATCH_SMOKE_GRID: Tuple[Tuple[str, str, int], ...] = (
+    ("flood-max", "clique:4096", 10),
+)
+
 GRIDS: Dict[str, Tuple[Tuple[str, ...], ...]] = {
     "default": DEFAULT_GRID,
     "tiny": TINY_GRID,
@@ -120,6 +137,13 @@ GRIDS: Dict[str, Tuple[Tuple[str, ...], ...]] = {
     "large-smoke": LARGE_SMOKE_GRID,
     "vector": VECTOR_GRID,
     "vector-smoke": VECTOR_SMOKE_GRID,
+}
+
+#: Grids measured per trial axis (one cell = ``trials`` elections)
+#: rather than per single run; dispatched to :func:`run_batch_grid`.
+BATCH_GRIDS: Dict[str, Tuple[Tuple[str, str, int], ...]] = {
+    "batch": BATCH_GRID,
+    "batch-smoke": BATCH_SMOKE_GRID,
 }
 
 
@@ -284,6 +308,102 @@ def run_grid(grid: Sequence[Tuple[str, ...]], *, seed: int = 1,
     return rows
 
 
+def measure_trials_point(algorithm: str, graph: str, trials: int, *,
+                         batch: bool,
+                         backend: Optional[str] = "columnar",
+                         seed: int = 1,
+                         max_rounds: Optional[int] = None,
+                         auto_knowledge: Sequence[str] = ()
+                         ) -> Dict[str, Any]:
+    """Time one whole trial axis of ``(algorithm, graph)``.
+
+    Unlike :func:`measure_point` — one simulation on one prebuilt
+    network — this measures what a sweep cell actually costs: ``trials``
+    elections with per-trial networks and seeds, through
+    :func:`repro.analysis.stats.run_trials`.  ``batch=False`` forces the
+    per-trial loop; ``batch=True`` hands the axis to the backend as one
+    :class:`~repro.sim.contract.BatchRunRequest`.  Both modes share the
+    exact per-trial seeds, so an interleaved row pair differs only in
+    its wall-clock columns — the ``messages_per_trial`` list is recorded
+    in full to make that checkable from the artifact alone.
+    """
+    from ..analysis.stats import run_trials
+    from ..api import _ensure_registry
+    from ..graphs.specs import parse_graph_spec
+    from .backend import DEFAULT_BACKEND, normalize_backend
+
+    registry = _ensure_registry()
+    if algorithm not in registry:
+        known = ", ".join(sorted(registry))
+        raise ValueError(
+            f"unknown algorithm {algorithm!r}; choose one of: {known}")
+    backend = normalize_backend(backend)
+    topology = parse_graph_spec(graph, seed=seed)
+    keys = tuple(registry[algorithm].needs) + tuple(auto_knowledge)
+    t0 = time.perf_counter()
+    stats = run_trials(topology, algorithm, trials=trials, seed=seed,
+                       knowledge_keys=keys, max_rounds=max_rounds,
+                       backend=backend, batch=batch, keep_results=True)
+    wall = max(time.perf_counter() - t0, 1e-9)
+    events = sum(r.metrics.activations for r in stats.results)
+    messages = sum(r.messages for r in stats.results)
+    return {
+        "algorithm": algorithm,
+        "graph": graph,
+        "delay": None,
+        "backend": backend or DEFAULT_BACKEND,
+        "mode": "batch" if batch else "sequential",
+        "knowledge": sorted(keys),
+        "n": topology.num_nodes,
+        "m": topology.num_edges,
+        "seed": seed,
+        "trials": trials,
+        "wall_s": round(wall, 6),
+        "wall_per_trial_s": round(wall / trials, 6),
+        "messages": messages,
+        "messages_per_trial": [r.messages for r in stats.results],
+        "rounds": max(r.rounds for r in stats.results),
+        "events": events,
+        "events_per_s": round(events / wall, 1),
+        "messages_per_s": round(messages / wall, 1),
+        "successes": stats.successes,
+        "truncated": any(r.truncated for r in stats.results),
+        "profile": None,
+    }
+
+
+def run_batch_grid(grid: Sequence[Tuple[str, str, int]], *, seed: int = 1,
+                   max_rounds: Optional[int] = None,
+                   auto_knowledge: Sequence[str] = (),
+                   backend: Optional[str] = "columnar",
+                   progress=None) -> List[Dict[str, Any]]:
+    """Measure every ``(algorithm, graph, trials)`` point twice —
+    sequential per-trial loop first, then the batched path — emitting
+    the interleaved A/B row pairs.  Raises if any pair's per-trial
+    message counts diverge: a bench artifact must never record a
+    batched speedup bought with different numbers."""
+    rows: List[Dict[str, Any]] = []
+    for algorithm, graph, trials in grid:
+        pair = []
+        for batch in (False, True):
+            if progress:
+                mode = "batch" if batch else "sequential"
+                progress(f"bench {algorithm} on {graph} x{trials} "
+                         f"({mode}) ...")
+            pair.append(measure_trials_point(
+                algorithm, graph, trials, batch=batch, backend=backend,
+                seed=seed, max_rounds=max_rounds,
+                auto_knowledge=auto_knowledge))
+        if pair[0]["messages_per_trial"] != pair[1]["messages_per_trial"]:
+            raise AssertionError(
+                f"batched {algorithm} on {graph} diverged from the "
+                f"sequential path: per-trial messages "
+                f"{pair[1]['messages_per_trial']} != "
+                f"{pair[0]['messages_per_trial']}")
+        rows.extend(pair)
+    return rows
+
+
 def _git_sha() -> Optional[str]:
     """The repository HEAD this run measured, or None outside a checkout
     (or without a git binary) — provenance must never fail a bench run."""
@@ -384,14 +504,21 @@ def append_snapshot(path: str, snap: Dict[str, Any]) -> Dict[str, Any]:
 
 
 def format_rows(rows: List[Dict[str, Any]]) -> str:
-    header = (f"{'algorithm':<14} {'graph':<16} {'delay':<10} "
-              f"{'backend':<10} {'n':>8} "
-              f"{'events/s':>12} {'messages/s':>12} {'wall_s':>9}")
+    has_mode = any(row.get("mode") for row in rows)
+    header = f"{'algorithm':<14} {'graph':<16} {'delay':<10} "
+    if has_mode:
+        header += f"{'trials':>6} {'mode':<11} "
+    header += (f"{'backend':<10} {'n':>8} "
+               f"{'events/s':>12} {'messages/s':>12} {'wall_s':>9}")
     lines = [header]
     for row in rows:
-        lines.append(f"{row['algorithm']:<14} {row['graph']:<16} "
-                     f"{row.get('delay') or '-':<10} "
-                     f"{row.get('backend') or 'event-loop':<10} "
-                     f"{row['n']:>8} {row['events_per_s']:>12,.0f} "
-                     f"{row['messages_per_s']:>12,.0f} {row['wall_s']:>9.4f}")
+        line = (f"{row['algorithm']:<14} {row['graph']:<16} "
+                f"{row.get('delay') or '-':<10} ")
+        if has_mode:
+            line += (f"{row.get('trials') or 1:>6} "
+                     f"{row.get('mode') or '-':<11} ")
+        line += (f"{row.get('backend') or 'event-loop':<10} "
+                 f"{row['n']:>8} {row['events_per_s']:>12,.0f} "
+                 f"{row['messages_per_s']:>12,.0f} {row['wall_s']:>9.4f}")
+        lines.append(line)
     return "\n".join(lines)

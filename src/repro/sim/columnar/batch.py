@@ -1,0 +1,522 @@
+"""Trial-batched columnar execution: the trial axis as a leading
+``(T,)`` array dimension.
+
+PR 7 made a *single* run vectorized; the statistical workloads
+(``run_trials``, sweep cells with ``trials=30..100``, the report
+registry) still paid per-trial Python overhead: rebuild the network,
+re-draw IDs one ``rng.sample`` candidate at a time, re-init a kernel,
+re-enter the interpreter loop.  This module batches all of it:
+
+* **Vectorized ID/rotation replay** (:func:`build_network`): the
+  Mersenne Twister word stream of ``random.Random(f"network:{seed}:...")``
+  is drawn in one C call per chunk (:class:`_WordStream`) and
+  ``_randbelow``'s rejection sampling is replayed *value-exactly* — a
+  candidate's fate depends only on its value (and, for distinct draws,
+  the values accepted before it), so the accepted draws are a filter of
+  the candidate stream that numpy can compute.  This reproduces both
+  ``RandomIds.assign`` branches — ``rng.sample(range(1, space+1), n)``'s
+  selection-set path and the huge-space rejection fallback draw the
+  *identical* word sequence: ``1 + _randbelow(space)`` until ``n``
+  distinct values accumulate — and the per-node port rotations.
+* **Batched flood-max** (:func:`_run_flood_max`): state arrays gain a
+  leading trial dimension (``rank``/``best``/``sizes`` are ``(T, n)``)
+  and all T trials step in lockstep (same topology and knowledge ⇒ same
+  horizon and round sequence), with per-trial Metrics folded out of
+  ``(T,)`` counter arrays by
+  :class:`~repro.sim.columnar.engine.BatchKernelRuntime`.
+* **Batched sublinear**: the trial axis vectorizes network construction
+  (the ID and rotation draws above); round execution stays per-trial
+  because its state is sparse per-trial dicts and the dense candidacy
+  screen has no cross-trial structure (each (trial, node) pair is an
+  independent sha512 + generator init).
+
+Same equivalent-or-absent contract as the single-run engine: every
+trial's result is bit-identical to a sequential run
+(``expand_batch``'s definition), or :func:`supports_batch` names the
+reason and the caller falls back — never silently different numbers.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from _random import Random as _CoreRandom
+from types import SimpleNamespace
+from typing import List, Optional
+
+import numpy as np
+
+from ...core.flood_max import MaxIdMsg
+from ...graphs.ids import RandomIds, id_space_size
+from ...graphs.network import (LAZY_AUTO_MIN_AVG_DEGREE,
+                               LAZY_AUTO_MIN_NODES, ImplicitNetwork,
+                               Network)
+from ..contract import BatchRunRequest, RunResult
+from ..status import Status
+from ..wakeup import Simultaneous
+from .kernels import KERNELS
+
+
+# ----------------------------------------------------------------------
+# Exact Mersenne Twister word-stream replay
+# ----------------------------------------------------------------------
+
+class _WordStream:
+    """The raw 32-bit MT outputs of ``random.Random(key)``, in bulk.
+
+    CPython's ``getrandbits(32 * N)`` concatenates exactly N successive
+    ``genrand_uint32`` outputs little-endian-first (the final word is
+    unshifted because the bit count is a multiple of 32), so one C call
+    yields N stream words in generation order.  Seeding the C-level
+    generator with ``int.from_bytes(key + sha512(key), 'big')`` is the
+    string-seed derivation ``random.Random(key).seed`` performs (pinned
+    by ``TestSeedFastPath``).  ``push_back`` lets a sampler over-draw
+    words speculatively and return the unconsumed tail, so the *logical*
+    stream position always matches the sequential consumer's.
+    """
+
+    __slots__ = ("_rng", "_buf")
+
+    def __init__(self, key: str) -> None:
+        blob = key.encode()
+        self._rng = _CoreRandom(
+            int.from_bytes(blob + hashlib.sha512(blob).digest(), "big"))
+        self._buf: Optional[np.ndarray] = None
+
+    def take(self, count: int) -> np.ndarray:
+        """The next ``count`` stream words as a uint64 array."""
+        buf = self._buf
+        if buf is not None:
+            if buf.size >= count:
+                self._buf = buf[count:] if buf.size > count else None
+                return buf[:count]
+            self._buf = None
+            return np.concatenate([buf, self.take(count - buf.size)])
+        raw = self._rng.getrandbits(32 * count)
+        return np.frombuffer(raw.to_bytes(4 * count, "little"),
+                             dtype="<u4").astype(np.uint64)
+
+    def push_back(self, words: np.ndarray) -> None:
+        """Return unconsumed words to the front of the stream."""
+        if not words.size:
+            return
+        self._buf = (words if self._buf is None
+                     else np.concatenate([words, self._buf]))
+
+
+def _scan_chunk(cand, ok, prior, need: int):
+    """Exact candidate-by-candidate replay of one chunk, for the
+    astronomically rare case (collision probability ~n²/n⁴) where a
+    bound-accepted candidate duplicates an earlier accepted value.
+    Returns ``(accepted_values, candidates_consumed)``."""
+    seen = set(prior.tolist())
+    taken = []
+    consumed = cand.size
+    for j in range(cand.size):
+        if not ok[j]:
+            continue
+        v = int(cand[j])
+        if v in seen:
+            continue
+        seen.add(v)
+        taken.append(v)
+        if len(taken) == need:
+            consumed = j + 1
+            break
+    return taken, consumed
+
+
+def _randbelow_batch(stream: _WordStream, bound: int, count: int, *,
+                     distinct: bool = False) -> np.ndarray:
+    """Replay ``count`` accepted draws of ``rng._randbelow(bound)``.
+
+    Consumes the word stream *exactly* as CPython does: each candidate
+    is one ``getrandbits(k)`` call (``k = bound.bit_length()``, one or
+    two words), candidates ``>= bound`` are rejected and redrawn, and
+    with ``distinct`` a candidate equal to an earlier accepted value is
+    rejected too (the retry discipline of sampling without replacement
+    — both a candidate's bound fate and its duplicate fate depend only
+    on values, never on generator state, so acceptance is a pure filter
+    of the candidate stream).  The chunk is over-drawn past the
+    expected rejection rate and the words after the ``count``-th
+    acceptance are pushed back, so the logical stream position lands
+    precisely where a sequential consumer's would.
+    """
+    k = bound.bit_length()
+    words_per = (k + 31) // 32
+    if words_per > 2:
+        raise ValueError(f"bound {bound} needs {words_per} words per draw")
+    bound64 = np.uint64(bound)
+    accept_rate = bound / (1 << k)  # in (0.5, 1] by bit_length
+    out = np.empty(count, dtype=np.uint64)
+    got = 0
+    while got < count:
+        need = count - got
+        est = int((need + 4 * need ** 0.5 + 16) / accept_rate) + 1
+        words = stream.take(est * words_per)
+        if words_per == 1:
+            cand = words >> np.uint64(32 - k)
+        else:
+            cand = words[0::2] | (
+                (words[1::2] >> np.uint64(64 - k)) << np.uint64(32))
+        ok = cand < bound64
+        idx = np.flatnonzero(ok)
+        complete = idx.size >= need
+        taken = cand[idx[:need]] if complete else cand[idx]
+        consumed = int(idx[need - 1]) + 1 if complete else cand.size
+        if distinct and taken.size:
+            # Fast check: the accepted prefix (plus everything accepted
+            # before this chunk) must be collision-free, else replay the
+            # chunk candidate by candidate.
+            merged = np.concatenate([out[:got], taken])
+            if np.unique(merged).size != merged.size:
+                scanned, consumed = _scan_chunk(cand, ok, out[:got], need)
+                taken = np.array(scanned, dtype=np.uint64)
+        out[got:got + taken.size] = taken
+        got += taken.size
+        stream.push_back(words[consumed * words_per:])
+    return out
+
+
+# ----------------------------------------------------------------------
+# Vectorized network construction
+# ----------------------------------------------------------------------
+
+def network_vector_reason(topology, ids) -> Optional[str]:
+    """Why per-trial network construction cannot be vectorized
+    (``None`` when :func:`build_network` applies).
+
+    The gates pin down exactly the configurations whose RNG consumption
+    the word-stream replay reproduces: the lazy implicit build (one
+    rotation per node instead of per-node shuffles), uniform positive
+    degrees (complete graphs — rotation draws then share one
+    ``_randbelow`` bound), the default ``RandomIds`` assigner, and an ID
+    space of at most 64 bits per draw.
+    """
+    n = topology.num_nodes
+    if not (getattr(topology, "is_implicit", False)
+            and n > LAZY_AUTO_MIN_NODES
+            and 2 * topology.num_edges > LAZY_AUTO_MIN_AVG_DEGREE * n):
+        return ("topology takes the materialized build path (per-node "
+                "port shuffles have no vectorized replay)")
+    if not getattr(topology, "is_complete", False):
+        return ("vectorized rotation replay needs the uniform degrees "
+                "of a complete graph")
+    if ids is not None and type(ids) is not RandomIds:
+        return (f"ID assigner {type(ids).__name__} has no vectorized "
+                f"replay")
+    space = id_space_size(n)
+    if space.bit_length() > 64:
+        return (f"ID space needs {space.bit_length()} bits per draw "
+                f"(> 64)")
+    return None
+
+
+def build_network(topology, seed: int, ids) -> Network:
+    """One trial's network with all RNG draws done in C.
+
+    Bit-identical to ``Network.build(topology, seed=seed, ids=ids)``
+    for every configuration :func:`network_vector_reason` accepts: the
+    same IDs (both ``RandomIds.assign`` branches reduce to drawing
+    ``1 + _randbelow(space)`` until ``n`` distinct values accumulate)
+    followed by the same per-node port rotations, off one shared word
+    stream.
+    """
+    n = topology.num_nodes
+    stream = _WordStream(f"network:{seed}:{topology.name}")
+    space = id_space_size(n)
+    ids_arr = _randbelow_batch(stream, space, n, distinct=True) + np.uint64(1)
+    rot_arr = _randbelow_batch(stream, n - 1, n).astype(np.int64)
+    return ImplicitNetwork.from_trusted(topology, ids_arr, rot_arr)
+
+
+def _expand_requests(request: BatchRunRequest):
+    """Per-trial RunRequests, networks built vectorized when possible
+    (falling back to ``Network.build`` keeps the batch exact either
+    way — the kernels below don't care how a network was built)."""
+    from ..backend import RunRequest
+
+    vector = network_vector_reason(request.topology, request.ids) is None
+    out = []
+    for network_seed, sim_seed in request.seeds:
+        if vector:
+            network = build_network(request.topology, network_seed,
+                                    request.ids)
+        else:
+            network = Network.build(request.topology, seed=network_seed,
+                                    ids=request.ids)
+        out.append(RunRequest(
+            network=network, factory=request.factory, seed=sim_seed,
+            knowledge=request.knowledge, wakeup=request.wakeup,
+            model=request.model, congest_bits=request.congest_bits,
+            max_rounds=request.max_rounds, algorithm=request.algorithm))
+    return out
+
+
+# ----------------------------------------------------------------------
+# Batch support surface
+# ----------------------------------------------------------------------
+
+def supports_batch(request: BatchRunRequest) -> Optional[str]:
+    """Refusal reason on the batched columnar path, else ``None``.
+
+    Mirrors the single-run :func:`repro.sim.columnar.engine.supports`
+    checks that apply batch-wide, plus the batch-specific ones; a
+    ``None`` here guarantees :func:`run_batch` is bit-identical to the
+    sequential expansion *and* genuinely vectorized over trials.
+    """
+    algorithm = request.algorithm
+    if not algorithm:
+        return ("request does not name a registry algorithm (columnar "
+                "kernels are looked up by name, not by process factory)")
+    kernel_cls = KERNELS.get(algorithm)
+    if kernel_cls is None:
+        return (f"no columnar kernel for algorithm {algorithm!r} "
+                f"(kernels exist for: {', '.join(sorted(KERNELS))})")
+    if request.trials < 1:
+        return "batch carries no trials"
+    model = request.model
+    if model is not None and not model.is_synchronous:
+        return ("execution model is not the synchronous fault-free model "
+                "(delay/loss/crash simulation is event-loop only)")
+    wake = request.effective_wakeup()
+    if wake is not None and not isinstance(wake, Simultaneous):
+        return (f"wakeup model {type(wake).__name__} is not simultaneous "
+                "(staggered wakeups are event-loop only)")
+    if request.congest_bits is not None:
+        return ("CONGEST enforcement raises at the first offending trial "
+                "in trial order; run CONGEST-limited batches per trial")
+    # Kernel-specific checks see a request-shaped probe: they only read
+    # knowledge and topology-level structure, which the batch shares.
+    probe = SimpleNamespace(
+        knowledge=request.knowledge,
+        network=SimpleNamespace(topology=request.topology,
+                                num_edges=request.topology.num_edges))
+    reason = kernel_cls().supports(probe)
+    if reason is not None:
+        return reason
+    if algorithm != "flood-max":
+        # Sublinear's rounds execute per trial either way; the batch is
+        # only *genuinely* batched when network construction vectorizes.
+        return network_vector_reason(request.topology, request.ids)
+    return None
+
+
+def run_batch(request: BatchRunRequest) -> List[RunResult]:
+    """Execute a supported batch; results in trial order.
+
+    Callers are expected to have passed :func:`supports_batch` (the
+    ``ColumnarBackend`` shim enforces it).
+    """
+    requests = _expand_requests(request)
+    if request.algorithm == "flood-max":
+        return _run_flood_max(requests)
+    from . import engine
+    return [engine.run(rq) for rq in requests]
+
+
+# ----------------------------------------------------------------------
+# Batched flood-max
+# ----------------------------------------------------------------------
+
+def _bit_length_u64(arr: np.ndarray) -> np.ndarray:
+    """Per-element ``int.bit_length()`` of a uint64 array (exact)."""
+    out = np.zeros(arr.shape, dtype=np.int64)
+    v = arr.copy()
+    for shift in (32, 16, 8, 4, 2, 1):
+        m = v >= (np.uint64(1) << np.uint64(shift))
+        out[m] += shift
+        v[m] >>= np.uint64(shift)
+    return out + (v > 0)
+
+
+def _batched_inbox(sent_mask, sent_vals, rows, clique, indptr, indices,
+                   n: int) -> np.ndarray:
+    """Per-node max over last round's sends, for the trial rows given
+    (-1 where nothing arrived) — the (R, n) analogue of the sequential
+    kernel's ``_inbox_max``."""
+    sent = np.where(sent_mask[rows], sent_vals[rows], np.int64(-1))
+    if clique:
+        m1 = sent.max(axis=1)
+        inbox = np.repeat(m1[:, None], n, axis=1)
+        at_max = sent == m1[:, None]
+        unique = at_max.sum(axis=1) == 1
+        if unique.any():
+            # The unique top sender hears only the runner-up value.
+            lower = np.where(at_max, np.int64(-1), sent)
+            m2 = lower.max(axis=1)
+            holders = np.argmax(at_max, axis=1)
+            u = np.flatnonzero(unique)
+            inbox[u, holders[u]] = m2[u]
+        return inbox
+    neighbor_vals = sent[:, indices]
+    starts = indptr[:-1]
+    empty = starts == indptr[1:]
+    inbox = np.maximum.reduceat(
+        neighbor_vals, np.minimum(starts, neighbor_vals.shape[1] - 1),
+        axis=1)
+    inbox[:, empty] = -1
+    return inbox
+
+
+def _run_flood_max(requests) -> List[RunResult]:
+    """All T flood-max trials in lockstep over ``(T, n)`` state.
+
+    The trials share topology and knowledge, so they share the flooding
+    horizon and execute the identical round sequence 0..horizon — only
+    the per-trial ID draws (hence ranks, payload sizes, and improvement
+    patterns) differ, and those live in arrays with a leading trial
+    dimension.  Accounting per round mirrors the sequential kernel's
+    ``_account_broadcasts`` term by term.
+    """
+    from .engine import BatchKernelRuntime
+
+    brt = BatchKernelRuntime(requests)
+    T, n = brt.T, brt.n
+    networks = brt.networks
+    topology = networks[0].topology
+
+    # Trial-invariant structure (degrees, adjacency, horizon).
+    deg = np.fromiter((networks[0].degree(i) for i in range(n)),
+                      dtype=np.int64, count=n)
+    d = brt.knowledge.get("D")
+    if d is None:
+        d = brt.knowledge["n"] - 1
+    horizon = max(1, d)
+    clique = bool(getattr(topology, "is_complete", False))
+    indptr = indices = None
+    if not clique:
+        indptr = np.zeros(n + 1, dtype=np.int64)
+        np.cumsum(deg, out=indptr[1:])
+        indices = np.empty(int(indptr[-1]), dtype=np.int64)
+        pos = 0
+        for i in range(n):
+            nb = topology.neighbors(i)
+            indices[pos:pos + len(nb)] = nb
+            pos += len(nb)
+
+    # Per-trial rank space: IDs order identically to their ranks, and
+    # payload sizes come from the ID bit lengths (MaxIdMsg's 8-bit
+    # header + max(1, uid.bit_length()), uid >= 1).  IDs past uint64
+    # (n > ~65k via the fallback network build) drop to the sequential
+    # kernel's arbitrary-precision init per trial.
+    rank = np.empty((T, n), dtype=np.int64)
+    ids_sorted: Optional[List[list]] = None
+    arrs = [getattr(net, "_ids_arr", None) for net in networks]
+    if all(a is not None for a in arrs):
+        ids_mat = np.stack(arrs)
+    else:
+        try:
+            ids_mat = np.array([net.ids for net in networks],
+                               dtype=np.uint64)
+        except OverflowError:
+            ids_mat = None
+    if ids_mat is not None:
+        order = np.argsort(ids_mat, axis=1)
+        rank[np.arange(T)[:, None], order] = np.arange(n)[None, :]
+        sizes = _bit_length_u64(ids_mat) + 8
+        sizes_by_rank = np.take_along_axis(sizes, order, axis=1)
+    else:
+        order = None
+        ids_sorted = []
+        sizes = np.empty((T, n), dtype=np.int64)
+        sizes_by_rank = np.empty((T, n), dtype=np.int64)
+        for t in range(T):
+            ids_t = list(networks[t].ids)
+            order_t = sorted(range(n), key=ids_t.__getitem__)
+            for pos, i in enumerate(order_t):
+                rank[t, i] = pos
+            sizes[t] = np.fromiter(
+                (MaxIdMsg(uid).size_bits() for uid in ids_t),
+                dtype=np.int64, count=n)
+            sizes_by_rank[t] = sizes[t][np.asarray(order_t)]
+            ids_sorted.append([ids_t[i] for i in order_t])
+
+    maxid_count = brt.per_kind_array("MaxIdMsg")
+    sent_count = np.zeros((T, n), dtype=np.int64)
+    best = rank.copy()
+    sent_mask = sent_vals = None
+    decided = False
+    truncated = False
+    next_r = 0
+    while True:
+        r = next_r
+        if r > brt.limit:
+            truncated = True
+            break
+        brt.activations += n
+        if r == 0:
+            mask0 = deg > 0
+            if mask0.any():
+                counts = deg[mask0]
+                total = int(counts.sum())
+                brt.messages += total
+                brt.bits += (sizes[:, mask0] * counts).sum(axis=1)
+                np.maximum(brt.max_payload_bits,
+                           sizes[:, mask0].max(axis=1),
+                           out=brt.max_payload_bits)
+                maxid_count += total
+                sent_count[:, mask0] += counts
+                brt.pending += total
+                sent_mask = np.broadcast_to(mask0, (T, n))
+                sent_vals = rank
+            next_r = 1
+            brt.rounds_executed += 1
+            continue
+        live = brt.pending > 0
+        improved = None
+        if live.any():
+            brt.pending[live] = 0
+            brt.last_activity_round[live] = r
+            rows = np.flatnonzero(live)
+            inbox = _batched_inbox(sent_mask, sent_vals, rows, clique,
+                                   indptr, indices, n)
+            sub = inbox > best[rows]
+            improved = np.zeros((T, n), dtype=bool)
+            improved[rows] = sub
+            best[rows] = np.maximum(best[rows], inbox)
+        sent_mask = sent_vals = None
+        if r >= horizon:
+            decided = True
+            brt.last_activity_round[:] = r
+            brt.rounds_executed += 1
+            break
+        if improved is not None and improved.any():
+            sizes_v = np.take_along_axis(sizes_by_rank, best, axis=1)
+            counts = np.where(improved, deg, 0)
+            totals = counts.sum(axis=1)
+            brt.messages += totals
+            brt.bits += (counts * sizes_v).sum(axis=1)
+            np.maximum(brt.max_payload_bits,
+                       np.where(improved, sizes_v, 0).max(axis=1),
+                       out=brt.max_payload_bits)
+            maxid_count += totals
+            sent_count += counts
+            brt.pending += totals
+            sent_mask = improved
+            sent_vals = best.copy()
+        next_r = r + 1
+        brt.rounds_executed += 1
+
+    brt.per_node_sent = sent_count
+    if decided:
+        elected, non_elected = Status.ELECTED, Status.NON_ELECTED
+        for t in range(T):
+            row_best = best[t]
+            statuses = [non_elected] * n
+            for i in np.flatnonzero(row_best == rank[t]).tolist():
+                statuses[i] = elected
+            brt.statuses[t] = statuses
+            distinct = np.unique(row_best)
+            if distinct.size == 1:  # connected graph: everyone agrees
+                b = int(distinct[0])
+                uid = (ids_sorted[t][b] if ids_sorted is not None
+                       else int(ids_mat[t, order[t, b]]))
+                brt.outputs[t] = [{"leader_uid": uid} for _ in range(n)]
+            elif ids_sorted is not None:
+                srt = ids_sorted[t]
+                brt.outputs[t] = [{"leader_uid": srt[b]}
+                                  for b in row_best.tolist()]
+            else:
+                uids = ids_mat[t, order[t, row_best]].tolist()
+                brt.outputs[t] = [{"leader_uid": u} for u in uids]
+    return brt.results(truncated)

@@ -25,7 +25,10 @@ Equivalence obligations a kernel must uphold (pinned by
 
 from __future__ import annotations
 
-from typing import Optional
+from collections import Counter
+from typing import Dict, List, Optional
+
+import numpy as np
 
 from ..contract import DEFAULT_MAX_ROUNDS, RunResult
 from ..errors import CongestViolation
@@ -121,6 +124,122 @@ class KernelRuntime:
             raise CongestViolation(
                 f"payload {kind} is {size} bits "
                 f"(> CONGEST limit of {self.congest_bits})")
+
+
+class _BatchMetrics(Metrics):
+    """Metrics whose ``per_node_sent`` Counter materializes lazily from
+    a batched ``(n,)`` send-count row.
+
+    Identical on observation to an eagerly folded Counter (nonzero
+    entries only, same key/value ints), but free for the callers that
+    never look at per-node counts — benchmark rows, sweep cells, and
+    ``run_trials`` aggregates all read only the scalar counters, and
+    folding ~n dict entries per trial would otherwise be a top cost of
+    the whole batched run.
+    """
+
+    @property
+    def per_node_sent(self) -> Counter:
+        counter = self._per_node_counter
+        if counter is None:
+            counter = Counter()
+            row = self._per_node_row
+            if row is not None:
+                nz = np.flatnonzero(row)
+                if nz.size:
+                    counter.update(dict(zip(nz.tolist(),
+                                            row[nz].tolist())))
+            self._per_node_counter = counter
+            self._per_node_row = None
+        return counter
+
+    @per_node_sent.setter
+    def per_node_sent(self, value) -> None:
+        self._per_node_counter = value
+        self._per_node_row = None
+
+
+class BatchKernelRuntime:
+    """Exact per-trial accounting for one *batched* kernel execution.
+
+    The trial-batched kernels (:mod:`repro.sim.columnar.batch`)
+    accumulate counters into arrays with a leading ``(T,)`` trial
+    dimension instead of one :class:`Metrics` per run;
+    :meth:`metrics_for` folds trial ``t``'s slice back into a Metrics
+    instance bit-identical to the one a sequential
+    :class:`KernelRuntime` run would have produced.  Statuses/outputs
+    stay per-trial Python lists (set by the kernel at finish; trials the
+    kernel leaves untouched get the all-UNDECIDED default, exactly like
+    a truncated sequential run).
+    """
+
+    def __init__(self, requests) -> None:
+        if not requests:
+            raise ValueError("batch runtime needs at least one trial")
+        self.requests = list(requests)
+        first = self.requests[0]
+        self.T = len(self.requests)
+        self.networks = [rq.network for rq in self.requests]
+        self.n = first.network.num_nodes
+        self.knowledge = dict(first.knowledge or {})
+        self.limit = (first.max_rounds if first.max_rounds is not None
+                      else DEFAULT_MAX_ROUNDS)
+        T = self.T
+        self.messages = np.zeros(T, dtype=np.int64)
+        self.bits = np.zeros(T, dtype=np.int64)
+        self.max_payload_bits = np.zeros(T, dtype=np.int64)
+        self.activations = np.zeros(T, dtype=np.int64)
+        self.last_activity_round = np.zeros(T, dtype=np.int64)
+        self.rounds_executed = np.zeros(T, dtype=np.int64)
+        #: Per-trial messages sent but not yet handed to a receiver.
+        self.pending = np.zeros(T, dtype=np.int64)
+        #: kind -> (T,) per-trial send counts.
+        self.per_kind: Dict[str, np.ndarray] = {}
+        #: (T, n) per-node send counts, set by the kernel.
+        self.per_node_sent: Optional[np.ndarray] = None
+        self.statuses: List[Optional[list]] = [None] * T
+        self.outputs: List[Optional[list]] = [None] * T
+
+    def per_kind_array(self, kind: str) -> np.ndarray:
+        arr = self.per_kind.get(kind)
+        if arr is None:
+            arr = self.per_kind[kind] = np.zeros(self.T, dtype=np.int64)
+        return arr
+
+    def metrics_for(self, t: int) -> Metrics:
+        """Trial ``t``'s Metrics, identical to a sequential run's."""
+        m = _BatchMetrics()
+        m.messages = int(self.messages[t])
+        m.bits = int(self.bits[t])
+        m.max_payload_bits = int(self.max_payload_bits[t])
+        m.activations = int(self.activations[t])
+        m.last_activity_round = int(self.last_activity_round[t])
+        m.rounds_executed = int(self.rounds_executed[t])
+        m.messages_delivered = int(self.messages[t] - self.pending[t])
+        for kind, arr in self.per_kind.items():
+            count = int(arr[t])
+            if count:  # the event loop never creates zero-count keys
+                m.per_kind[kind] = count
+        if self.per_node_sent is not None:
+            m._per_node_counter = None
+            m._per_node_row = self.per_node_sent[t]
+        return m
+
+    def results(self, truncated: bool) -> List[RunResult]:
+        """Fold the batch into per-trial RunResults, in trial order."""
+        out = []
+        for t in range(self.T):
+            statuses = self.statuses[t]
+            if statuses is None:
+                statuses = [Status.UNDECIDED] * self.n
+            outputs = self.outputs[t]
+            if outputs is None:
+                outputs = [{} for _ in range(self.n)]
+            out.append(RunResult(
+                network=self.networks[t], statuses=statuses,
+                outputs=outputs, metrics=self.metrics_for(t),
+                truncated=truncated, wake_schedule=[0] * self.n))
+        return out
 
 
 def run(request) -> RunResult:

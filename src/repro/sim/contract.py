@@ -31,16 +31,21 @@ order the algorithm's process implementation does.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Mapping,
+                    Optional, Sequence, Tuple)
 
 from ..graphs.network import Network
 from .metrics import Metrics
 from .status import Status
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..graphs.ids import IdAssigner
+    from ..graphs.topology import Topology
     from ..obs.timeline import Timeline
+    from .models import ExecutionModel
     from .process import NodeProcess
+    from .wakeup import WakeupModel
 
 ProcessFactory = Callable[[], "NodeProcess"]
 
@@ -58,6 +63,55 @@ def node_rng(seed: int, index: int) -> random.Random:
 def wakeup_rng(seed: int) -> random.Random:
     """The wakeup-schedule stream under simulator ``seed``."""
     return random.Random(f"wakeup:{seed}")
+
+
+@dataclass
+class BatchRunRequest:
+    """A *trial axis* over one run configuration.
+
+    ``T = len(seeds)`` runs that share everything — topology, process
+    factory, knowledge, ID assigner, wakeup, execution model, CONGEST
+    limit, round ceiling — and differ only in their per-trial
+    ``(network_seed, sim_seed)`` pair.  Trial ``t`` is *defined* as::
+
+        network = Network.build(topology, seed=seeds[t][0], ids=ids)
+        RunRequest(network=network, seed=seeds[t][1], ...)
+
+    and every backend's ``run_batch`` must return results bit-identical
+    to running those T requests sequentially (same Metrics counters,
+    statuses, outputs, networks).  A backend with a vectorized batch
+    path (state arrays with a leading ``(T,)`` dimension, IDs for all
+    trials drawn in C) advertises it via
+    :meth:`~repro.sim.backend.EngineBackend.supports_batch`; everyone
+    else falls back to the sequential expansion — batching is a speed
+    seam, never a semantics seam.
+    """
+
+    topology: "Topology"
+    factory: ProcessFactory
+    #: Per-trial ``(network_seed, sim_seed)`` pairs; callers derive them
+    #: (e.g. ``analysis.stats._trial_seed``'s independent SHA-256
+    #: streams) so the batch is reproducible from the base seed alone.
+    seeds: Sequence[Tuple[int, int]]
+    knowledge: Mapping[str, int] = field(default_factory=dict)
+    ids: Optional["IdAssigner"] = None
+    wakeup: Optional["WakeupModel"] = None
+    model: Optional["ExecutionModel"] = None
+    congest_bits: Optional[int] = None
+    max_rounds: Optional[int] = None
+    algorithm: Optional[str] = None
+
+    @property
+    def trials(self) -> int:
+        return len(self.seeds)
+
+    def effective_wakeup(self) -> Optional["WakeupModel"]:
+        """The wakeup model the runs will use (explicit beats model's)."""
+        if self.wakeup is not None:
+            return self.wakeup
+        if self.model is not None:
+            return self.model.wakeup
+        return None
 
 
 @dataclass

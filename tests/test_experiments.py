@@ -154,6 +154,25 @@ class TestCache:
         assert len(ResultCache(str(tmp_path))) == 12
         assert len(ResultCache(str(tmp_path / "nowhere"))) == 0
 
+    def test_get_parses_each_file_once(self, tmp_path, monkeypatch):
+        """Regression: ``_records`` memoizes per experiment, so repeated
+        ``get()`` calls must never re-parse the JSONL file — a sweep
+        loop doing O(cells) lookups would otherwise re-read the whole
+        cache O(cells) times."""
+        run_sweep(SPEC, cache_dir=str(tmp_path))
+        cache = ResultCache(str(tmp_path))
+        scans = []
+        real_scan = ResultCache._scan_file
+        monkeypatch.setattr(
+            ResultCache, "_scan_file",
+            staticmethod(lambda path: (scans.append(path),
+                                       real_scan(path))[1]))
+        for _ in range(3):
+            for cell in SPEC.expand():
+                assert cache.get(cell) is not None
+        assert len(scans) == 1
+        assert cache.stats()["hits"] == 3 * 12
+
     def test_torn_final_line_recovers_prior_records(self, tmp_path):
         """A truncated last JSONL line (interrupted sweep) must be
         skipped on load while every prior record is served as a hit."""

@@ -28,6 +28,12 @@ Commands
     (messages sent/delivered/dropped, status census) as sparklines,
     JSON, or CSV — or rebuild the same view from a saved ``--trace``
     JSONL file.
+``lint``
+    Run the repository's domain-specific static analysis
+    (:mod:`repro.lint`): AST-level proofs of the determinism and
+    contract invariants (seeded-RNG discipline, set-iteration order,
+    kernel-registry consistency, Paper-claim docstrings, rebinding
+    signatures).  Exit 1 on any violation — the CI blocking gate.
 
 Global flags: ``-v``/``--verbose`` turns on DEBUG logging with
 timestamps, ``-q``/``--quiet`` drops the ``...`` progress chatter;
@@ -62,6 +68,7 @@ Examples::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -469,6 +476,36 @@ def cmd_timeline(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_lint(args: argparse.Namespace) -> int:
+    from .lint import all_rules, lint_paths, render_json, render_text
+
+    if args.list_rules:
+        rules = all_rules()
+        width = max(len(code) for code in rules)
+        for code in sorted(rules):
+            rule = rules[code]
+            print(f"{code.ljust(width)}  [{rule.severity.value}]  "
+                  f"{rule.summary}")
+        return 0
+
+    def split(values):
+        if values is None:
+            return None
+        return [c for v in values for c in v.split(",") if c]
+
+    paths = args.paths or (["src"] if os.path.isdir("src") else ["."])
+    try:
+        result = lint_paths(paths, select=split(args.select),
+                            ignore=split(args.ignore))
+    except ValueError as exc:
+        raise SystemExit(str(exc))
+    if args.format == "json":
+        print(render_json(result))
+    else:
+        print(render_text(result))
+    return result.exit_code
+
+
 # ----------------------------------------------------------------------
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -681,6 +718,24 @@ def build_parser() -> argparse.ArgumentParser:
     timeline.add_argument("--csv", action="store_true",
                           help="emit the rows as CSV instead of sparklines")
 
+    lint = sub.add_parser(
+        "lint",
+        help="run the repository's static-analysis rules (repro.lint)")
+    lint.add_argument("paths", nargs="*",
+                      help="files or directories to lint "
+                           "(default: src/ when present, else .)")
+    lint.add_argument("--select", action="append", metavar="CODES",
+                      help="run only rules matching these comma-separated "
+                           "codes or prefixes (e.g. RL1,RL301); repeatable")
+    lint.add_argument("--ignore", action="append", metavar="CODES",
+                      help="drop rules matching these comma-separated "
+                           "codes or prefixes; repeatable")
+    lint.add_argument("--format", choices=["text", "json"], default="text",
+                      help="output format (json is the CI artifact; "
+                           "schema in repro.lint.reporting)")
+    lint.add_argument("--list-rules", action="store_true",
+                      help="list registered rules with severities and exit")
+
     return parser
 
 
@@ -696,6 +751,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "sweep": cmd_sweep,
         "bench-sim": cmd_bench_sim,
         "timeline": cmd_timeline,
+        "lint": cmd_lint,
     }
     return handlers[args.command](args)
 

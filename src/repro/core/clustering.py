@@ -256,7 +256,7 @@ class ClusteringElection(ElectionProcess):
                 ctx.send_soon(self._parent_port, InterEdgeMsg(*entry, down=False))
 
     def _broadcast_down(self, ctx: NodeContext, entries: List[InterEdge]) -> None:
-        for port in self._children:
+        for port in sorted(self._children):
             ctx.send_soon(port, InterHeaderMsg(len(entries), down=True))
             for entry in entries:
                 ctx.send_soon(port, InterEdgeMsg(*entry, down=True))

@@ -43,7 +43,7 @@ Knowledge: none.  Deterministic.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from ..sim.message import Payload
 from ..sim.process import Delivery, NodeContext

@@ -69,7 +69,7 @@ Both variants are deterministic and always elect exactly one leader.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import List, Optional, Set
 
 from ..sim.message import Payload
 from ..sim.process import Delivery, NodeContext
@@ -386,8 +386,8 @@ class _KingdomBase(ElectionProcess):
             state.confirm_seen = max(state.confirm_seen, msg.m1)
 
     def _forward_confirm(self, ctx: NodeContext, state: PhaseState, m1: int) -> None:
-        targets = list(state.children)
-        targets += [p for p in state.border_ports
+        targets = sorted(state.children)
+        targets += [p for p in sorted(state.border_ports)
                     if p not in state.children and p != state.parent_port]
         ctx.multicast(targets, ConfirmMsg(state.phase, state.kingdom, m1))
 

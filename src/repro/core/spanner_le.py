@@ -205,7 +205,7 @@ class SpannerElection(ElectionProcess):
         self._own_bit = None
         if self._center is None:
             return
-        for port in self._live:
+        for port in sorted(self._live):
             ctx.send_soon(port, AnnounceMsg(i, self._center, ctx.uid))
 
     def _maybe_flip_and_broadcast(self, ctx: NodeContext, i: int) -> None:
@@ -218,13 +218,13 @@ class SpannerElection(ElectionProcess):
         if self._own_bit is not None or self._center is None:
             return
         self._own_bit = sampled
-        for port in self._tree_children:
+        for port in sorted(self._tree_children):
             ctx.send_soon(port, SampledMsg(0, sampled))
 
     def _exchange_bits(self, ctx: NodeContext, i: int) -> None:
         if self._center is None or self._own_bit is None:
             return
-        for port in self._live:
+        for port in sorted(self._live):
             ctx.send_soon(port, BitMsg(i, self._own_bit))
 
     def _decide(self, ctx: NodeContext, i: int) -> None:

@@ -185,7 +185,7 @@ class ExtinctionWave:
         self.completed = False
         self.adoptions += 1
         self.pending = set(p for p in self.ports if p != port)
-        ctx.multicast_soon(self.pending, WaveRankMsg(self.tag, key))
+        ctx.multicast_soon(sorted(self.pending), WaveRankMsg(self.tag, key))
         if not self.pending:
             self._complete(ctx)
 
@@ -205,7 +205,7 @@ class ExtinctionWave:
         if self.parent_port is None:
             # We are the origin of the globally minimal key: won.
             data = self._on_won(ctx) if self._on_won else ()
-            ctx.multicast_soon(self.children,
+            ctx.multicast_soon(sorted(self.children),
                                WaveWinnerMsg(self.tag, self.best, tuple(data)))
             self.finished = True
             if self._on_finished:
@@ -219,7 +219,8 @@ class ExtinctionWave:
         if self.finished:
             return
         self.finished = True
-        ctx.multicast_soon([child for child in self.children if child != port],
+        ctx.multicast_soon([child for child in sorted(self.children)
+                            if child != port],
                            WaveWinnerMsg(self.tag, msg.key, msg.data))
         if self._on_finished:
             self._on_finished(ctx, msg.key, msg.data, False)

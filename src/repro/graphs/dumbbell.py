@@ -30,10 +30,10 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Sequence, Set, Tuple
 
 from .generators import lollipop
-from .ids import DisjointRandomIds, id_space_size
+from .ids import DisjointRandomIds
 from .network import Network
 from .topology import Edge, Topology, normalize_edge
 

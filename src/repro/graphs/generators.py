@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import itertools
 import random
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from .topology import (CliqueTopology, Edge, RingTopology, Topology,
                        TorusTopology)

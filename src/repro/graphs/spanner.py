@@ -29,7 +29,7 @@ O(k · n^(1+1/k)).
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 from .topology import Edge, Topology, normalize_edge
 

@@ -36,7 +36,7 @@ from __future__ import annotations
 from array import array
 from bisect import bisect_left
 from collections import deque
-from typing import (Dict, FrozenSet, Iterable, Iterator, List, Optional,
+from typing import (Iterable, Iterator, List, Optional,
                     Sequence, Set, Tuple)
 
 Edge = Tuple[int, int]

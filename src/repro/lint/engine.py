@@ -1,0 +1,201 @@
+"""The lint driver: discover, parse, run rules, apply suppressions.
+
+The engine never imports the code it checks — every judgment is made
+from the AST and the token stream, so linting is safe on broken trees
+and proves properties of the *source*, not of one interpreter session
+(a ``random.random()`` call is flagged whether or not the module it
+lives in is reachable from the current entry point).
+
+Pipeline::
+
+    paths -> discover_files -> load_module (ast + suppressions)
+          -> Project -> FileRule.check per module
+                      -> ProjectRule.check_project once
+          -> suppression filter (+ RL001 for stale suppressions)
+          -> LintResult (sorted violations)
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from .registry import FileRule, ProjectRule, Rule, resolve_rules
+from .suppress import Suppressions, scan_suppressions
+from .violation import Severity, Violation
+
+#: Code used for files that cannot be parsed at all.
+PARSE_ERROR_CODE = "RL000"
+
+
+@dataclass
+class ModuleInfo:
+    """One parsed source file plus everything rules need to judge it."""
+
+    path: str               #: path as reported in violations
+    module: str             #: dotted module name derived from the tree
+    source: str
+    tree: ast.Module
+    suppressions: Suppressions
+
+    def in_package(self, *packages: str) -> bool:
+        """True if this module is ``pkg`` or lives under ``pkg.``."""
+        return any(self.module == p or self.module.startswith(p + ".")
+                   for p in packages)
+
+
+@dataclass
+class Project:
+    """Every successfully parsed module, keyed by dotted name."""
+
+    modules: Dict[str, ModuleInfo] = field(default_factory=dict)
+
+    def get(self, module: str) -> Optional[ModuleInfo]:
+        return self.modules.get(module)
+
+    def in_package(self, package: str) -> List[ModuleInfo]:
+        return [info for info in self.modules.values()
+                if info.in_package(package)]
+
+
+@dataclass
+class LintResult:
+    """The outcome of one lint run."""
+
+    violations: List[Violation]
+    files: int
+    rules: List[str]
+
+    @property
+    def exit_code(self) -> int:
+        """Blocking-gate semantics: any violation fails the run."""
+        return 1 if self.violations else 0
+
+    def by_code(self, code: str) -> List[Violation]:
+        return [v for v in self.violations if v.code == code]
+
+
+def module_name(path: str) -> str:
+    """Dotted module name of ``path``, found by walking up the package
+    tree (directories containing ``__init__.py``).
+
+    A file outside any package is its own bare stem — rules scoped to
+    ``repro.*`` simply don't apply to it.
+    """
+    path = os.path.abspath(path)
+    parts = [os.path.splitext(os.path.basename(path))[0]]
+    parent = os.path.dirname(path)
+    while os.path.isfile(os.path.join(parent, "__init__.py")):
+        parts.append(os.path.basename(parent))
+        parent = os.path.dirname(parent)
+    if parts[0] == "__init__":
+        parts = parts[1:] or parts
+    return ".".join(reversed(parts))
+
+
+def discover_files(paths: Sequence[str]) -> List[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    found: List[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs
+                                 if not d.startswith(".")
+                                 and d != "__pycache__")
+                found.extend(os.path.join(root, f)
+                             for f in sorted(files) if f.endswith(".py"))
+        else:
+            found.append(path)
+    seen = set()
+    unique = []
+    for f in found:
+        if f not in seen:
+            seen.add(f)
+            unique.append(f)
+    return unique
+
+
+def load_module(path: str) -> ModuleInfo:
+    """Read and parse one file (raises ``OSError``/``SyntaxError``)."""
+    with open(path, "r", encoding="utf-8") as fh:
+        source = fh.read()
+    tree = ast.parse(source, filename=path)
+    return ModuleInfo(path=path, module=module_name(path), source=source,
+                      tree=tree, suppressions=scan_suppressions(source))
+
+
+def lint_paths(paths: Sequence[str], *,
+               select: Optional[Sequence[str]] = None,
+               ignore: Optional[Sequence[str]] = None) -> LintResult:
+    """Lint every ``.py`` file under ``paths`` and return the result."""
+    rules = resolve_rules(select=select, ignore=ignore)
+    project = Project()
+    violations: List[Violation] = []
+
+    files = discover_files(paths)
+    for path in files:
+        try:
+            info = load_module(path)
+        except (SyntaxError, UnicodeDecodeError, OSError) as exc:
+            line = getattr(exc, "lineno", 0) or 0
+            violations.append(Violation(
+                code=PARSE_ERROR_CODE, message=f"cannot parse file: {exc}",
+                path=path, line=line, col=0, severity=Severity.ERROR,
+                module=""))
+            continue
+        project.modules[info.module] = info
+
+    raw: List[Violation] = []
+    for rule in rules:
+        if isinstance(rule, FileRule):
+            for info in project.modules.values():
+                raw.extend(rule.check(info))
+        elif isinstance(rule, ProjectRule):
+            raw.extend(rule.check_project(project))
+
+    # Per-line suppressions: a violation on a line carrying a matching
+    # repro-noqa marker for its code is silenced (and the suppression
+    # is marked used, so RL001 below won't flag it as stale).
+    path_table: Dict[str, Suppressions] = {
+        info.path: info.suppressions for info in project.modules.values()}
+    for v in raw:
+        table = path_table.get(v.path)
+        if table is not None and table.covers(v.line, v.code):
+            continue
+        violations.append(v)
+
+    violations.extend(_stale_suppressions(project, rules))
+    violations.sort(key=Violation.sort_key)
+    return LintResult(violations=violations, files=len(files),
+                      rules=[r.code for r in rules])
+
+
+def _stale_suppressions(project: Project,
+                        rules: Sequence[Rule]) -> List[Violation]:
+    """RL001: suppressions that silenced nothing, or name unknown rules.
+
+    Only meaningful when the full rule set ran — a `--select RL103` run
+    must not call every other suppression stale — so the check is
+    skipped unless RL001 itself is among the enabled rules *and* no
+    select-narrowing happened (every registered code is enabled).
+    """
+    from .registry import all_rules
+
+    enabled = {r.code for r in rules}
+    if "RL001" not in enabled or not set(all_rules()) <= enabled:
+        return []
+    known = set(all_rules())
+    found = []
+    for info in project.modules.values():
+        for line, code in info.suppressions.unused():
+            detail = ("unknown rule code" if code not in known
+                      else "nothing to suppress on this line")
+            found.append(Violation(
+                code="RL001",
+                message=f"stale suppression `# repro: noqa[{code}]` "
+                        f"({detail}); remove it",
+                path=info.path, line=line, col=0,
+                severity=Severity.WARNING, module=info.module))
+    return found

@@ -1,0 +1,107 @@
+"""Rule base classes and the rule registry.
+
+A rule is a class with a stable ``code`` (``RLxxx``), a one-line
+``summary`` shown by ``repro lint --list-rules``, and a ``severity``.
+Two kinds exist:
+
+* :class:`FileRule` — sees one parsed module at a time
+  (:class:`~repro.lint.engine.ModuleInfo`) and yields violations for
+  that file.  Most determinism rules are file rules.
+* :class:`ProjectRule` — runs once over the whole parsed tree
+  (:class:`~repro.lint.engine.Project`) after every file is loaded;
+  this is how cross-module invariants (kernel registry vs.
+  ``AlgorithmSpec.backends``, docstring-vs-registry consistency) are
+  proved without importing any code.
+
+Rules self-register at import time via :func:`register`; the
+``repro.lint.rules`` package imports every rule module, so constructing
+an engine pulls the full set in.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Type
+
+from .violation import Severity, Violation
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .engine import ModuleInfo, Project
+
+
+class Rule:
+    """Common interface: code, summary, severity, violation factory."""
+
+    code: str = "RL000"
+    summary: str = ""
+    severity: Severity = Severity.ERROR
+
+    def violation(self, info: "ModuleInfo", line: int, col: int,
+                  message: str) -> Violation:
+        return Violation(code=self.code, message=message, path=info.path,
+                         line=line, col=col, severity=self.severity,
+                         module=info.module)
+
+
+class FileRule(Rule):
+    """A rule that inspects one module's AST at a time."""
+
+    def check(self, info: "ModuleInfo") -> Iterable[Violation]:
+        raise NotImplementedError
+
+
+class ProjectRule(Rule):
+    """A rule that inspects the whole parsed tree at once."""
+
+    def check_project(self, project: "Project") -> Iterable[Violation]:
+        raise NotImplementedError
+
+
+#: code -> rule class, in registration order.
+RULES: Dict[str, Type[Rule]] = {}
+
+
+def register(rule_cls: Type[Rule]) -> Type[Rule]:
+    """Class decorator: add a rule to the registry (codes are unique)."""
+    code = rule_cls.code
+    if code in RULES and RULES[code] is not rule_cls:
+        raise ValueError(f"duplicate lint rule code {code!r}")
+    RULES[code] = rule_cls
+    return rule_cls
+
+
+def all_rules() -> Dict[str, Type[Rule]]:
+    """The full registry, importing the bundled rule modules first."""
+    from . import rules  # noqa: F401  (import triggers registration)
+
+    return dict(RULES)
+
+
+def _matches(code: str, patterns: Iterable[str]) -> bool:
+    """flake8-style prefix matching: ``RL1`` selects RL101..RL1xx."""
+    return any(code.startswith(p) for p in patterns)
+
+
+def resolve_rules(select: Optional[Iterable[str]] = None,
+                  ignore: Optional[Iterable[str]] = None) -> List[Rule]:
+    """Instantiate the enabled rules.
+
+    ``select`` keeps only codes matching one of the given prefixes
+    (default: all); ``ignore`` then drops matching codes.  Unknown
+    prefixes raise ``ValueError`` so a typo cannot silently disable a
+    gate.
+    """
+    registry = all_rules()
+    for patterns in (select, ignore):
+        for pattern in patterns or ():
+            if not any(code.startswith(pattern) for code in registry):
+                raise ValueError(
+                    f"unknown lint rule or prefix {pattern!r}; known rules: "
+                    f"{', '.join(sorted(registry))}")
+    chosen = []
+    for code, rule_cls in registry.items():
+        if select is not None and not _matches(code, select):
+            continue
+        if ignore is not None and _matches(code, ignore):
+            continue
+        chosen.append(rule_cls())
+    return chosen

@@ -1,0 +1,69 @@
+"""Reporters: render a :class:`~repro.lint.engine.LintResult`.
+
+Two formats:
+
+* ``text`` — one ``path:line:col: CODE [severity] message`` line per
+  violation plus a summary, for humans and editors;
+* ``json`` — a versioned, schema-stable document for CI artifacts and
+  tooling.  The document round-trips: ``violations_from_json``
+  reconstructs the exact :class:`Violation` list.
+
+Both renderings are deterministic: violations are pre-sorted by
+``(path, line, col, code)`` and the JSON is emitted with sorted keys.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .engine import LintResult
+from .violation import Severity, Violation
+
+#: Bump only on a breaking change to the JSON document shape.
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: LintResult) -> str:
+    lines = [v.render() for v in result.violations]
+    errors = sum(1 for v in result.violations
+                 if v.severity is Severity.ERROR)
+    warnings = len(result.violations) - errors
+    if result.violations:
+        lines.append(f"{len(result.violations)} violation(s) "
+                     f"({errors} error(s), {warnings} warning(s)) "
+                     f"in {result.files} file(s)")
+    else:
+        lines.append(f"clean: {result.files} file(s), "
+                     f"{len(result.rules)} rule(s), 0 violations")
+    return "\n".join(lines)
+
+
+def to_json(result: LintResult) -> Dict[str, Any]:
+    return {
+        "schema_version": JSON_SCHEMA_VERSION,
+        "files": result.files,
+        "rules": list(result.rules),
+        "violations": [v.to_json() for v in result.violations],
+        "counts": {
+            "total": len(result.violations),
+            "errors": sum(1 for v in result.violations
+                          if v.severity is Severity.ERROR),
+            "warnings": sum(1 for v in result.violations
+                            if v.severity is Severity.WARNING),
+        },
+    }
+
+
+def render_json(result: LintResult) -> str:
+    return json.dumps(to_json(result), indent=1, sort_keys=True)
+
+
+def violations_from_json(document: Dict[str, Any]) -> List[Violation]:
+    """Reconstruct the violation list from a ``to_json`` document."""
+    if document.get("schema_version") != JSON_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported lint JSON schema_version "
+            f"{document.get('schema_version')!r} "
+            f"(expected {JSON_SCHEMA_VERSION})")
+    return [Violation.from_json(rec) for rec in document["violations"]]

@@ -1,0 +1,462 @@
+"""Determinism rules: RL101–RL105.
+
+Every guarantee in this repository — bit-exact backend parity, cache
+rows shared across workers, byte-deterministic report artifacts — rests
+on one discipline: *all* randomness flows from the seeded streams in
+:mod:`repro.sim.contract` (``node_rng`` / ``wakeup_rng`` /
+``random.Random(f"...")`` derivations), and nothing in the simulation
+ever reads a wall clock, the process environment, or an
+interpreter-salted hash.  These rules prove the discipline at the AST
+level instead of waiting for a fingerprint diff to catch the one seed
+that exposes it.
+
+Scope: the whole ``repro`` package.  The only carve-outs are the
+measurement layers (``repro.sim.bench``, ``repro.experiments.runner``,
+``repro.obs.telemetry``), which read ``time.perf_counter`` *about* runs
+— wall time is their subject matter and never feeds simulation state.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..engine import ModuleInfo
+from ..registry import FileRule, register
+from ..violation import Severity, Violation
+
+#: Packages the determinism rules police.
+DETERMINISTIC_PACKAGES: Tuple[str, ...] = ("repro",)
+
+#: Modules allowed to read the wall clock (RL102 only): the measurement
+#: harnesses, whose *output* is wall time and whose readings never feed
+#: back into simulation state.
+WALL_CLOCK_EXEMPT: Tuple[str, ...] = (
+    "repro.sim.bench",
+    "repro.experiments.runner",
+    "repro.obs.telemetry",
+)
+
+#: ``random``-module attributes that are *not* draws from the global
+#: (unseeded) Mersenne Twister.  Everything else called off the module
+#: is a determinism bug.
+_RANDOM_ALLOWED = {"Random"}
+
+#: Wall-clock / entropy sources, keyed by module.
+_CLOCK_ATTRS = {
+    "time": {"time", "time_ns", "monotonic", "monotonic_ns",
+             "perf_counter", "perf_counter_ns", "process_time",
+             "process_time_ns", "clock", "clock_gettime"},
+    "os": {"urandom", "getrandom"},
+    "uuid": {"uuid1", "uuid4"},
+}
+_DATETIME_ATTRS = {"now", "utcnow", "today"}
+
+
+class ImportMap:
+    """Local-name resolution for module imports, built per file.
+
+    ``import random as r`` maps ``r -> random``;
+    ``from random import randint`` maps ``randint -> random.randint``.
+    Good enough to resolve the dotted origin of a call without
+    executing anything.
+    """
+
+    def __init__(self, tree: ast.Module) -> None:
+        self.modules: Dict[str, str] = {}
+        self.names: Dict[str, Tuple[str, str]] = {}
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    local = alias.asname or alias.name.split(".")[0]
+                    target = alias.name if alias.asname else alias.name.split(".")[0]
+                    self.modules[local] = target
+            elif isinstance(node, ast.ImportFrom) and node.level == 0:
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    self.names[local] = (node.module or "", alias.name)
+
+    def resolve_call(self, func: ast.expr) -> Optional[Tuple[str, str]]:
+        """``(module, attribute)`` a call expression resolves to, if the
+        function is an attribute of an imported module (``random.random``)
+        or a from-imported name (``randint`` -> ``random.randint``)."""
+        if isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name):
+            module = self.modules.get(func.value.id)
+            if module is not None:
+                return module, func.attr
+        if isinstance(func, ast.Name):
+            origin = self.names.get(func.id)
+            if origin is not None:
+                return origin
+        return None
+
+
+def _dotted(node: ast.expr) -> Optional[str]:
+    """``a.b.c`` attribute chains as a dotted string (else ``None``)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def _in_scope(info: ModuleInfo) -> bool:
+    return info.in_package(*DETERMINISTIC_PACKAGES)
+
+
+@register
+class UnseededRandomRule(FileRule):
+    """RL101: every random draw must come from a seeded stream."""
+
+    code = "RL101"
+    summary = ("call into the global (unseeded) RNG — use the seeded "
+               "random.Random streams from repro.sim.contract")
+
+    def check(self, info: ModuleInfo) -> Iterable[Violation]:
+        if not _in_scope(info):
+            return
+        imports = ImportMap(info.tree)
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = imports.resolve_call(node.func)
+            if origin is None:
+                # numpy.random.<fn>(...) via a module alias, e.g.
+                # np.random.shuffle — a two-level attribute chain.
+                chain = _dotted(node.func)
+                if chain is None:
+                    continue
+                head, _, rest = chain.partition(".")
+                module = imports.modules.get(head)
+                if module == "numpy" and rest.startswith("random."):
+                    fn = rest.split(".", 1)[1]
+                    yield from self._numpy_draw(info, node, fn)
+                continue
+            module, attr = origin
+            if module == "random" and attr not in _RANDOM_ALLOWED:
+                what = ("os-entropy SystemRandom"
+                        if attr == "SystemRandom"
+                        else f"global-RNG random.{attr}()")
+                yield self.violation(
+                    info, node.lineno, node.col_offset,
+                    f"{what} is not reproducible from the run seeds; "
+                    f"draw from a seeded random.Random stream "
+                    f"(see repro.sim.contract)")
+            elif module == "numpy.random" or (module == "numpy"
+                                              and attr == "random"):
+                yield from self._numpy_draw(info, node, attr)
+
+    def _numpy_draw(self, info: ModuleInfo, node: ast.Call,
+                    fn: str) -> Iterator[Violation]:
+        if fn == "default_rng" and node.args:
+            return  # explicitly seeded generator
+        detail = ("numpy.random.default_rng() without a seed"
+                  if fn == "default_rng" else f"numpy.random.{fn}()")
+        yield self.violation(
+            info, node.lineno, node.col_offset,
+            f"{detail} draws from process-global / OS entropy; pass an "
+            f"explicit seed derived from the run seeds")
+
+
+@register
+class WallClockRule(FileRule):
+    """RL102: no wall-clock or entropy reads in simulation code."""
+
+    code = "RL102"
+    summary = ("wall-clock/entropy read in deterministic code — results "
+               "must be a function of the run seeds alone")
+
+    def check(self, info: ModuleInfo) -> Iterable[Violation]:
+        if not _in_scope(info) or info.in_package(*WALL_CLOCK_EXEMPT):
+            return
+        imports = ImportMap(info.tree)
+        for node in ast.walk(info.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            origin = imports.resolve_call(node.func)
+            if origin is not None:
+                module, attr = origin
+                if attr in _CLOCK_ATTRS.get(module, ()):
+                    yield self.violation(
+                        info, node.lineno, node.col_offset,
+                        f"{module}.{attr}() reads the wall clock / OS "
+                        f"entropy; deterministic code must not observe it")
+                    continue
+                if module == "secrets":
+                    yield self.violation(
+                        info, node.lineno, node.col_offset,
+                        f"secrets.{attr}() is OS entropy by design; use a "
+                        f"seeded stream")
+                    continue
+            chain = _dotted(node.func)
+            if chain is None:
+                continue
+            parts = chain.split(".")
+            if (parts[-1] in _DATETIME_ATTRS
+                    and any(p in ("datetime", "date") for p in parts[:-1])):
+                yield self.violation(
+                    info, node.lineno, node.col_offset,
+                    f"{chain}() reads the wall clock; deterministic code "
+                    f"must not observe it")
+
+
+#: Send/record calls whose argument order becomes message order.
+_ORDERED_SINK_CALLS = {
+    "send", "send_soon", "multicast", "multicast_soon", "broadcast",
+    "broadcast_soon", "append", "extend", "record_send", "on_send",
+    "put", "write",
+}
+
+
+def _is_set_annotation(annotation: ast.expr) -> bool:
+    dump = ast.dump(annotation)
+    return ("'Set'" in dump or "'FrozenSet'" in dump
+            or "'set'" in dump or "'frozenset'" in dump)
+
+
+def _set_attr_names(tree: ast.Module) -> Set[str]:
+    """*Attribute* names the module declares/assigns as sets.
+
+    Collects ``self.x: Set[...]``, ``self.x = set(...)`` (or a set
+    literal / comprehension / ``frozenset``) and dataclass-style class
+    fields ``x: Set[...]``.  Local variables never land here — they get
+    per-function scoping in :func:`_local_set_names` instead, so a
+    local ``ports: Set[int]`` cannot taint an unrelated ``ctx.ports``
+    attribute elsewhere in the module.
+    """
+    names: Set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef):
+            for stmt in node.body:
+                if (isinstance(stmt, ast.AnnAssign)
+                        and isinstance(stmt.target, ast.Name)
+                        and _is_set_annotation(stmt.annotation)):
+                    names.add(stmt.target.id)
+        elif isinstance(node, ast.AnnAssign):
+            target = node.target
+            if (isinstance(target, ast.Attribute)
+                    and isinstance(target.value, ast.Name)
+                    and target.value.id == "self"
+                    and _is_set_annotation(node.annotation)):
+                names.add(target.attr)
+        elif isinstance(node, ast.Assign):
+            if not _is_set_literal(node.value):
+                continue
+            for target in node.targets:
+                if (isinstance(target, ast.Attribute)
+                        and isinstance(target.value, ast.Name)
+                        and target.value.id == "self"):
+                    names.add(target.attr)
+    return names
+
+
+#: Reassigning one of these over a set name launders it into an ordered
+#: value — the name stops counting as a set from then on (flow-free
+#: approximation: anywhere in the function).
+_ORDERING_CALLS = {"sorted", "list", "tuple"}
+
+
+def _local_set_names(scope_body: List[ast.stmt]) -> Set[str]:
+    """Local names bound to sets inside one function body."""
+    names: Set[str] = set()
+    laundered: Set[str] = set()
+    queue: List[ast.AST] = list(scope_body)
+    while queue:
+        node = queue.pop()
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.Lambda)):
+            continue  # nested scope: its locals are not ours
+        queue.extend(ast.iter_child_nodes(node))
+        if isinstance(node, ast.Assign):
+            for target in node.targets:
+                if not isinstance(target, ast.Name):
+                    continue
+                if _is_set_literal(node.value):
+                    names.add(target.id)
+                elif (isinstance(node.value, ast.Call)
+                      and isinstance(node.value.func, ast.Name)
+                      and node.value.func.id in _ORDERING_CALLS):
+                    laundered.add(target.id)
+        elif (isinstance(node, ast.AnnAssign)
+              and isinstance(node.target, ast.Name)
+              and (_is_set_annotation(node.annotation)
+                   or (node.value is not None
+                       and _is_set_literal(node.value)))):
+            names.add(node.target.id)
+    return names - laundered
+
+
+def _is_set_literal(node: ast.expr) -> bool:
+    """Syntactically, is this expression certainly a set?"""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+        return node.func.id in ("set", "frozenset")
+    return False
+
+
+@register
+class SetIterationRule(FileRule):
+    """RL103: set iteration order must never become message/data order."""
+
+    code = "RL103"
+    summary = ("iteration over a set feeds an ordered sink (sends, "
+               "lists); wrap in sorted() to pin the order")
+
+    def check(self, info: ModuleInfo) -> Iterable[Violation]:
+        if not _in_scope(info):
+            return
+        set_attrs = _set_attr_names(info.tree)
+
+        # Map every node to its enclosing function so Name lookups are
+        # properly scoped (a local `ports` set in one method must not
+        # taint `ctx.ports` reads in another).
+        scope_of: Dict[int, Optional[ast.AST]] = {}
+
+        def map_scopes(node: ast.AST, fn: Optional[ast.AST]) -> None:
+            for child in ast.iter_child_nodes(node):
+                scope_of[id(child)] = fn
+                if isinstance(child, (ast.FunctionDef,
+                                      ast.AsyncFunctionDef, ast.Lambda)):
+                    map_scopes(child, child)
+                else:
+                    map_scopes(child, fn)
+
+        map_scopes(info.tree, None)
+        local_cache: Dict[Optional[int], Set[str]] = {}
+
+        def locals_for(node: ast.AST) -> Set[str]:
+            fn = scope_of.get(id(node))
+            key = id(fn) if fn is not None else None
+            if key not in local_cache:
+                if isinstance(fn, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    local_cache[key] = _local_set_names(fn.body)
+                elif fn is None:
+                    local_cache[key] = _local_set_names(info.tree.body)
+                else:  # Lambda: no statements, no local bindings
+                    local_cache[key] = set()
+            return local_cache[key]
+
+        def is_set_expr(node: ast.expr) -> bool:
+            if _is_set_literal(node):
+                return True
+            if isinstance(node, ast.Attribute) and node.attr in set_attrs:
+                return True
+            if isinstance(node, ast.Name) and node.id in locals_for(node):
+                return True
+            if isinstance(node, ast.BinOp) and isinstance(
+                    node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+                return is_set_expr(node.left) or is_set_expr(node.right)
+            return False
+
+        for node in ast.walk(info.tree):
+            # for x in <set>: ... <ordered sink in body> ...
+            if isinstance(node, ast.For) and is_set_expr(node.iter):
+                sink = _first_ordered_sink(node.body)
+                if sink is not None:
+                    yield self.violation(
+                        info, node.iter.lineno, node.iter.col_offset,
+                        f"for-loop over a set feeds `{sink}` — iteration "
+                        f"order is hash-table order, not a stable order; "
+                        f"iterate sorted(...) instead")
+            # [x for x in <set>] builds an ordered list from hash order.
+            elif isinstance(node, ast.ListComp):
+                gen = node.generators[0]
+                if is_set_expr(gen.iter):
+                    yield self.violation(
+                        info, gen.iter.lineno, gen.iter.col_offset,
+                        "list comprehension over a set freezes hash-table "
+                        "order into a list; iterate sorted(...) instead")
+            elif isinstance(node, ast.Call):
+                func = node.func
+                # list(<set>) / tuple(<set>)
+                if (isinstance(func, ast.Name)
+                        and func.id in ("list", "tuple")
+                        and node.args and is_set_expr(node.args[0])):
+                    yield self.violation(
+                        info, node.args[0].lineno, node.args[0].col_offset,
+                        f"{func.id}() over a set freezes hash-table order; "
+                        f"use sorted(...) instead")
+                # ctx.multicast(<set>, ...) — the scheduler iterates the
+                # port collection in the order given.
+                elif (isinstance(func, ast.Attribute)
+                      and func.attr in _ORDERED_SINK_CALLS):
+                    for arg in node.args:
+                        if is_set_expr(arg):
+                            yield self.violation(
+                                info, arg.lineno, arg.col_offset,
+                                f"a set passed to `{func.attr}` is "
+                                f"consumed in hash-table order; pass "
+                                f"sorted(...) instead")
+
+
+def _first_ordered_sink(body: List[ast.stmt]) -> Optional[str]:
+    """Name of the first order-sensitive call inside ``body``, if any."""
+    for stmt in body:
+        for node in ast.walk(stmt):
+            if isinstance(node, ast.Call) and isinstance(
+                    node.func, ast.Attribute):
+                if node.func.attr in _ORDERED_SINK_CALLS:
+                    return node.func.attr
+            elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+                return "yield"
+    return None
+
+
+@register
+class EnvironmentReadRule(FileRule):
+    """RL104: simulation behavior must not depend on the environment."""
+
+    code = "RL104"
+    summary = ("os.environ/os.getenv read — configuration must flow "
+               "through explicit parameters, not ambient state")
+    severity = Severity.WARNING
+
+    def check(self, info: ModuleInfo) -> Iterable[Violation]:
+        if not _in_scope(info):
+            return
+        imports = ImportMap(info.tree)
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.Attribute) and node.attr in (
+                    "environ", "environb"):
+                base = node.value
+                if (isinstance(base, ast.Name)
+                        and imports.modules.get(base.id) == "os"):
+                    yield self.violation(
+                        info, node.lineno, node.col_offset,
+                        "os.environ makes behavior depend on ambient "
+                        "process state; pass configuration explicitly")
+            elif isinstance(node, ast.Call):
+                origin = imports.resolve_call(node.func)
+                if origin == ("os", "getenv"):
+                    yield self.violation(
+                        info, node.lineno, node.col_offset,
+                        "os.getenv makes behavior depend on ambient "
+                        "process state; pass configuration explicitly")
+
+
+@register
+class BuiltinHashRule(FileRule):
+    """RL105: ``hash()`` is salted per process for str/bytes."""
+
+    code = "RL105"
+    summary = ("builtin hash() is PYTHONHASHSEED-salted for str/bytes; "
+               "derive stable values via hashlib (sha256)")
+
+    def check(self, info: ModuleInfo) -> Iterable[Violation]:
+        if not _in_scope(info):
+            return
+        for node in ast.walk(info.tree):
+            if (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Name)
+                    and node.func.id == "hash"):
+                yield self.violation(
+                    info, node.lineno, node.col_offset,
+                    "builtin hash() varies across processes for "
+                    "str/bytes (PYTHONHASHSEED); use hashlib.sha256 for "
+                    "stable derivations (see repro.experiments seeding)")

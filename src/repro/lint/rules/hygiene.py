@@ -1,0 +1,30 @@
+"""Suppression hygiene: RL001.
+
+The detection logic lives in the engine (it needs the post-filter view
+of which suppressions fired); this registration makes the rule visible
+to ``--list-rules`` and addressable by ``--select``/``--ignore`` like
+any other.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..engine import ModuleInfo
+from ..registry import FileRule, register
+from ..violation import Severity, Violation
+
+
+@register
+class StaleSuppressionRule(FileRule):
+    """RL001: every ``# repro: noqa[RLxxx]`` must suppress something."""
+
+    code = "RL001"
+    summary = ("stale suppression: `# repro: noqa[RLxxx]` that silences "
+               "nothing, or names an unknown rule")
+    severity = Severity.WARNING
+
+    def check(self, info: ModuleInfo) -> Iterable[Violation]:
+        # Implemented by the engine after suppression filtering — see
+        # repro.lint.engine._stale_suppressions.
+        return ()

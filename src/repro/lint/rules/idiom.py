@@ -1,0 +1,131 @@
+"""Scheduler-idiom safety: RL301.
+
+The model layer (PR 3), the aggregated-broadcast path (PR 4), and the
+tracer layer (PR 6) all use the same trick: a hot method is *rebound as
+an instance attribute* (``self._execute_round = self._execute_round_model``
+or ``self._dispatch_round = dispatch_obs`` for a closure wrapper), so
+the default path stays branch-free while variants swap in per instance.
+The trick is only sound if every rebound callable keeps the original
+method's signature — callers dispatch through the attribute without
+knowing which variant is live, so a drifted parameter list fails at
+call time, on the variant path only, where the default-path test suite
+never looks.  RL301 proves signature agreement at the AST level.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterable, Optional, Tuple
+
+from ..engine import ModuleInfo
+from ..registry import FileRule, register
+from ..violation import Violation
+
+
+def _signature(args: ast.arguments, *, drop_self: bool) -> Tuple:
+    """Comparable shape of an argument list (names, kinds, defaults).
+
+    Annotations are deliberately ignored: wrapper closures often omit
+    them, and the dispatch contract is positional/keyword shape, not
+    typing.
+    """
+    pos = [a.arg for a in args.posonlyargs + args.args]
+    if drop_self and pos:
+        pos = pos[1:]
+    return (
+        tuple(pos),
+        len(args.posonlyargs),
+        len(args.defaults),
+        args.vararg.arg if args.vararg else None,
+        tuple(a.arg for a in args.kwonlyargs),
+        sum(1 for d in args.kw_defaults if d is not None),
+        args.kwarg.arg if args.kwarg else None,
+    )
+
+
+def _render(sig: Tuple) -> str:
+    pos, _, ndef, vararg, kwonly, _, kwarg = sig
+    parts = list(pos)
+    if vararg:
+        parts.append(f"*{vararg}")
+    elif kwonly:
+        parts.append("*")
+    parts.extend(kwonly)
+    if kwarg:
+        parts.append(f"**{kwarg}")
+    return "(" + ", ".join(parts) + ")"
+
+
+@register
+class RebindSignatureRule(FileRule):
+    """RL301: rebound methods must keep the original's signature."""
+
+    code = "RL301"
+    summary = ("instance-method rebinding changes the method's "
+               "signature — callers dispatch through the attribute and "
+               "would break on the rebound path only")
+
+    def check(self, info: ModuleInfo) -> Iterable[Violation]:
+        for node in ast.walk(info.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._check_class(info, node)
+
+    def _check_class(self, info: ModuleInfo,
+                     cls: ast.ClassDef) -> Iterable[Violation]:
+        methods: Dict[str, ast.FunctionDef] = {
+            stmt.name: stmt for stmt in cls.body
+            if isinstance(stmt, ast.FunctionDef)}
+        for method in methods.values():
+            #: local function definitions seen so far in this method.
+            locals_defs: Dict[str, ast.FunctionDef] = {}
+            for stmt in ast.walk(method):
+                if (isinstance(stmt, ast.FunctionDef)
+                        and stmt is not method):
+                    locals_defs[stmt.name] = stmt
+                if not isinstance(stmt, ast.Assign):
+                    continue
+                for target in stmt.targets:
+                    original = self._self_attr(target)
+                    if original is None or original not in methods:
+                        continue
+                    rebound = self._rebound_signature(
+                        stmt.value, methods, locals_defs)
+                    if rebound is None:
+                        continue
+                    source_name, sig = rebound
+                    want = _signature(methods[original].args,
+                                      drop_self=True)
+                    if sig != want:
+                        yield self.violation(
+                            info, stmt.lineno, stmt.col_offset,
+                            f"self.{original} is rebound to "
+                            f"{source_name} with signature "
+                            f"{_render(sig)}, but the original method "
+                            f"takes {_render(want)} — callers dispatch "
+                            f"through self.{original} and would break "
+                            f"on the rebound path")
+
+    @staticmethod
+    def _self_attr(node: ast.expr) -> Optional[str]:
+        if (isinstance(node, ast.Attribute)
+                and isinstance(node.value, ast.Name)
+                and node.value.id == "self"):
+            return node.attr
+        return None
+
+    def _rebound_signature(
+            self, value: ast.expr, methods: Dict[str, ast.FunctionDef],
+            locals_defs: Dict[str, ast.FunctionDef],
+    ) -> Optional[Tuple[str, Tuple]]:
+        """Signature of the callable being bound, when it is provable."""
+        # self.x = self.y  (method-variant rebinding)
+        attr = self._self_attr(value)
+        if attr is not None and attr in methods:
+            return (f"self.{attr}",
+                    _signature(methods[attr].args, drop_self=True))
+        # self.x = wrapper  (closure wrapper defined in this method)
+        if isinstance(value, ast.Name) and value.id in locals_defs:
+            return (f"local function {value.id!r}",
+                    _signature(locals_defs[value.id].args,
+                               drop_self=False))
+        return None

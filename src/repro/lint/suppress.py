@@ -1,0 +1,73 @@
+"""Per-line suppression comments: ``# repro: noqa[RL101]``.
+
+The syntax is deliberately explicit: a suppression must name the rule
+codes it silences (comma-separated inside the brackets).  There is no
+blanket ``# repro: noqa`` — an invariant strong enough to lint for is
+strong enough to name when opting out — and an unknown or unused
+suppression is itself reported (rule RL001), so stale opt-outs cannot
+accumulate silently.
+
+Comments are located with :mod:`tokenize`, never by string matching, so
+a ``# repro: noqa[...]`` inside a string literal is not a suppression.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
+
+#: Matches the per-line marker — a hash, ``repro: noqa``, and a
+#: bracketed code list (one or more codes, comma-separated).
+_NOQA = re.compile(r"#\s*repro:\s*noqa\s*\[\s*([A-Za-z0-9_,\s]+?)\s*\]")
+
+
+@dataclass
+class Suppressions:
+    """The suppression table of one source file."""
+
+    #: line -> codes suppressed on that line.
+    by_line: Dict[int, Set[str]] = field(default_factory=dict)
+    #: (line, code) pairs in source order, for unused-suppression checks.
+    declared: List[Tuple[int, str]] = field(default_factory=list)
+    #: (line, code) pairs that actually silenced a violation.
+    used: Set[Tuple[int, str]] = field(default_factory=set)
+
+    def covers(self, line: int, code: str) -> bool:
+        """True (and marked used) if ``code`` is suppressed on ``line``."""
+        if code in self.by_line.get(line, ()):
+            self.used.add((line, code))
+            return True
+        return False
+
+    def unused(self) -> List[Tuple[int, str]]:
+        return [(line, code) for line, code in self.declared
+                if (line, code) not in self.used]
+
+
+def scan_suppressions(source: str) -> Suppressions:
+    """Extract the suppression table from ``source``.
+
+    Tolerates tokenization failures (the caller reports the syntax
+    error separately): an unreadable file simply has no suppressions.
+    """
+    table = Suppressions()
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _NOQA.search(tok.string)
+            if match is None:
+                continue
+            line = tok.start[0]
+            codes = {c.strip().upper()
+                     for c in match.group(1).split(",") if c.strip()}
+            table.by_line.setdefault(line, set()).update(codes)
+            for code in sorted(codes):
+                table.declared.append((line, code))
+    except (tokenize.TokenizeError, SyntaxError, IndentationError):
+        pass
+    return table

@@ -1,0 +1,56 @@
+"""The lint finding record and its severity scale."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any, Dict
+
+
+class Severity(enum.Enum):
+    """How bad a finding is.  Both levels block (`repro lint` exits 1
+    on any violation); the distinction is informational — ``ERROR``
+    marks an invariant the test suite or a backend contract depends on,
+    ``WARNING`` marks hygiene that merely invites such a bug."""
+
+    WARNING = "warning"
+    ERROR = "error"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One rule firing at one source location."""
+
+    code: str          #: stable rule code, e.g. ``"RL101"``
+    message: str       #: human-readable description of this occurrence
+    path: str          #: file the violation lives in
+    line: int          #: 1-based line number (0 for whole-file findings)
+    col: int           #: 0-based column offset
+    severity: Severity
+    module: str        #: dotted module name, e.g. ``"repro.sim.scheduler"``
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "code": self.code,
+            "message": self.message,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "severity": self.severity.value,
+            "module": self.module,
+        }
+
+    @classmethod
+    def from_json(cls, record: Dict[str, Any]) -> "Violation":
+        return cls(code=record["code"], message=record["message"],
+                   path=record["path"], line=record["line"],
+                   col=record["col"],
+                   severity=Severity(record["severity"]),
+                   module=record["module"])
+
+    def sort_key(self) -> tuple:
+        return (self.path, self.line, self.col, self.code)
+
+    def render(self) -> str:
+        return (f"{self.path}:{self.line}:{self.col + 1}: "
+                f"{self.code} [{self.severity.value}] {self.message}")

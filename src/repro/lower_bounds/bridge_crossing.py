@@ -29,7 +29,7 @@ from typing import Callable, Dict, List, Optional
 
 from ..graphs.dumbbell import DumbbellInstance, DumbbellSampler
 from ..sim.process import NodeProcess
-from ..sim.scheduler import RunResult, Simulator
+from ..sim.scheduler import Simulator
 
 ProcessFactory = Callable[[], NodeProcess]
 

@@ -37,7 +37,7 @@ from __future__ import annotations
 
 import io
 import json
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Sequence, Union
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
 
 
 class TraceError(ValueError):

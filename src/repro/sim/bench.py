@@ -190,10 +190,17 @@ def measure_point(algorithm: str, graph: str, delay: Optional[str] = None, *,
     network = Network.build(topology, seed=seed)
     knowledge = _auto_knowledge(network, spec.needs + tuple(auto_knowledge),
                                 None)
+    model = make_model(delay)
+    if (model is not None and not spec.delay_tolerant
+            and model.delay.max_delay > 1):
+        raise ValueError(
+            f"{algorithm} is synchronous-only (delay_tolerant=False): it "
+            f"would crash mid-run under delay {delay!r}; benchmark it "
+            f"without a delay spec or pick a delay-tolerant algorithm")
 
     def _request() -> RunRequest:
         return RunRequest(network=network, factory=spec.factory, seed=seed,
-                          knowledge=knowledge, model=make_model(delay),
+                          knowledge=knowledge, model=model,
                           max_rounds=max_rounds, algorithm=algorithm)
 
     best_wall: Optional[float] = None

@@ -8,8 +8,7 @@ bit complexity and the scheduler can optionally enforce CONGEST.
 
 from __future__ import annotations
 
-import dataclasses
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 from typing import Any, Dict, Tuple
 
 #: Default size charged for a scalar field (an ID, a rank, a counter):

@@ -28,8 +28,8 @@ scheduler routes through :meth:`on_send` instead.
 from __future__ import annotations
 
 from collections import Counter
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, FrozenSet, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
 
 from .message import Envelope
 

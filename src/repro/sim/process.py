@@ -16,7 +16,7 @@ coins, optional global knowledge (``n``, ``m``, ``D`` — cf. Table 1's
 from __future__ import annotations
 
 import random
-from typing import (Any, Dict, Iterable, List, Mapping, NamedTuple, Optional,
+from typing import (Any, Dict, Iterable, List, Mapping, NamedTuple,
                     Sequence, TYPE_CHECKING)
 
 from .contract import node_rng

@@ -24,7 +24,7 @@ from repro.experiments import ExperimentSpec, Runner
 from repro.graphs.ids import RandomIds, SequentialIds
 from repro.graphs.network import Network
 from repro.graphs.specs import parse_graph_spec
-from repro.sim.backend import BACKENDS, expand_batch, resolve_backend
+from repro.sim.backend import BACKENDS, expand_batch
 from repro.sim.contract import BatchRunRequest
 
 numpy = pytest.importorskip("numpy")

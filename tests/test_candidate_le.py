@@ -12,8 +12,8 @@ from repro.core import (
     constant_candidates,
     log_candidates,
 )
-from repro.graphs import Network, erdos_renyi, grid, ring
-from repro.sim import Simulator, Status
+from repro.graphs import erdos_renyi, grid, ring
+from repro.sim import Status
 from tests.conftest import run_election
 
 

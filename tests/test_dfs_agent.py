@@ -3,9 +3,9 @@
 import pytest
 
 from repro.core import DfsAgentElection
-from repro.graphs import Network, complete, erdos_renyi, grid, path, ring, star
-from repro.graphs.ids import RandomIds, SequentialIds
-from repro.sim import AdversarialWakeup, Simulator
+from repro.graphs import complete, erdos_renyi, grid, path, ring, star
+from repro.graphs.ids import SequentialIds
+from repro.sim import AdversarialWakeup
 from tests.conftest import run_election
 
 GUARD = 10 ** 9

@@ -7,7 +7,6 @@ import pytest
 from repro.api import run_sweep as api_run_sweep
 from repro.cli import main
 from repro.experiments import (
-    CellSpec,
     ExperimentSpec,
     ResultCache,
     Runner,
@@ -316,10 +315,10 @@ class TestModelAxes:
         cells = MODEL_SPEC.expand()
         assert len(cells) == 2 * 2 * 2 * 2  # delay x loss x crash x trials
         combos = {(c.delay, c.crash, c.loss) for c in cells}
-        assert combos == {(d, c, l)
+        assert combos == {(d, c, ls)
                           for d in (None, "uniform:2")
                           for c in (None, "1")
-                          for l in (None, 0.05)}
+                          for ls in (None, 0.05)}
 
     def test_default_values_normalize_to_modelfree_cells(self):
         # delay=1 / crash=0 / loss=0 mean "the paper's model": their
@@ -411,8 +410,8 @@ class TestModelAxes:
     def test_group_labels_show_model_knobs(self):
         labels = [g.label for g in run_sweep(MODEL_SPEC).groups()]
         assert "least-el complete:12" in labels
-        assert any("delay=uniform:2" in l and "loss=0.05" in l
-                   for l in labels)
+        assert any("delay=uniform:2" in lab and "loss=0.05" in lab
+                   for lab in labels)
 
     def test_to_trial_stats_bridges_surviving_successes(self):
         sweep = run_sweep(ExperimentSpec(name="ts", algorithms=["least-el"],

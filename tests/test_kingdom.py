@@ -1,10 +1,9 @@
 """Theorem 4.10 / Algorithm 2: the Double-Win Growing Kingdom election."""
 
 import math
-import statistics
 
 from repro.core import KingdomElection, KnownDiameterKingdomElection
-from repro.graphs import Network, barbell, erdos_renyi, grid, path, ring, star
+from repro.graphs import Network, barbell, erdos_renyi, grid, path, ring
 from repro.graphs.ids import ReversedIds, SequentialIds
 from repro.sim import Simulator
 from tests.conftest import run_election

@@ -4,7 +4,7 @@ from dataclasses import dataclass
 
 from repro.core.waves import WaveRankMsg
 from repro.graphs import Network, path
-from repro.sim import Delivery, Envelope, Metrics, NodeProcess, Payload, Simulator
+from repro.sim import Envelope, Metrics, NodeProcess, Payload, Simulator
 
 
 @dataclass(frozen=True)

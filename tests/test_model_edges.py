@@ -7,8 +7,6 @@ from repro.core import LeastElementElection
 from repro.graphs import Network, Topology, path, ring
 from repro.graphs.ids import SequentialIds
 from repro.sim import (
-    Delivery,
-    NodeContext,
     NodeProcess,
     Payload,
     Simulator,

@@ -26,7 +26,6 @@ from repro.obs import (
     JsonlTracer,
     ProgressLine,
     RecordingTracer,
-    RunnerTelemetry,
     TeeTracer,
     Timeline,
     TraceError,

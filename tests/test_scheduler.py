@@ -8,7 +8,6 @@ import pytest
 from repro.graphs import Network, path, ring, star
 from repro.sim import (
     CongestViolation,
-    Delivery,
     ExplicitWakeup,
     ModelViolation,
     NodeContext,

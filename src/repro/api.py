@@ -144,6 +144,12 @@ def _registry() -> Dict[str, AlgorithmSpec]:
     }
     for name in KERNEL_ALGORITHMS:
         specs[name].backends = ("event-loop", "columnar")
+    # Delay-tolerant algorithms additionally run on the real-socket
+    # backend (repro.net); synchronous-only ones (kingdom family) keep
+    # their lock-step port discipline to the simulator.
+    for spec in specs.values():
+        if spec.delay_tolerant:
+            spec.backends = spec.backends + ("net",)
     return specs
 
 
@@ -201,8 +207,9 @@ def run_algorithm(graph: Union[Topology, Network], algorithm: str, *,
     (``result.timeline``); both observe without perturbing — a traced
     run is bit-identical to an untraced one.  ``backend`` selects the
     engine (``"event-loop"`` default, ``"columnar"`` for the vectorized
-    NumPy engine); a backend that cannot run the request bit-identically
-    raises :class:`~repro.sim.errors.BackendUnsupported`.
+    NumPy engine, ``"net"`` for real loopback TCP sockets); a backend
+    that cannot run the request bit-identically raises
+    :class:`~repro.sim.errors.BackendUnsupported`.
     """
     registry = _ensure_registry()
     if algorithm not in registry:

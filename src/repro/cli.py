@@ -530,8 +530,10 @@ def build_parser() -> argparse.ArgumentParser:
     elect.add_argument("--max-rounds", type=int, default=10 ** 7)
     elect.add_argument("--backend", default=None,
                        help="engine backend: event-loop (default) | columnar "
-                            "(vectorized NumPy engine; refuses unsupported "
-                            "requests rather than approximating)")
+                            "(vectorized NumPy engine) | net (real loopback "
+                            "TCP sockets, one asyncio task per node); "
+                            "non-default backends refuse unsupported "
+                            "requests rather than approximating")
     elect.add_argument("--delay",
                        help="message delay: Δ | fixed:Δ | uniform:Δ | "
                             "adversarial:Δ (default: synchronous, Δ=1)")
@@ -580,8 +582,8 @@ def build_parser() -> argparse.ArgumentParser:
                           "'' to skip writing)")
     rep.add_argument("--backend", default=None,
                      help="engine backend for every claim's cells "
-                          "(event-loop default | columnar); verdicts and "
-                          "cache rows are backend-independent")
+                          "(event-loop default | columnar | net); verdicts "
+                          "and cache rows are backend-independent")
     rep.add_argument("--workers", type=int, default=1,
                      help="worker processes (results identical to serial)")
     rep.add_argument("--cache-dir", default=".repro-cache",
@@ -634,8 +636,8 @@ def build_parser() -> argparse.ArgumentParser:
                        help="message-loss axis: probabilities in [0, 1]")
     sweep.add_argument("--backend", default=None,
                        help="engine backend for every cell (event-loop "
-                            "default | columnar); cache rows are shared "
-                            "across backends")
+                            "default | columnar | net); cache rows are "
+                            "shared across backends")
     sweep.add_argument("--model-seed", type=int, default=0,
                        help="seed of the model's adversary randomness")
     sweep.add_argument("--workers", type=int, default=1,
@@ -657,14 +659,16 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--grid",
                        choices=["default", "tiny", "delay", "large",
                                 "large-smoke", "vector", "vector-smoke",
-                                "batch", "batch-smoke"],
+                                "batch", "batch-smoke", "net-smoke"],
                        default="default",
                        help="predefined measurement grid ('large' is the "
                             "implicit-topology n>=16k series; 'vector' the "
                             "event-loop/columnar A/B series incl. the "
                             "million-node point; 'batch' the trial-batched "
                             "vs sequential A/B series over whole trial "
-                            "axes; run them with --auto-knowledge D)")
+                            "axes; run them with --auto-knowledge D; "
+                            "'net-smoke' the real-socket vs event-loop A/B "
+                            "series on small graphs)")
     bench.add_argument("--point", action="append",
                        metavar="ALGORITHM@GRAPHSPEC[@DELAY][@BACKEND]",
                        help="explicit grid point (repeatable); overrides "
@@ -679,7 +683,7 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--backend", default=None,
                        help="default engine backend for points without an "
                             "explicit @BACKEND element (event-loop | "
-                            "columnar)")
+                            "columnar | net)")
     bench.add_argument("--max-rounds", type=int)
     bench.add_argument("--label", default="",
                        help="free-form tag stored with the snapshot")

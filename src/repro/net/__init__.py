@@ -1,0 +1,30 @@
+"""repro.net — the real-network execution backend.
+
+Runs any delay-tolerant registry algorithm as N asyncio node tasks
+exchanging pickled, length-prefixed frames over real loopback TCP
+sockets, behind the same :class:`~repro.sim.backend.EngineBackend` seam
+as the simulator ("equivalent or absent": bit-identical results or a
+reasoned :class:`~repro.sim.errors.BackendUnsupported`).
+
+Layering, bottom up:
+
+* :mod:`repro.net.codec` — length-prefixed pickle wire format, CONGEST
+  accounting shared with :mod:`repro.sim.message`.
+* :mod:`repro.net.links` — per-node endpoints: one TCP connection per
+  edge, sender/listener split, per-round frame buffers.
+* :mod:`repro.net.node` — one asyncio task per node executing shipped
+  activations.
+* :mod:`repro.net.runner` — the round-synchronizing coordinator that
+  mirrors the simulator's state machine (the parity argument lives in
+  its docstring).
+* :mod:`repro.net.engine` — request checking (the known-unsupported
+  matrix) and entry point.
+
+Submodule imports are lazy where it matters: constructing the
+``NetBackend`` shim in :mod:`repro.sim.backend` imports nothing from
+here until a request is actually checked or run.
+"""
+
+from .errors import TransportError, TransportTimeout
+
+__all__ = ["TransportError", "TransportTimeout"]

@@ -1,0 +1,33 @@
+"""Transport-layer failures of the real-network backend.
+
+Everything here subclasses :class:`repro.sim.errors.SimulationError`, so
+callers that already catch simulation failures (the CLI, the experiment
+runner) handle transport failures the same way — but the types stay
+distinct: a :class:`TransportTimeout` is an infrastructure fault (a
+stalled peer, a wedged socket), never an algorithm outcome.
+"""
+
+from __future__ import annotations
+
+from ..sim.errors import SimulationError
+
+
+class TransportError(SimulationError):
+    """Base class for socket-transport failures of :mod:`repro.net`."""
+
+
+class TransportTimeout(TransportError):
+    """A peer missed the round barrier within the configured timeout.
+
+    The message always names the stalled node and the round, so a hung
+    peer surfaces as a diagnosable error instead of a silent hang.
+    """
+
+    def __init__(self, node: int, round_index: int, timeout: float,
+                 what: str = "activation") -> None:
+        self.node = node
+        self.round_index = round_index
+        self.timeout = timeout
+        super().__init__(
+            f"node {node} stalled: no {what} reply for round "
+            f"{round_index} within {timeout:g}s (round-barrier timeout)")

@@ -190,10 +190,31 @@ class ColumnarBackend(EngineBackend):
         return batch.run_batch(request)
 
 
+class NetBackend(EngineBackend):
+    """Real-socket asyncio backend (:mod:`repro.net`).
+
+    Same lazy-import shim idiom as :class:`ColumnarBackend`: listing or
+    constructing the backend imports none of the transport machinery;
+    only checking or running a request does.
+    """
+
+    name = "net"
+
+    def supports(self, request: RunRequest) -> Optional[str]:
+        from ..net import engine
+        return engine.supports(request)
+
+    def run(self, request: RunRequest) -> RunResult:
+        self.check(request)
+        from ..net import engine
+        return engine.run(request)
+
+
 #: Registry of available backends, keyed by canonical name.
 BACKENDS: Dict[str, EngineBackend] = {
     "event-loop": EventLoopBackend(),
     "columnar": ColumnarBackend(),
+    "net": NetBackend(),
 }
 
 _ALIASES = {
@@ -204,6 +225,9 @@ _ALIASES = {
     "event_loop": "event-loop",
     "eventloop": "event-loop",
     "columnar": "columnar",
+    "net": "net",
+    "tcp": "net",
+    "asyncio": "net",
 }
 
 

@@ -129,6 +129,20 @@ BATCH_SMOKE_GRID: Tuple[Tuple[str, str, int], ...] = (
     ("flood-max", "clique:4096", 10),
 )
 
+#: Real-socket A/B series: the same small cells through the net backend
+#: (N asyncio tasks on loopback TCP) and the event loop, interleaved,
+#: so each snapshot records what a *physically real* election costs in
+#: wall clock next to its simulated twin (results are bit-identical by
+#: the backend contract; the gap is pickling + kernel round trips).
+NET_SMOKE_GRID: Tuple[Tuple[str, Optional[str], Optional[str], str], ...] = (
+    ("flood-max", "ring:16", None, "net"),
+    ("flood-max", "ring:16", None, "event-loop"),
+    ("flood-max", "clique:32", None, "net"),
+    ("flood-max", "clique:32", None, "event-loop"),
+    ("least-el", "ring:8", None, "net"),
+    ("least-el", "ring:8", None, "event-loop"),
+)
+
 GRIDS: Dict[str, Tuple[Tuple[str, ...], ...]] = {
     "default": DEFAULT_GRID,
     "tiny": TINY_GRID,
@@ -137,6 +151,7 @@ GRIDS: Dict[str, Tuple[Tuple[str, ...], ...]] = {
     "large-smoke": LARGE_SMOKE_GRID,
     "vector": VECTOR_GRID,
     "vector-smoke": VECTOR_SMOKE_GRID,
+    "net-smoke": NET_SMOKE_GRID,
 }
 
 #: Grids measured per trial axis (one cell = ``trials`` elections)

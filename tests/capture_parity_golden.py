@@ -2,7 +2,12 @@
 
 Usage::
 
-    PYTHONPATH=src python tests/capture_parity_golden.py
+    PYTHONPATH=src python tests/capture_parity_golden.py [--backend NAME]
+
+``--backend`` routes the matrix through another engine (columnar, net)
+and writes next to the default fixture with a ``.<backend>`` suffix —
+a debugging aid for diffing one backend's rows against the golden; the
+committed fixture is always the default (event-loop) capture.
 
 The committed ``tests/data/scheduler_parity_golden.json`` was captured
 from the *pre-overhaul* scheduler (nested dict delivery buffers, eager
@@ -17,6 +22,7 @@ say so in the commit message.
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import sys
@@ -31,12 +37,17 @@ OUT = os.path.join(os.path.dirname(__file__), "data",
 
 
 def main() -> int:
-    rows = run_matrix()
-    os.makedirs(os.path.dirname(OUT), exist_ok=True)
-    with open(OUT, "w", encoding="utf-8") as fh:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--backend", default=None,
+                        help="engine to capture through (default: event loop)")
+    args = parser.parse_args()
+    rows = run_matrix(backend=args.backend)
+    out = OUT if args.backend is None else f"{OUT}.{args.backend}"
+    os.makedirs(os.path.dirname(out), exist_ok=True)
+    with open(out, "w", encoding="utf-8") as fh:
         json.dump(rows, fh, indent=1, sort_keys=True)
         fh.write("\n")
-    print(f"wrote {len(rows)} golden cases to {OUT}")
+    print(f"wrote {len(rows)} golden cases to {out}")
     return 0
 
 

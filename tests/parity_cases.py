@@ -26,7 +26,7 @@ from typing import Any, Dict, List
 from repro.api import _ensure_registry
 from repro.graphs import Network, barbell, complete, lollipop, ring
 from repro.graphs.ids import SequentialIds
-from repro.sim.scheduler import Simulator
+from repro.sim.backend import RunRequest, resolve_backend
 from repro.sim.wakeup import AdversarialWakeup
 
 #: Small instances of the paper's three recurring shapes: cliques (the
@@ -102,13 +102,13 @@ def _jsonable(value: Any) -> Any:
     return value
 
 
-def run_case(case: Dict[str, Any], model=None) -> Dict[str, Any]:
-    """Execute one case and summarize everything observable about it.
+def make_request(case: Dict[str, Any], model=None) -> RunRequest:
+    """Build the backend-neutral :class:`RunRequest` for one case.
 
-    ``model`` forwards an execution model to the simulator; passing an
-    explicit default model (``SynchronousModel()``) must reproduce the
-    golden fixture bit for bit — that is the semantics-preservation
-    property tests/test_properties.py asserts.
+    This is the seam that lets *every* backend enumerate the same case
+    table: the golden capture, the scheduler parity suite, and the
+    per-backend equivalence suites (columnar, net) all run requests
+    built here — no backend carries its own copy of the matrix.
     """
     spec = _ensure_registry()[case["algorithm"]]
     topology = TOPOLOGIES[case["topology"]]()
@@ -127,12 +127,34 @@ def run_case(case: Dict[str, Any], model=None) -> Dict[str, Any]:
     wakeup = (AdversarialWakeup(0.25, max_delay=3)
               if case.get("wakeup") == "adversarial" else None)
     watch = {BARBELL5_BRIDGE} if case.get("watch_bridge") else None
-    sim = Simulator(network, spec.factory, seed=case["seed"],
-                    knowledge=knowledge, wakeup=wakeup, model=model,
-                    watch_edges=watch,
-                    record_sends=bool(case.get("record_sends")),
-                    congest_bits=case.get("congest_bits"))
-    result = sim.run(max_rounds=case.get("max_rounds"))
+    return RunRequest(
+        network=network, factory=spec.factory, seed=case["seed"],
+        knowledge=knowledge, wakeup=wakeup, model=model,
+        watch_edges=watch, record_sends=bool(case.get("record_sends")),
+        congest_bits=case.get("congest_bits"),
+        max_rounds=case.get("max_rounds"), algorithm=case["algorithm"])
+
+
+def cases_for_backend(backend: str, cases=None) -> List[Dict[str, Any]]:
+    """The subset of the matrix ``backend`` accepts (``supports`` is None)."""
+    engine = resolve_backend(backend)
+    return [case for case in (build_cases() if cases is None else cases)
+            if engine.supports(make_request(case)) is None]
+
+
+def run_case(case: Dict[str, Any], model=None,
+             backend=None) -> Dict[str, Any]:
+    """Execute one case and summarize everything observable about it.
+
+    ``model`` forwards an execution model to the run; passing an
+    explicit default model (``SynchronousModel()``) must reproduce the
+    golden fixture bit for bit — that is the semantics-preservation
+    property tests/test_properties.py asserts.  ``backend`` routes the
+    same request through another engine; on supported cases the row must
+    be identical to the event loop's (the backend-equivalence suites).
+    """
+    watch = {BARBELL5_BRIDGE} if case.get("watch_bridge") else None
+    result = resolve_backend(backend).run(make_request(case, model))
     m = result.metrics
     row: Dict[str, Any] = {
         "messages": m.messages,
@@ -162,7 +184,13 @@ def run_case(case: Dict[str, Any], model=None) -> Dict[str, Any]:
     return row
 
 
-def run_matrix() -> Dict[str, Dict[str, Any]]:
-    """Run every case; JSON round-trip so results diff cleanly vs. disk."""
-    rows = {case_name(case): run_case(case) for case in build_cases()}
+def run_matrix(backend=None) -> Dict[str, Dict[str, Any]]:
+    """Run every case; JSON round-trip so results diff cleanly vs. disk.
+
+    With a non-default ``backend``, only the cases that backend supports
+    are run (refused cases would raise ``BackendUnsupported``).
+    """
+    cases = build_cases() if backend is None else cases_for_backend(backend)
+    rows = {case_name(case): run_case(case, backend=backend)
+            for case in cases}
     return json.loads(json.dumps(rows))

@@ -194,7 +194,7 @@ class TestRefusal:
 
 class TestNamesAndCapabilities:
     def test_backend_names(self):
-        assert backend_names() == ("event-loop", "columnar")
+        assert backend_names() == ("event-loop", "columnar", "net")
         assert DEFAULT_BACKEND == "event-loop"
 
     @pytest.mark.parametrize("alias", [None, "", "default", "event-loop",
@@ -222,6 +222,8 @@ class TestNamesAndCapabilities:
         for name, spec in registry.items():
             expected = (("event-loop", "columnar")
                         if name in KERNEL_ALGORITHMS else ("event-loop",))
+            if spec.delay_tolerant:
+                expected = expected + ("net",)
             assert spec.backends == expected, name
 
 

@@ -1,0 +1,228 @@
+"""Net-backend equivalence suite: real sockets are bit-identical or absent.
+
+The same "equivalent or absent" contract the columnar suite pins, for
+the real-network backend (:mod:`repro.net`): every request the backend
+accepts must produce a :class:`RunResult` bit-identical to the event
+loop's — same leader, same message/bit counts, same per-kind counters,
+same crash order — and every request outside the supported slice must
+refuse with a reasoned :class:`BackendUnsupported`, never return
+silently different numbers.
+
+The parity slice is enumerated from ``tests/parity_cases.py`` — the
+*same* case table the golden fixture and the scheduler parity suite
+run — filtered through ``NetBackend.supports`` (satellite: backends
+enumerate the shared matrix; no per-backend copies).
+
+Chaos coverage: seeded loss must make bit-identical drop decisions
+across independent socket runs; crash schedules must kill tasks
+mid-round yet leave ``crashed_indices`` equal to the simulator's; a
+deliberately wedged peer must trip the round barrier's timeout with a
+clean :class:`TransportTimeout` naming the node, inside a hard
+wall-clock budget.
+"""
+
+from __future__ import annotations
+
+import signal
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from parity_cases import build_cases, case_name, cases_for_backend, run_case
+from repro.api import _ensure_registry, run_algorithm
+from repro.graphs import Network, complete, ring
+from repro.graphs.topology import CliqueTopology
+from repro.sim.backend import BACKENDS, RunRequest
+from repro.sim.errors import BackendUnsupported
+from repro.sim.models import (BernoulliLoss, ExecutionModel, ExplicitCrashes,
+                              FixedDelay)
+from repro.net import TransportTimeout
+from repro.net import engine as net_engine
+
+pytestmark = pytest.mark.net
+
+NET_CASES = cases_for_backend("net")
+NET_CASE_NAMES = [case_name(c) for c in NET_CASES]
+
+DELAY_TOLERANT = sorted(name for name, spec in _ensure_registry().items()
+                        if spec.delay_tolerant)
+SYNC_ONLY = sorted(name for name, spec in _ensure_registry().items()
+                   if not spec.delay_tolerant)
+
+
+class TestParitySlice:
+    """Supported slice: net == event loop, field for field."""
+
+    @pytest.mark.parametrize("case", NET_CASES, ids=NET_CASE_NAMES)
+    def test_case_parity(self, case):
+        assert run_case(case, backend="net") == run_case(case)
+
+    def test_slice_is_substantial(self):
+        """The filter keeps the delay-tolerant bulk of the matrix (the
+        refusals are kingdom's family plus envelope-path features)."""
+        total = len(build_cases())
+        assert len(NET_CASES) >= total - 20
+        refused = {c["algorithm"] for c in build_cases()
+                   if case_name(c) not in set(NET_CASE_NAMES)}
+        assert refused <= set(SYNC_ONLY) | {"least-el"}  # watch/record cases
+
+    @pytest.mark.parametrize("algorithm", DELAY_TOLERANT)
+    @pytest.mark.parametrize("graph", ["clique", "ring"])
+    def test_every_delay_tolerant_algorithm(self, algorithm, graph):
+        """The acceptance-criteria sweep: every delay-tolerant registry
+        algorithm on clique and ring elects the same leader with
+        identical message/bit counts over real sockets."""
+        topology = complete(8) if graph == "clique" else ring(9)
+        ev = run_algorithm(topology, algorithm, seed=11)
+        net = run_algorithm(topology, algorithm, seed=11, backend="net")
+        assert net.leader_uid == ev.leader_uid
+        assert net.metrics.messages == ev.metrics.messages
+        assert net.metrics.bits == ev.metrics.bits
+        assert [s.name for s in net.statuses] == \
+            [s.name for s in ev.statuses]
+        assert net.outputs == ev.outputs
+
+    def test_timeline_parity(self):
+        """`repro timeline` works on real runs: same per-round series."""
+        ev = run_algorithm(ring(8), "flood-max", seed=3, timeline=True)
+        net = run_algorithm(ring(8), "flood-max", seed=3, timeline=True,
+                            backend="net")
+        assert net.timeline is not None
+        assert list(net.timeline) == list(ev.timeline)
+
+
+class TestChaos:
+    """Transport-level fault injection stays seeded and deterministic."""
+
+    LOSS_MODEL = ExecutionModel(loss=BernoulliLoss(0.2), seed=7)
+
+    def test_loss_drop_decisions_reproduce(self):
+        """Two independent socket runs from the same (sim_seed,
+        model_seed) make bit-identical drop decisions."""
+        runs = [run_algorithm(complete(16), "flood-max", seed=7,
+                              model=self.LOSS_MODEL, backend="net")
+                for _ in range(2)]
+        assert runs[0].metrics.messages_dropped > 0
+        assert runs[0].metrics.messages_dropped == \
+            runs[1].metrics.messages_dropped
+        assert runs[0].metrics.messages == runs[1].metrics.messages
+        assert runs[0].leader_uid == runs[1].leader_uid
+        assert runs[0].outputs == runs[1].outputs
+
+    def test_loss_matches_simulator(self):
+        """The link layer consumes the simulator's model stream in the
+        same global send order, so the *same messages* are dropped."""
+        ev = run_algorithm(complete(16), "least-el", seed=7,
+                           model=ExecutionModel(loss=BernoulliLoss(0.1),
+                                                seed=7))
+        net = run_algorithm(complete(16), "least-el", seed=7,
+                            model=ExecutionModel(loss=BernoulliLoss(0.1),
+                                                 seed=7), backend="net")
+        assert net.metrics.messages_dropped == ev.metrics.messages_dropped
+        assert net.metrics.messages_delivered == \
+            ev.metrics.messages_delivered
+        assert net.leader_uid == ev.leader_uid
+
+    def test_crash_schedule_matches_simulator(self):
+        """Mid-round task kills leave crashed_indices equal to the
+        simulator's on the same explicit schedule."""
+        model = ExecutionModel(crash=ExplicitCrashes({2: 3, 5: 1}))
+        ev = run_algorithm(ring(8), "flood-max", seed=4, model=model)
+        net = run_algorithm(ring(8), "flood-max", seed=4, model=model,
+                            backend="net")
+        assert net.crashed_indices == [2, 5]
+        assert net.crashed_indices == ev.crashed_indices
+        assert list(net.metrics.crashed_nodes) == \
+            list(ev.metrics.crashed_nodes)  # crash *order*, not just set
+        assert net.metrics.messages_dropped == ev.metrics.messages_dropped
+        assert [s.name for s in net.statuses] == \
+            [s.name for s in ev.statuses]
+
+
+class TestTimeoutRobustness:
+    """A wedged peer trips the barrier, never a pytest hang."""
+
+    def test_hung_peer_names_the_stalled_node(self):
+        spec = _ensure_registry()["flood-max"]
+        request = RunRequest(network=Network.build(ring(8), seed=3),
+                             factory=spec.factory, seed=3,
+                             knowledge={"n": 8}, algorithm="flood-max")
+
+        def too_slow(signum, frame):  # pragma: no cover - only on failure
+            raise AssertionError("round-barrier timeout did not fire "
+                                 "within the wall-clock budget")
+
+        old = signal.signal(signal.SIGALRM, too_slow)
+        signal.alarm(20)  # hard budget: the 0.5s barrier must fire long before
+        try:
+            with pytest.raises(TransportTimeout) as exc:
+                net_engine.run(request, round_timeout=0.5, hang_nodes=(3,))
+        finally:
+            signal.alarm(0)
+            signal.signal(signal.SIGALRM, old)
+        assert exc.value.node == 3
+        assert "node 3" in str(exc.value)
+        assert "timeout" in str(exc.value)
+
+
+class TestRefusal:
+    """Outside the slice: reasoned BackendUnsupported, never numbers."""
+
+    def _request(self, **overrides):
+        spec = _ensure_registry()["flood-max"]
+        base = dict(network=Network.build(ring(6), seed=0),
+                    factory=spec.factory, seed=0,
+                    knowledge={"n": 6, "D": 3}, algorithm="flood-max")
+        base.update(overrides)
+        return RunRequest(**base)
+
+    def test_implicit_million_node_topology_refused(self):
+        network = Network.build(CliqueTopology(1_000_000), lazy=True)
+        reason = BACKENDS["net"].supports(
+            self._request(network=network, knowledge={"n": 1_000_000}))
+        assert reason is not None and "implicit" in reason
+
+    def test_oversized_explicit_mesh_refused(self):
+        reason = BACKENDS["net"].supports(
+            self._request(network=Network.build(ring(100), seed=0),
+                          knowledge={"n": 100}))
+        assert reason is not None and str(net_engine.NET_MAX_NODES) in reason
+
+    @pytest.mark.parametrize("overrides,hint", [
+        ({"watch_edges": {(0, 1)}}, "watch"),
+        ({"record_sends": True}, "record_sends"),
+        ({"algorithm": None}, "name"),
+        ({"algorithm": "kingdom"}, "synchronous-only"),
+        ({"model": ExecutionModel(delay=FixedDelay(3))}, "Δ=3"),
+    ])
+    def test_feature_refusals(self, overrides, hint):
+        reason = BACKENDS["net"].supports(self._request(**overrides))
+        assert reason is not None and hint in reason
+
+    def test_run_surfaces_refusal(self):
+        with pytest.raises(BackendUnsupported, match="synchronous-only"):
+            run_algorithm(ring(6), "kingdom", backend="net")
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        feature=st.sampled_from(["watch", "record", "delay", "sync-only",
+                                 "anonymous", "big"]),
+        seed=st.integers(min_value=0, max_value=999),
+    )
+    def test_property_unsupported_always_refuses(self, feature, seed):
+        """For ANY request with an unsupported feature: a non-None
+        reason from supports(), and BackendUnsupported from run()."""
+        overrides = {
+            "watch": {"watch_edges": {(0, 1)}},
+            "record": {"record_sends": True},
+            "delay": {"model": ExecutionModel(delay=FixedDelay(2))},
+            "sync-only": {"algorithm": "kingdom-known-d"},
+            "anonymous": {"algorithm": None},
+            "big": {"network": Network.build(complete(65), seed=seed),
+                    "knowledge": {"n": 65}},
+        }[feature]
+        request = self._request(seed=seed, **overrides)
+        backend = BACKENDS["net"]
+        assert backend.supports(request) is not None
+        with pytest.raises(BackendUnsupported):
+            backend.run(request)
